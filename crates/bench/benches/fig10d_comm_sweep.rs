@@ -1,0 +1,39 @@
+//! Fig. 10(d): score vs extra-communication budget at fixed 1/5 tokens.
+//!
+//! SPARQ and InfLLM improve as they may move more proxy data per step;
+//! PQCache is already near-saturated at the smallest budget — the paper's
+//! point that PQ structures are communication-efficient.
+
+use pqc_llm::{LlmConfig, Model};
+use pqc_workloads::{cot_chain, evaluate_method, reference, MethodSpec, VocabLayout};
+
+fn main() {
+    pqc_bench::header("Fig. 10(d) — score vs extra communication", "paper Fig. 10d");
+    let model = Model::new(LlmConfig::mistral_sim());
+    let layout = VocabLayout::for_vocab(model.config().vocab_size);
+    let w = cot_chain(1024, 2, &layout, 0x10D);
+
+    // Communication fractions from 1/32 (sim-scale floor) to 1/4.
+    let fractions = [1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0];
+    // PQCache configs matched to each fraction: m·b = 16·dh·f at dh=32.
+    let pq_for: [(usize, u32); 4] = [(2, 8), (4, 8), (8, 8), (8, 16)];
+
+    println!("\n{:>10} | {:>12} {:>12} {:>12}", "comm", "SPARQ", "InfLLM", "PQCache");
+    for (i, &f) in fractions.iter().enumerate() {
+        let cfg = pqc_bench::quality_eval(0.2, f);
+        let rf = reference(&model, &w, &cfg);
+        let sparq = evaluate_method(&model, &w, &rf, MethodSpec::Sparq, &cfg).agreement;
+        let infllm = evaluate_method(&model, &w, &rf, MethodSpec::InfLlm, &cfg).agreement;
+        let (m, b) = pq_for[i];
+        let pqc = evaluate_method(
+            &model,
+            &w,
+            &rf,
+            MethodSpec::PqCache { m, b: b.min(8), iters: 15 },
+            &cfg,
+        )
+        .agreement;
+        println!("{:>10} | {sparq:>12.2} {infllm:>12.2} {pqc:>12.2}", format!("1/{}", (1.0 / f) as usize));
+    }
+    println!("\nShape check: SPARQ/InfLLM climb with budget; PQCache is flat (already sufficient at 1/32).");
+}

@@ -1,0 +1,47 @@
+//! Fig. 11(a): Time To Second Token (TT2T) vs input length, per method.
+//!
+//! TT2T covers prefill plus the first decode step, so it charges PQCache for
+//! any clustering that failed to overlap, H2O for its FlashAttention
+//! incompatibility, and SPARQ for its first full key scan.
+
+use pqc_core::{KmeansIters, LatencyMethod, LatencyModel};
+
+fn main() {
+    pqc_bench::header("Fig. 11(a) — Time To Second Token", "paper Fig. 11a");
+    let lm = LatencyModel::paper_default();
+    let methods = [
+        LatencyMethod::H2o,
+        LatencyMethod::SnapKv,
+        LatencyMethod::PyramidKv,
+        LatencyMethod::Sparq { r: 2 },
+        LatencyMethod::InfLlm { block: 128, reps: 2 },
+        LatencyMethod::PqCache {
+            m: 2,
+            b: 6,
+            iters: KmeansIters::Adaptive { min: 1, max: 100 },
+            cache_hit: 0.6,
+        },
+    ];
+
+    print!("\n{:>8} |", "seqlen");
+    for m in &methods {
+        print!("{:>12}", m.name());
+    }
+    println!();
+    for &s in &[8usize << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10] {
+        let k = (s / 5).min(4096);
+        print!("{s:>8} |");
+        for m in &methods {
+            let t = lm.tt2t(m, s, k);
+            let oom = matches!(m, LatencyMethod::H2o) && lm.h2o_prefill_oom(s);
+            if oom {
+                print!("{:>12}", format!("{:.2}s*", t));
+            } else {
+                print!("{:>12}", format!("{t:.2}s"));
+            }
+        }
+        println!();
+    }
+    println!("\n(* = H2O's O(s^2) score matrix exceeds 24GB GPU memory: the paper reports OOM / multi-GPU)");
+    println!("Shape check: PQCache tracks SnapKV/PyramidKV; SPARQ pays its key scan; H2O is worst.");
+}

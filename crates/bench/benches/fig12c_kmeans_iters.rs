@@ -1,0 +1,43 @@
+//! Fig. 12(c): quality/latency trade-off across K-Means iteration budgets.
+//!
+//! Quality (top-5 agreement + clustering inertia) comes from real sessions
+//! at simulation scale; TT2T comes from the paper-scale latency model with
+//! the same iteration budgets. The adaptive budget should be fastest with a
+//! modest quality cost; unrestricted clustering is best but blocks TT2T.
+
+use pqc_core::{KmeansIters, LatencyMethod, LatencyModel};
+use pqc_llm::{LlmConfig, Model};
+use pqc_workloads::{cot_chain, evaluate_method, reference, MethodSpec, VocabLayout};
+
+fn main() {
+    pqc_bench::header("Fig. 12(c) — K-Means iterations trade-off", "paper Fig. 12c");
+    let model = Model::new(LlmConfig::mistral_sim());
+    let layout = VocabLayout::for_vocab(model.config().vocab_size);
+    let w = cot_chain(1024, 2, &layout, 0x12C);
+    let cfg = pqc_bench::quality_eval(0.1, 1.0 / 32.0);
+    let rf = reference(&model, &w, &cfg);
+
+    let lm = LatencyModel::paper_default();
+    let s_paper = 16 << 10; // short input: the regime where iteration budget bites
+    let k_paper = s_paper / 10;
+    let adaptive_iters = lm.kmeans_iters(KmeansIters::Adaptive { min: 1, max: 100 }, s_paper, 2, 6);
+
+    println!("\n{:>10} | {:>10} {:>12}", "iters", "score", "TT2T(16K)");
+    for (label, iters_quality, iters_latency) in [
+        ("adaptive", adaptive_iters, KmeansIters::Adaptive { min: 1, max: 100 }),
+        ("1", 1, KmeansIters::Fixed(1)),
+        ("3", 3, KmeansIters::Fixed(3)),
+        ("10", 10, KmeansIters::Fixed(10)),
+        ("30", 30, KmeansIters::Fixed(30)),
+        ("100", 100, KmeansIters::Fixed(100)),
+    ] {
+        let spec = MethodSpec::PqCache { m: 2, b: 6, iters: iters_quality };
+        let r = evaluate_method(&model, &w, &rf, spec, &cfg);
+        let method = LatencyMethod::PqCache { m: 2, b: 6, iters: iters_latency, cache_hit: 0.6 };
+        let tt2t = lm.tt2t(&method, s_paper, k_paper);
+        println!("{label:>10} | {:>10.2} {:>11.2}s", r.agreement, tt2t);
+    }
+    println!("\n(adaptive resolves to {adaptive_iters} iterations at s = 16K on this cost model)");
+    println!("Shape check: more iterations never hurt quality; TT2T explodes once clustering");
+    println!("exceeds the GPU compute window; adaptive stays on the latency floor.");
+}

@@ -1,0 +1,34 @@
+//! Fig. 1: KVCache memory size and theoretical CPU-GPU transfer latency for
+//! varying batch sizes, model sizes, and sequence lengths.
+//!
+//! Purely analytical (the paper's figure is too); uses PCIe Gen 5 for the
+//! transfer-latency series, as the paper's caption states.
+
+use pqc_memhier::{CostModel, ModelShape};
+
+fn main() {
+    pqc_bench::header("Fig. 1 — KVCache memory & transfer latency", "paper Fig. 1");
+    let gen5 = CostModel::pcie_gen5();
+    let shapes = [("7B", ModelShape::llama_7b()), ("13B", ModelShape::llama_13b())];
+    let batches = [8usize, 32, 128];
+    let seqlens = [1usize << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10];
+
+    println!("\n{:<6}{:<6}{:>10} | {:>12} {:>14}", "model", "bs", "seqlen", "KVCache", "PCIe5 xfer");
+    for (name, shape) in &shapes {
+        for &bs in &batches {
+            for &s in &seqlens {
+                let bytes = shape.kvcache_bytes(bs, s, 2);
+                let gb = bytes as f64 / 1e9;
+                let xfer = gen5.transfer_time(bytes);
+                println!(
+                    "{:<6}{:<6}{:>10} | {:>10.1}GB {:>12.2}s",
+                    name, bs, s, gb, xfer
+                );
+            }
+        }
+    }
+    println!(
+        "\n8xA100 memory = 640GB; 7B/bs=128/s=128K KVCache = {:.1}GB (exceeds it)",
+        ModelShape::llama_7b().kvcache_bytes(128, 128 << 10, 2) as f64 / 1e9
+    );
+}

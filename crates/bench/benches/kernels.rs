@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the hot kernels: K-Means, ADC scoring,
+//! top-k selection, block-cache operations, and attention.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pqc_cache::{top_blocks, BlockCache, EvictionPolicy};
+use pqc_llm::{attend_selected, causal_attention, PrefillPattern};
+use pqc_pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig};
+use pqc_tensor::{top_k_indices, Matrix, Rng64};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let data = Matrix::randn(2048, 16, 1.0, &mut rng);
+    c.bench_function("kmeans_2048x16_k64_it10", |bch| {
+        bch.iter(|| {
+            let cfg = KMeansConfig { k: 64, max_iters: 10, tol: 0.0, seed: 42 };
+            black_box(kmeans(black_box(&data), &cfg))
+        })
+    });
+}
+
+fn bench_adc(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let keys = Matrix::randn(4096, 32, 1.0, &mut rng);
+    let (book, codes) =
+        PqCodebook::train(&keys, PqConfig { m: 2, b: 6, max_iters: 10, seed: 3 });
+    let q: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    c.bench_function("adc_score_4096_tokens_m2_b6", |bch| {
+        bch.iter(|| {
+            let t = AdcTable::build(black_box(&book), black_box(&q));
+            black_box(t.score_all(&codes))
+        })
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let scores: Vec<f32> = (0..131_072).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    c.bench_function("topk_128k_scores_k1024", |bch| {
+        bch.iter(|| black_box(top_k_indices(black_box(&scores), 1024)))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut rng = Rng64::new(5);
+    let batches: Vec<Vec<usize>> =
+        (0..64).map(|_| (0..256).map(|_| rng.below(131_072)).collect()).collect();
+    c.bench_function("block_cache_lookup_update_lfu", |bch| {
+        bch.iter_batched(
+            || BlockCache::new(4096, 128, EvictionPolicy::Lfu),
+            |mut cache| {
+                for b in &batches {
+                    let _ = cache.lookup(b);
+                    cache.update(&top_blocks(b, 128, 32));
+                }
+                black_box(cache.stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = Rng64::new(6);
+    let q = Matrix::randn(512, 32, 1.0, &mut rng);
+    let k = Matrix::randn(512, 32, 1.0, &mut rng);
+    let v = Matrix::randn(512, 32, 1.0, &mut rng);
+    c.bench_function("causal_attention_512x32", |bch| {
+        bch.iter(|| black_box(causal_attention(&q, &k, &v, PrefillPattern::Dense, None)))
+    });
+    let query: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    c.bench_function("attend_selected_512_keys", |bch| {
+        bch.iter(|| black_box(attend_selected(&query, &k, &v)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kmeans, bench_adc, bench_topk, bench_cache, bench_attention
+}
+criterion_main!(kernels);

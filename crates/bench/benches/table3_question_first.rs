@@ -1,0 +1,42 @@
+//! Table 3: QA tasks with the question placed *before* the context.
+//!
+//! SnapKV/PyramidKV rank tokens by the prompt's last window; when the
+//! question moves to the front, that window holds filler and their kept sets
+//! go blind. PQCache is position-agnostic. The paper reports +7.10% for
+//! PQCache over both.
+
+use pqc_llm::{LlmConfig, Model};
+use pqc_workloads::{evaluate_method, format_table, method_average, reference, MethodSpec, TaskResult};
+
+fn main() {
+    pqc_bench::header("Table 3 — question-first QA", "paper Table 3");
+    let model = Model::new(LlmConfig::small());
+    let tasks = pqc_bench::question_first_sim(model.config().vocab_size);
+    let specs = [MethodSpec::SnapKv, MethodSpec::PyramidKv, MethodSpec::pqcache_default()];
+    let cfg = pqc_bench::quality_eval(0.1, 1.0 / 32.0);
+
+    let mut results: Vec<TaskResult> = Vec::new();
+    for w in &tasks {
+        let rf = reference(&model, w, &cfg);
+        for &spec in &specs {
+            results.push(evaluate_method(&model, w, &rf, spec, &cfg));
+        }
+    }
+    println!("\n--- top-5 agreement score (1/10 tokens) ---");
+    print!("{}", format_table(&results, |r| r.agreement));
+    println!("\n--- planted-fact recall ---");
+    print!("{}", format_table(&results, |r| 100.0 * r.planted_recall));
+
+    let combined = |r: &pqc_workloads::TaskResult| (r.agreement + 100.0 * r.planted_recall) / 2.0;
+    let pqc = method_average(&results, "PQCache", combined);
+    let snap = method_average(&results, "SnapKV(C)", combined);
+    let pyra = method_average(&results, "PyramidKV(C)", combined);
+    println!(
+        "\nCombined (fidelity+retrieval) score: PQCache {pqc:.2} vs SnapKV(C) {snap:.2} ({:+.2}%) / PyramidKV(C) {pyra:.2} ({:+.2}%)",
+        100.0 * (pqc - snap) / snap.max(1e-9),
+        100.0 * (pqc - pyra) / pyra.max(1e-9)
+    );
+    println!("Shape check: with the question first, SnapKV/PyramidKV's observation window misses the");
+    println!("facts (recall collapses) while PQCache's query-time retrieval is position-agnostic —");
+    println!("the paper reports +7.10% for PQCache in this setting.");
+}

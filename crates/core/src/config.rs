@@ -1,0 +1,148 @@
+//! Engine configuration: KVCache segmentation, budgets, cache geometry.
+
+use pqc_cache::EvictionPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How the GPU block cache is configured.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in tokens (0 disables the cache).
+    pub capacity_tokens: usize,
+    /// Tokens per block (paper default 128; simulation scale 32).
+    pub block_size: usize,
+    /// Eviction policy.
+    pub lfu: bool,
+    /// Number of blocks written back per step (`k_cache`).
+    pub k_cache_blocks: usize,
+}
+
+impl CacheConfig {
+    /// Disabled cache.
+    pub fn disabled() -> Self {
+        Self { capacity_tokens: 0, block_size: 32, lfu: false, k_cache_blocks: 8 }
+    }
+
+    /// Simulation-scale default: 512 tokens, 32-token blocks, LFU,
+    /// `k_cache` = 8 (mirrors the paper's 4K tokens / 128-token blocks / 32).
+    pub fn sim_default() -> Self {
+        Self { capacity_tokens: 512, block_size: 32, lfu: true, k_cache_blocks: 8 }
+    }
+
+    /// The eviction policy as the cache crate's enum.
+    pub fn policy(&self) -> EvictionPolicy {
+        if self.lfu {
+            EvictionPolicy::Lfu
+        } else {
+            EvictionPolicy::Lru
+        }
+    }
+}
+
+/// Full engine/session configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Initial ("attention sink") tokens always kept on GPU.
+    pub n_init: usize,
+    /// Local sliding-window size always kept on GPU.
+    pub n_local: usize,
+    /// Fraction of the prompt participating in selective attention
+    /// (paper: 1/5 or 1/10).
+    pub token_ratio: f64,
+    /// Extra-communication budget as a fraction of the keys' memory
+    /// (paper: 1/128 for LongBench, 1/64 for InfiniteBench). Used to size
+    /// dropping methods' "(C)" compensation and SPARQ's `r`.
+    pub comm_fraction: f64,
+    /// SnapKV/H2O observation window captured during prefill.
+    pub obs_window: usize,
+    /// GPU block cache.
+    pub cache: CacheConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            n_init: 4,
+            n_local: 32,
+            token_ratio: 0.2,
+            comm_fraction: 1.0 / 32.0,
+            obs_window: 32,
+            cache: CacheConfig::sim_default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Total attended-token budget for a prompt of length `s`.
+    pub fn token_budget(&self, s: usize) -> usize {
+        ((self.token_ratio * s as f64).round() as usize).max(self.n_init + self.n_local)
+    }
+
+    /// Middle-region budget (total minus always-on segments).
+    pub fn middle_budget(&self, s: usize) -> usize {
+        self.token_budget(s).saturating_sub(self.n_init + self.n_local)
+    }
+
+    /// Extra middle tokens granted to dropping methods so that their memory
+    /// matches retrieval methods' tokens *plus* transferred data (§4.1.3's
+    /// "(C)" compensation). Transferred data is counted in key bytes; one
+    /// kept token costs a key and a value, hence the factor ½.
+    pub fn compensation_tokens(&self, s: usize) -> usize {
+        (self.comm_fraction * s as f64 / 2.0).round() as usize
+    }
+
+    /// Validate; panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.n_init > 0, "need at least one initial token");
+        assert!(self.n_local > 0, "need at least one local token");
+        assert!(
+            self.token_ratio > 0.0 && self.token_ratio <= 1.0,
+            "token_ratio must be in (0, 1]"
+        );
+        assert!(
+            self.comm_fraction >= 0.0 && self.comm_fraction <= 1.0,
+            "comm_fraction must be in [0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_scale_with_ratio() {
+        let cfg = SessionConfig { token_ratio: 0.2, ..Default::default() };
+        assert_eq!(cfg.token_budget(1000), 200);
+        assert_eq!(cfg.middle_budget(1000), 200 - 36);
+    }
+
+    #[test]
+    fn budget_never_below_fixed_segments() {
+        let cfg = SessionConfig { token_ratio: 0.01, ..Default::default() };
+        assert_eq!(cfg.token_budget(100), 36);
+        assert_eq!(cfg.middle_budget(100), 0);
+    }
+
+    #[test]
+    fn compensation_matches_formula() {
+        let cfg = SessionConfig { comm_fraction: 1.0 / 64.0, ..Default::default() };
+        assert_eq!(cfg.compensation_tokens(6400), 50);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        SessionConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "token_ratio")]
+    fn zero_ratio_panics() {
+        SessionConfig { token_ratio: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn cache_policy_mapping() {
+        assert_eq!(CacheConfig::sim_default().policy(), EvictionPolicy::Lfu);
+        assert_eq!(CacheConfig::disabled().policy(), EvictionPolicy::Lru);
+    }
+}

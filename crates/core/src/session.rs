@@ -1,0 +1,595 @@
+//! The selective-attention decode session — PQCache's engine.
+//!
+//! Wires together the transformer substrate, a [`SelectionPolicy`], the
+//! host-tier KV store, and the GPU block cache, implementing the paper's
+//! decode loop (Algorithm 2):
+//!
+//! 1. the new token's K/V is published; the oldest local token is evicted,
+//!    assigned PQ codes (policy `on_evict`), and offloaded to the host;
+//! 2. the policy selects relevant middle tokens for the current query;
+//! 3. selected tokens are served from the GPU block cache where resident,
+//!    fetched (and metered) from the host otherwise;
+//! 4. attention runs over initial ∪ selected-middle ∪ local tokens.
+
+use crate::config::SessionConfig;
+use pqc_cache::{top_blocks, BlockCache};
+use pqc_llm::{DecodeOutput, KvSource, Model, PrefillOptions, PrefillOutput};
+use pqc_memhier::{HostKvStore, TransferStats};
+use pqc_policies::{PolicyContext, PolicyInit, SelectionPolicy};
+use pqc_tensor::Matrix;
+use std::collections::VecDeque;
+
+/// The GPU-resident sliding window of one (layer, kv-head): recent tokens'
+/// (key, value) rows.
+type LocalWindow = VecDeque<(Vec<f32>, Vec<f32>)>;
+
+/// Minimum middle length before a lazily-initialised policy is trained.
+const LAZY_INIT_THRESHOLD: usize = 16;
+
+/// A running decode session with selective attention.
+pub struct SelectiveSession<'m> {
+    model: &'m Model,
+    cfg: SessionConfig,
+    policy: Box<dyn SelectionPolicy>,
+    policy_ready: bool,
+    /// Middle budget per step (already includes "(C)" compensation for
+    /// dropping policies).
+    budget_middle: usize,
+    /// GPU-resident initial segment, `[layer][kv_head]`.
+    init_k: Vec<Vec<Matrix>>,
+    init_v: Vec<Vec<Matrix>>,
+    /// GPU-resident local window, `[layer][kv_head]` of (key, value) pairs.
+    local: Vec<Vec<LocalWindow>>,
+    /// Host-tier middle store (metered).
+    store: HostKvStore,
+    cache: BlockCache,
+    /// Next absolute position to decode.
+    pos: usize,
+    steps: u64,
+    /// Non-overlappable policy communication accumulated (bytes).
+    policy_comm_bytes: u64,
+    /// Selected middle indices (absolute token ids) of the last step,
+    /// `[layer][kv_head]` — used by retrieval-accuracy instrumentation.
+    last_selected: Vec<Vec<Vec<usize>>>,
+}
+
+/// Outcome of session construction: the session plus the prefill output
+/// (whose logits give the first generated token).
+pub struct SessionStart<'m> {
+    /// The ready-to-decode session.
+    pub session: SelectiveSession<'m>,
+    /// First-token logits from prefill.
+    pub logits: Vec<f32>,
+}
+
+impl<'m> SelectiveSession<'m> {
+    /// Run prefill and construct a session.
+    ///
+    /// Panics if the prompt is shorter than `n_init + n_local` — selective
+    /// attention needs a non-trivial context (use full attention for short
+    /// prompts).
+    pub fn start(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        tokens: &[u32],
+    ) -> SessionStart<'m> {
+        cfg.validate();
+        let s = tokens.len();
+        assert!(
+            s > cfg.n_init + cfg.n_local,
+            "prompt ({s} tokens) must exceed n_init + n_local ({})",
+            cfg.n_init + cfg.n_local
+        );
+        let prefill = model.prefill(
+            tokens,
+            &PrefillOptions {
+                capture_window: Some(cfg.obs_window.min(s)),
+                ..Default::default()
+            },
+        );
+        Self::from_prefill(model, &mut policy, cfg, &prefill).into_start(policy, prefill.logits)
+    }
+
+    /// Construct from an existing prefill output (lets callers reuse one
+    /// prefill across several sessions — the benchmark suite does this).
+    pub fn start_from_prefill(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+    ) -> SessionStart<'m> {
+        cfg.validate();
+        Self::from_prefill(model, &mut policy, cfg, prefill)
+            .into_start(policy, prefill.logits.clone())
+    }
+
+    fn from_prefill(
+        model: &'m Model,
+        policy: &mut Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+    ) -> SessionParts<'m> {
+        let mcfg = *model.config();
+        let s = prefill.kv[0].len();
+        assert!(s > cfg.n_init + cfg.n_local, "prompt too short for segmentation");
+        let mid_lo = cfg.n_init;
+        let mid_hi = s - cfg.n_local;
+        let middle_len = mid_hi - mid_lo;
+
+        let mut store = HostKvStore::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let mut init_k = Vec::with_capacity(mcfg.n_layers);
+        let mut init_v = Vec::with_capacity(mcfg.n_layers);
+        let mut local = Vec::with_capacity(mcfg.n_layers);
+        let mut middle_keys = Vec::with_capacity(mcfg.n_layers);
+
+        for (l, lk) in prefill.kv.iter().enumerate() {
+            let mut ik = Vec::with_capacity(mcfg.n_kv_heads);
+            let mut iv = Vec::with_capacity(mcfg.n_kv_heads);
+            let mut ll = Vec::with_capacity(mcfg.n_kv_heads);
+            let mut mk = Vec::with_capacity(mcfg.n_kv_heads);
+            for h in 0..mcfg.n_kv_heads {
+                let keys = &lk.keys[h];
+                let values = &lk.values[h];
+                ik.push(keys.slice_rows(0, mid_lo));
+                iv.push(values.slice_rows(0, mid_lo));
+                let mid_k = keys.slice_rows(mid_lo, mid_hi);
+                let mid_v = values.slice_rows(mid_lo, mid_hi);
+                mk.push(mid_k.clone());
+                store.offload(l, h, mid_k, mid_v); // Step ❶: metered offload
+                let mut dq = VecDeque::with_capacity(cfg.n_local + 1);
+                for i in mid_hi..s {
+                    dq.push_back((keys.row(i).to_vec(), values.row(i).to_vec()));
+                }
+                ll.push(dq);
+            }
+            init_k.push(ik);
+            init_v.push(iv);
+            local.push(ll);
+            middle_keys.push(mk);
+        }
+
+        // Policy initialisation from the middle slice of the captures.
+        let slice_scores = |which: &dyn Fn(&pqc_llm::ScoreCapture) -> &Vec<f32>| {
+            prefill.captures.as_ref().map(|caps| {
+                caps.iter()
+                    .map(|layer| {
+                        layer
+                            .iter()
+                            .map(|c| which(c)[mid_lo..mid_hi].to_vec())
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let policy_ready = middle_len > 0;
+        if policy_ready {
+            let pinit = PolicyInit {
+                n_layers: mcfg.n_layers,
+                n_kv_heads: mcfg.n_kv_heads,
+                head_dim: mcfg.head_dim,
+                middle_keys,
+                accum_scores: slice_scores(&|c| &c.accum),
+                window_scores: slice_scores(&|c| &c.window_accum),
+            };
+            policy.init(&pinit);
+        }
+
+        let mut budget = cfg.middle_budget(s);
+        if policy.is_dropping() {
+            budget += cfg.compensation_tokens(s);
+        }
+
+        SessionParts {
+            model,
+            cfg,
+            policy_ready,
+            budget_middle: budget,
+            init_k,
+            init_v,
+            local,
+            store,
+            cache: BlockCache::new(cfg.cache.capacity_tokens, cfg.cache.block_size, cfg.cache.policy()),
+            pos: s,
+            n_layers: mcfg.n_layers,
+            n_kv_heads: mcfg.n_kv_heads,
+        }
+    }
+
+    /// One decode step: runs the model with this session as the KV source.
+    pub fn decode(&mut self, token: u32) -> DecodeOutput {
+        let pos = self.pos;
+        self.pos += 1;
+        self.steps += 1;
+        let model = self.model;
+        model.decode_step(token, pos, self)
+    }
+
+    /// Greedy generation: feeds the argmax of `first_logits`, then each
+    /// step's own argmax, for `steps` tokens.
+    pub fn generate(&mut self, first_logits: &[f32], steps: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(steps);
+        let mut next = pqc_tensor::argmax(first_logits) as u32;
+        for _ in 0..steps {
+            out.push(next);
+            let dec = self.decode(next);
+            next = dec.greedy();
+        }
+        out
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Host transfer statistics (offload + fetch).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.store.stats()
+    }
+
+    /// GPU cache statistics.
+    pub fn cache_stats(&self) -> pqc_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Non-overlappable policy communication so far, in bytes.
+    pub fn policy_comm_bytes(&self) -> u64 {
+        self.policy_comm_bytes
+    }
+
+    /// Decode steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Middle tokens currently on the host (layer 0 as representative).
+    pub fn middle_len(&self) -> usize {
+        self.store.len(0, 0)
+    }
+
+    /// Absolute token ids selected at the last step for `(layer, kv_head)`.
+    pub fn last_selected(&self, layer: usize, kv_head: usize) -> &[usize] {
+        &self.last_selected[layer][kv_head]
+    }
+
+    /// Current middle-region budget per step.
+    pub fn middle_budget(&self) -> usize {
+        self.budget_middle
+    }
+
+    /// Rebuild the policy's structures from the current middle region —
+    /// the paper's §5 recommendation for long outputs and multi-turn
+    /// conversations ("periodically reconstruct PQ to update the
+    /// information"). Dropping policies ignore it.
+    pub fn refresh_policy(&mut self) {
+        let mcfg = self.model.config();
+        let mid = self.store.len(0, 0);
+        if mid == 0 {
+            return;
+        }
+        let middle_keys: Vec<Vec<Matrix>> = (0..mcfg.n_layers)
+            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_host(l, h).clone()).collect())
+            .collect();
+        let zeros = vec![vec![vec![0.0f32; mid]; mcfg.n_kv_heads]; mcfg.n_layers];
+        let pinit = PolicyInit {
+            n_layers: mcfg.n_layers,
+            n_kv_heads: mcfg.n_kv_heads,
+            head_dim: mcfg.head_dim,
+            middle_keys,
+            accum_scores: Some(zeros.clone()),
+            window_scores: Some(zeros),
+        };
+        self.policy.refresh(&pinit);
+        self.policy_ready = true;
+    }
+
+    fn maybe_lazy_init(&mut self) {
+        if self.policy_ready {
+            return;
+        }
+        let mid = self.store.len(0, 0);
+        if mid < LAZY_INIT_THRESHOLD {
+            return;
+        }
+        let mcfg = self.model.config();
+        let middle_keys: Vec<Vec<Matrix>> = (0..mcfg.n_layers)
+            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_host(l, h).clone()).collect())
+            .collect();
+        let zeros = vec![vec![vec![0.0f32; mid]; mcfg.n_kv_heads]; mcfg.n_layers];
+        let pinit = PolicyInit {
+            n_layers: mcfg.n_layers,
+            n_kv_heads: mcfg.n_kv_heads,
+            head_dim: mcfg.head_dim,
+            middle_keys,
+            accum_scores: Some(zeros.clone()),
+            window_scores: Some(zeros),
+        };
+        self.policy.init(&pinit);
+        self.policy_ready = true;
+    }
+}
+
+/// Intermediate construction product (avoids a partially-initialised
+/// `SelectiveSession` while the policy is still borrowed).
+struct SessionParts<'m> {
+    model: &'m Model,
+    cfg: SessionConfig,
+    policy_ready: bool,
+    budget_middle: usize,
+    init_k: Vec<Vec<Matrix>>,
+    init_v: Vec<Vec<Matrix>>,
+    local: Vec<Vec<LocalWindow>>,
+    store: HostKvStore,
+    cache: BlockCache,
+    pos: usize,
+    n_layers: usize,
+    n_kv_heads: usize,
+}
+
+impl<'m> SessionParts<'m> {
+    fn into_start(self, policy: Box<dyn SelectionPolicy>, logits: Vec<f32>) -> SessionStart<'m> {
+        let last_selected = vec![vec![Vec::new(); self.n_kv_heads]; self.n_layers];
+        SessionStart {
+            session: SelectiveSession {
+                model: self.model,
+                cfg: self.cfg,
+                policy,
+                policy_ready: self.policy_ready,
+                budget_middle: self.budget_middle,
+                init_k: self.init_k,
+                init_v: self.init_v,
+                local: self.local,
+                store: self.store,
+                cache: self.cache,
+                pos: self.pos,
+                steps: 0,
+                policy_comm_bytes: 0,
+                last_selected,
+            },
+            logits,
+        }
+    }
+}
+
+impl KvSource for SelectiveSession<'_> {
+    fn publish(&mut self, layer: usize, kv_head: usize, key: &[f32], value: &[f32]) {
+        let window = &mut self.local[layer][kv_head];
+        window.push_back((key.to_vec(), value.to_vec()));
+        if window.len() > self.cfg.n_local {
+            let (ek, ev) = window.pop_front().expect("non-empty window");
+            let middle_idx = self.store.len(layer, kv_head);
+            self.store.append_token(layer, kv_head, &ek, &ev);
+            if self.policy_ready {
+                self.policy.on_evict(layer, kv_head, &ek, middle_idx);
+            } else if layer == self.init_k.len() - 1 && kv_head == self.init_k[0].len() - 1 {
+                self.maybe_lazy_init();
+            }
+        }
+    }
+
+    fn gather(&mut self, layer: usize, kv_head: usize, queries: &Matrix) -> (Matrix, Matrix) {
+        let middle_len = self.store.len(layer, kv_head);
+        let budget = self.budget_middle.min(middle_len);
+
+        let sel_rel: Vec<usize> = if self.policy_ready && budget > 0 {
+            let ctx = PolicyContext { layer, kv_head, queries, budget, middle_len };
+            let mut sel = self.policy.select(&ctx);
+            sel.retain(|&i| i < middle_len);
+            sel
+        } else {
+            Vec::new()
+        };
+
+        // Account the policy's non-overlappable proxy communication.
+        self.policy_comm_bytes += self.policy.comm_bytes_per_step(middle_len);
+
+        // Record absolute ids for instrumentation.
+        let abs: Vec<usize> = sel_rel.iter().map(|&i| i + self.cfg.n_init).collect();
+        self.last_selected[layer][kv_head] = abs;
+
+        // Assemble middle keys/values: dropping policies conceptually keep
+        // their set on GPU (no fetch); retrieval policies go through the
+        // cache and host store.
+        let (mid_k, mid_v) = if sel_rel.is_empty() {
+            (
+                Matrix::zeros(0, self.model.config().head_dim),
+                Matrix::zeros(0, self.model.config().head_dim),
+            )
+        } else if self.policy.is_dropping() {
+            (
+                self.store.keys_host(layer, kv_head).gather_rows(&sel_rel),
+                self.store.values_host(layer, kv_head).gather_rows(&sel_rel),
+            )
+        } else {
+            let lookup = self.cache.lookup(&sel_rel);
+            self.cache.update(&top_blocks(
+                &sel_rel,
+                self.cfg.cache.block_size,
+                self.cfg.cache.k_cache_blocks,
+            ));
+            // Hits are GPU-resident (unmetered); misses cross PCIe.
+            let mut ordered = lookup.hits.clone();
+            ordered.extend_from_slice(&lookup.misses);
+            ordered.sort_unstable();
+            let _ = if lookup.misses.is_empty() {
+                (Matrix::zeros(0, 0), Matrix::zeros(0, 0))
+            } else {
+                self.store.fetch(layer, kv_head, &lookup.misses)
+            };
+            (
+                self.store.keys_host(layer, kv_head).gather_rows(&ordered),
+                self.store.values_host(layer, kv_head).gather_rows(&ordered),
+            )
+        };
+
+        // init ∪ middle ∪ local, in absolute token order.
+        let window = &self.local[layer][kv_head];
+        let dh = self.model.config().head_dim;
+        let mut keys = Matrix::zeros(0, dh);
+        let mut values = Matrix::zeros(0, dh);
+        keys = keys.vstack(&self.init_k[layer][kv_head]).vstack(&mid_k);
+        values = values.vstack(&self.init_v[layer][kv_head]).vstack(&mid_v);
+        let mut local_k = Matrix::zeros(window.len(), dh);
+        let mut local_v = Matrix::zeros(window.len(), dh);
+        for (i, (k, v)) in window.iter().enumerate() {
+            local_k.copy_row_from(i, k);
+            local_v.copy_row_from(i, v);
+        }
+        (keys.vstack(&local_k), values.vstack(&local_v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_llm::LlmConfig;
+    use pqc_policies::{FullAttentionPolicy, PqCachePolicy, StreamingLlmPolicy};
+
+    fn prompt(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = pqc_tensor::Rng64::new(seed);
+        (0..n).map(|_| rng.below(200) as u32).collect()
+    }
+
+    fn cfg() -> SessionConfig {
+        SessionConfig {
+            n_init: 2,
+            n_local: 8,
+            token_ratio: 0.25,
+            comm_fraction: 1.0 / 16.0,
+            obs_window: 8,
+            cache: crate::config::CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+        }
+    }
+
+    #[test]
+    fn full_policy_session_matches_reference_generation() {
+        // The DESIGN.md invariant: budget = everything reproduces full
+        // attention exactly (same assembly order as FullKvSource).
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(48, 1);
+        let reference = model.generate_full(&toks, 10);
+
+        let mut c = cfg();
+        c.token_ratio = 1.0;
+        let start = SelectiveSession::start(&model, Box::new(FullAttentionPolicy::default()), c, &toks);
+        let mut session = start.session;
+        let got = session.generate(&start.logits, 10);
+        assert_eq!(reference, got);
+    }
+
+    #[test]
+    fn streaming_session_diverges_from_reference() {
+        // Dropping the middle region must change the computed logits on a
+        // long prompt (if it didn't, selective attention would be vacuous).
+        // Greedy token streams can coincide (random-weight models collapse
+        // to fixed points), so compare teacher-forced logits directly.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(96, 2);
+        let pre = model.prefill(&toks, &pqc_llm::PrefillOptions::default());
+        let mut full_src = pqc_llm::FullKvSource::from_prefill(&pre);
+        let full_dec = model.decode_step(7, 96, &mut full_src);
+
+        let start = SelectiveSession::start(&model, Box::new(StreamingLlmPolicy), cfg(), &toks);
+        let mut session = start.session;
+        let stream_dec = session.decode(7);
+
+        let max_diff = full_dec
+            .logits
+            .iter()
+            .zip(stream_dec.logits.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff > 1e-3, "dropping all middle tokens changed nothing: {max_diff}");
+    }
+
+    #[test]
+    fn pqcache_session_generates_and_meters() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 3);
+        let start =
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), cfg(), &toks);
+        let mut session = start.session;
+        let out = session.generate(&start.logits, 8);
+        assert_eq!(out.len(), 8);
+        let ts = session.transfer_stats();
+        assert!(ts.d2h_bytes > 0, "prefill offload must be metered");
+        assert!(ts.h2d_bytes > 0, "top-k fetches must be metered");
+        // PQCache reports zero non-overlappable proxy comm.
+        assert_eq!(session.policy_comm_bytes(), 0);
+        assert!(session.cache_stats().token_lookups > 0);
+    }
+
+    #[test]
+    fn eviction_grows_middle_region() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(60, 4);
+        let start =
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), cfg(), &toks);
+        let mut session = start.session;
+        let before = session.middle_len();
+        let _ = session.generate(&start.logits, 5);
+        // Each decode step evicts one local token into the middle.
+        assert_eq!(session.middle_len(), before + 5);
+    }
+
+    #[test]
+    fn selected_ids_are_middle_absolute() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(64, 5);
+        let c = cfg();
+        let start =
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), c, &toks);
+        let mut session = start.session;
+        let _ = session.generate(&start.logits, 2);
+        let sel = session.last_selected(0, 0);
+        assert!(!sel.is_empty());
+        // Absolute ids start at n_init and stay below the local window.
+        assert!(sel.iter().all(|&i| i >= c.n_init));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn short_prompt_panics() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(8, 6);
+        let _ = SelectiveSession::start(&model, Box::new(StreamingLlmPolicy), cfg(), &toks);
+    }
+
+    #[test]
+    fn refresh_policy_keeps_session_consistent() {
+        // Long-output scenario (§5): generate, refresh (codebooks retrain
+        // over prefill + generated middle tokens), keep generating; the
+        // refreshed policy must retrieve a token that was *generated*, which
+        // the stale codebook only covers via nearest-centroid assignment.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 11);
+        let start =
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), cfg(), &toks);
+        let mut session = start.session;
+        let _ = session.generate(&start.logits, 12);
+        let mid_before = session.middle_len();
+        session.refresh_policy();
+        let out = session.generate(&[0.0; 256], 6);
+        assert_eq!(out.len(), 6);
+        assert_eq!(session.middle_len(), mid_before + 6);
+        // Selections remain within bounds after the refresh.
+        let sel = session.last_selected(0, 0);
+        assert!(sel.iter().all(|&i| i >= 2));
+    }
+
+    #[test]
+    fn dropping_budget_gets_compensation() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(64, 7);
+        let c = cfg();
+        let drop_start =
+            SelectiveSession::start(&model, Box::new(StreamingLlmPolicy), c, &toks);
+        let retr_start =
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), c, &toks);
+        assert_eq!(
+            drop_start.session.middle_budget(),
+            retr_start.session.middle_budget() + c.compensation_tokens(64)
+        );
+    }
+}

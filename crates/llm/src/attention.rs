@@ -1,0 +1,307 @@
+//! Attention kernels: causal prefill attention (O(s) memory, row-wise
+//! softmax), selective decode attention, sparse-pattern masking, and score
+//! capture for the policies that learn from prefill attention (H2O, SnapKV).
+
+use pqc_tensor::{dot, softmax_inplace, Matrix};
+
+/// Restricts which keys each prefill query row may attend to.
+///
+/// `Dense` is ordinary causal attention. `AShape` is the MInference-style
+/// pattern used by Table 5: every query sees the first `init` tokens plus a
+/// `local`-wide sliding window ("Λ-shape": vertical stripe + diagonal slash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillPattern {
+    /// Full causal attention.
+    Dense,
+    /// Sparse Λ-shaped attention.
+    AShape {
+        /// Number of initial tokens every query attends to.
+        init: usize,
+        /// Sliding-window width (keys `j` with `i - j < local`).
+        local: usize,
+    },
+}
+
+impl PrefillPattern {
+    /// Whether query row `i` may attend to key `j` (`j <= i` presumed).
+    #[inline]
+    pub fn allows(&self, i: usize, j: usize) -> bool {
+        debug_assert!(j <= i);
+        match *self {
+            PrefillPattern::Dense => true,
+            PrefillPattern::AShape { init, local } => j < init || i - j < local,
+        }
+    }
+
+    /// Number of keys query row `i` attends to.
+    pub fn keys_for_row(&self, i: usize) -> usize {
+        match *self {
+            PrefillPattern::Dense => i + 1,
+            PrefillPattern::AShape { init, local } => {
+                if i < init + local {
+                    i + 1 // init and local regions cover the whole prefix
+                } else {
+                    init + local
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates attention-probability statistics during prefill for one
+/// (layer, kv-head). Used by H2O (full accumulation), SnapKV/PyramidKV
+/// (observation-window accumulation), and the Fig. 6 distribution analysis
+/// (sampled raw rows).
+#[derive(Debug, Clone)]
+pub struct ScoreCapture {
+    /// Sum over all query rows of softmax probabilities per key (H2O).
+    pub accum: Vec<f32>,
+    /// Sum over the last `window` query rows only (SnapKV).
+    pub window_accum: Vec<f32>,
+    /// Observation-window width.
+    pub window: usize,
+    /// Query rows whose full probability vector should be kept (Fig. 6).
+    pub sample_rows: Vec<usize>,
+    /// Captured `(row, probabilities)` pairs.
+    pub samples: Vec<(usize, Vec<f32>)>,
+}
+
+impl ScoreCapture {
+    /// A capture sized for `s` tokens with a SnapKV window of `window`.
+    pub fn new(s: usize, window: usize) -> Self {
+        Self {
+            accum: vec![0.0; s],
+            window_accum: vec![0.0; s],
+            window,
+            sample_rows: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, row: usize, probs: &[f32], s_total: usize) {
+        for (j, &p) in probs.iter().enumerate() {
+            self.accum[j] += p;
+        }
+        if row + self.window >= s_total {
+            for (j, &p) in probs.iter().enumerate() {
+                self.window_accum[j] += p;
+            }
+        }
+        if self.sample_rows.contains(&row) {
+            self.samples.push((row, probs.to_vec()));
+        }
+    }
+}
+
+/// Causal single-(kv)head prefill attention.
+///
+/// `q` is `(s, d_h)` for one query head; `k`/`v` are `(s, d_h)` for its kv
+/// head (already RoPE'd). Row-wise: materialise the score vector for query
+/// `i` over keys `0..=i`, softmax, weighted-sum values. Memory O(s), time
+/// O(s²·d_h) — the FlashAttention trade the paper assumes.
+pub fn causal_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    mut capture: Option<&mut ScoreCapture>,
+) -> Matrix {
+    let (s, dh) = q.shape();
+    assert_eq!(k.shape(), (s, dh));
+    assert_eq!(v.shape(), (s, dh));
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut out = Matrix::zeros(s, dh);
+    let mut scores: Vec<f32> = Vec::with_capacity(s);
+    let mut allowed: Vec<usize> = Vec::with_capacity(s);
+
+    for i in 0..s {
+        scores.clear();
+        allowed.clear();
+        let qi = q.row(i);
+        for j in 0..=i {
+            if pattern.allows(i, j) {
+                allowed.push(j);
+                scores.push(dot(qi, k.row(j)) * scale);
+            }
+        }
+        softmax_inplace(&mut scores);
+        let orow = out.row_mut(i);
+        for (&j, &p) in allowed.iter().zip(scores.iter()) {
+            pqc_tensor::axpy(orow, v.row(j), p);
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            // Scatter the sparse probability vector back to dense indexing.
+            if allowed.len() == i + 1 {
+                cap.record(i, &scores, s);
+            } else {
+                let mut dense = vec![0.0f32; i + 1];
+                for (&j, &p) in allowed.iter().zip(scores.iter()) {
+                    dense[j] = p;
+                }
+                cap.record(i, &dense, s);
+            }
+        }
+    }
+    out
+}
+
+/// Decode-time attention of a single query vector over an arbitrary set of
+/// gathered keys/values (the selective-attention kernel, Step ❻).
+pub fn attend_selected(query: &[f32], keys: &Matrix, values: &Matrix) -> Vec<f32> {
+    let dh = query.len();
+    assert_eq!(keys.cols(), dh);
+    assert_eq!(keys.shape(), values.shape());
+    let n = keys.rows();
+    assert!(n > 0, "attend_selected over empty set");
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut scores: Vec<f32> = Vec::with_capacity(n);
+    for j in 0..n {
+        scores.push(dot(query, keys.row(j)) * scale);
+    }
+    softmax_inplace(&mut scores);
+    let mut out = vec![0.0f32; dh];
+    for (j, &p) in scores.iter().enumerate() {
+        pqc_tensor::axpy(&mut out, values.row(j), p);
+    }
+    out
+}
+
+/// Exact attention scores (pre-softmax logits) of a query against all keys —
+/// the Oracle's scoring primitive.
+pub fn exact_logits(query: &[f32], keys: &Matrix) -> Vec<f32> {
+    let scale = 1.0 / (query.len() as f32).sqrt();
+    (0..keys.rows()).map(|j| dot(query, keys.row(j)) * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_tensor::Rng64;
+
+    fn rand_mats(s: usize, dh: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = Rng64::new(seed);
+        (
+            Matrix::randn(s, dh, 1.0, &mut rng),
+            Matrix::randn(s, dh, 1.0, &mut rng),
+            Matrix::randn(s, dh, 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn first_row_copies_first_value() {
+        let (q, k, v) = rand_mats(5, 8, 1);
+        let out = causal_attention(&q, &k, &v, PrefillPattern::Dense, None);
+        // Query 0 can only attend to key 0: softmax over one element = 1.
+        for (a, b) in out.row(0).iter().zip(v.row(0).iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attend_selected_full_set_matches_last_prefill_row() {
+        let (q, k, v) = rand_mats(12, 8, 2);
+        let out = causal_attention(&q, &k, &v, PrefillPattern::Dense, None);
+        let dec = attend_selected(q.row(11), &k, &v);
+        for (a, b) in out.row(11).iter().zip(dec.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn capture_accumulates_probability_mass() {
+        let (q, k, v) = rand_mats(10, 8, 3);
+        let mut cap = ScoreCapture::new(10, 3);
+        let _ = causal_attention(&q, &k, &v, PrefillPattern::Dense, Some(&mut cap));
+        // Total accumulated mass = number of query rows (each row sums to 1).
+        let total: f32 = cap.accum.iter().sum();
+        assert!((total - 10.0).abs() < 1e-4, "total {total}");
+        // Window mass = window rows.
+        let wtotal: f32 = cap.window_accum.iter().sum();
+        assert!((wtotal - 3.0).abs() < 1e-4, "wtotal {wtotal}");
+    }
+
+    #[test]
+    fn capture_samples_requested_rows() {
+        let (q, k, v) = rand_mats(8, 4, 4);
+        let mut cap = ScoreCapture::new(8, 2);
+        cap.sample_rows = vec![3, 7];
+        let _ = causal_attention(&q, &k, &v, PrefillPattern::Dense, Some(&mut cap));
+        assert_eq!(cap.samples.len(), 2);
+        assert_eq!(cap.samples[0].0, 3);
+        assert_eq!(cap.samples[0].1.len(), 4);
+        assert_eq!(cap.samples[1].1.len(), 8);
+    }
+
+    #[test]
+    fn ashape_pattern_masks_middle() {
+        let p = PrefillPattern::AShape { init: 2, local: 3 };
+        // Row 10: allowed j in {0,1} ∪ {8,9,10}.
+        assert!(p.allows(10, 0));
+        assert!(p.allows(10, 1));
+        assert!(!p.allows(10, 2));
+        assert!(!p.allows(10, 7));
+        assert!(p.allows(10, 8));
+        assert!(p.allows(10, 10));
+    }
+
+    #[test]
+    fn ashape_equals_dense_for_short_rows() {
+        let (q, k, v) = rand_mats(6, 8, 5);
+        let dense = causal_attention(&q, &k, &v, PrefillPattern::Dense, None);
+        // init+local cover everything when i < init + local.
+        let sparse = causal_attention(
+            &q,
+            &k,
+            &v,
+            PrefillPattern::AShape { init: 3, local: 3 },
+            None,
+        );
+        assert!(dense.max_abs_diff(&sparse) < 1e-6);
+    }
+
+    #[test]
+    fn ashape_differs_from_dense_for_long_rows() {
+        let (q, k, v) = rand_mats(32, 8, 6);
+        let dense = causal_attention(&q, &k, &v, PrefillPattern::Dense, None);
+        let sparse = causal_attention(
+            &q,
+            &k,
+            &v,
+            PrefillPattern::AShape { init: 2, local: 4 },
+            None,
+        );
+        assert!(dense.max_abs_diff(&sparse) > 1e-4);
+    }
+
+    #[test]
+    fn keys_for_row_matches_allows() {
+        for pattern in [
+            PrefillPattern::Dense,
+            PrefillPattern::AShape { init: 2, local: 3 },
+            PrefillPattern::AShape { init: 0, local: 1 },
+            PrefillPattern::AShape { init: 5, local: 5 },
+        ] {
+            for i in 0..40 {
+                let counted = (0..=i).filter(|&j| pattern.allows(i, j)).count();
+                assert_eq!(pattern.keys_for_row(i), counted, "{pattern:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_logits_scaled_dots() {
+        let (q, k, _) = rand_mats(4, 16, 7);
+        let logits = exact_logits(q.row(2), &k);
+        assert_eq!(logits.len(), 4);
+        let expect = dot(q.row(2), k.row(1)) / 4.0;
+        assert!((logits[1] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn attend_selected_empty_panics() {
+        let k = Matrix::zeros(0, 4);
+        let v = Matrix::zeros(0, 4);
+        let _ = attend_selected(&[0.0; 4], &k, &v);
+    }
+}

@@ -1,0 +1,148 @@
+//! Model configuration and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and seeding of the simulated decoder-only transformer.
+///
+/// The presets are *simulation-scale* stand-ins for the paper's models: the
+/// layer/head structure (GQA ratio, head count, RoPE) matches, but hidden
+/// sizes are shrunk so that the full evaluation suite runs on a laptop in
+/// minutes. EXPERIMENTS.md documents the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlmConfig {
+    /// Transformer layer count.
+    pub n_layers: usize,
+    /// Hidden dimension `d`.
+    pub d_model: usize,
+    /// Query head count `h`.
+    pub n_heads: usize,
+    /// Key/value head count `h_kv` (GQA; must divide `n_heads`).
+    pub n_kv_heads: usize,
+    /// Per-head dimension `d_h` (`d = h · d_h`).
+    pub head_dim: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// Vocabulary size of the synthetic tokenizer.
+    pub vocab_size: usize,
+    /// RoPE base frequency.
+    pub rope_theta: f32,
+    /// Weight-generation seed.
+    pub seed: u64,
+}
+
+impl LlmConfig {
+    /// Minimal config for unit tests (fast prefill at s ≤ 256).
+    pub fn tiny() -> Self {
+        Self {
+            n_layers: 2,
+            d_model: 64,
+            n_heads: 4,
+            n_kv_heads: 2,
+            head_dim: 16,
+            ffn_dim: 128,
+            vocab_size: 256,
+            rope_theta: 100_000.0,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The default evaluation model ("8B-sim"): GQA 2:1, 8 layers.
+    pub fn small() -> Self {
+        Self {
+            n_layers: 8,
+            d_model: 256,
+            n_heads: 8,
+            n_kv_heads: 4,
+            head_dim: 32,
+            ffn_dim: 512,
+            vocab_size: 1024,
+            rope_theta: 500_000.0,
+            seed: 0x005e_ed8b,
+        }
+    }
+
+    /// Scaled-up model for the Table 6 experiment ("70B-sim"): more layers
+    /// and query heads, same KV-head count — mirroring how Llama keeps
+    /// `h_kv` fixed while scaling (paper §4.2.5, footnote 3).
+    pub fn large() -> Self {
+        Self {
+            n_layers: 16,
+            d_model: 512,
+            n_heads: 16,
+            n_kv_heads: 4,
+            head_dim: 32,
+            ffn_dim: 1024,
+            vocab_size: 1024,
+            rope_theta: 500_000.0,
+            seed: 0x05ee_d70b,
+        }
+    }
+
+    /// A second "different model" config standing in for Mistral-7B
+    /// (Appendix A): same scale as [`LlmConfig::small`] but different seed
+    /// and FFN width, so its weights and behaviour are genuinely distinct.
+    pub fn mistral_sim() -> Self {
+        Self {
+            n_layers: 8,
+            d_model: 256,
+            n_heads: 8,
+            n_kv_heads: 4,
+            head_dim: 32,
+            ffn_dim: 640,
+            vocab_size: 1024,
+            rope_theta: 1_000_000.0,
+            seed: 0x05ee_d7b2,
+        }
+    }
+
+    /// GQA group size (`h / h_kv`).
+    pub fn group_size(&self) -> usize {
+        self.n_heads / self.n_kv_heads
+    }
+
+    /// Validate internal consistency; panics with a clear message otherwise.
+    pub fn validate(&self) {
+        assert!(self.n_layers > 0, "n_layers must be positive");
+        assert_eq!(self.d_model, self.n_heads * self.head_dim, "d != h*dh");
+        assert!(self.n_kv_heads > 0 && self.n_heads.is_multiple_of(self.n_kv_heads), "h_kv must divide h");
+        assert!(self.vocab_size > 1, "vocab too small");
+        assert!(self.ffn_dim > 0, "ffn_dim must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [LlmConfig::tiny(), LlmConfig::small(), LlmConfig::large(), LlmConfig::mistral_sim()] {
+            cfg.validate();
+            assert!(cfg.group_size() >= 1);
+        }
+    }
+
+    #[test]
+    fn gqa_grouping() {
+        let cfg = LlmConfig::small();
+        assert_eq!(cfg.group_size(), 2);
+        let t = LlmConfig::tiny();
+        assert_eq!(t.group_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "d != h*dh")]
+    fn inconsistent_dims_panic() {
+        let mut cfg = LlmConfig::tiny();
+        cfg.d_model = 100;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "h_kv must divide h")]
+    fn bad_gqa_panics() {
+        let mut cfg = LlmConfig::tiny();
+        cfg.n_kv_heads = 3;
+        cfg.validate();
+    }
+}

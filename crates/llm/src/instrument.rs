@@ -1,0 +1,154 @@
+//! Attention-distribution instrumentation (paper §3.1, Fig. 6).
+//!
+//! The paper motivates selective attention by showing attention scores
+//! follow power-law-like distributions: a handful of tokens carry most of
+//! the mass. These helpers turn captured probability rows into the summary
+//! statistics the Fig. 6 reproduction prints: sorted mass curves, tail
+//! exponents, Gini concentration, and top-p coverage.
+
+use pqc_tensor::stats::{gini, powerlaw_slope};
+
+/// Summary of one attention-probability row.
+#[derive(Debug, Clone)]
+pub struct DistributionSummary {
+    /// (layer, kv head, query row) provenance.
+    pub layer: usize,
+    /// KV head index.
+    pub kv_head: usize,
+    /// Query row position.
+    pub row: usize,
+    /// Number of keys in the row.
+    pub n_keys: usize,
+    /// Fitted log-log rank slope (None when too few positive entries).
+    pub tail_slope: Option<f64>,
+    /// Gini concentration of the mass.
+    pub gini: f64,
+    /// Fraction of keys needed to cover 50% of the mass.
+    pub keys_for_half_mass: f64,
+    /// Fraction of keys needed to cover 90% of the mass.
+    pub keys_for_90_mass: f64,
+}
+
+/// Fraction of entries (sorted descending) needed to reach `target` total
+/// probability mass.
+pub fn coverage_fraction(probs: &[f32], target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&target));
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for (i, p) in sorted.iter().enumerate() {
+        acc += p;
+        if acc >= target * total {
+            return (i + 1) as f64 / sorted.len() as f64;
+        }
+    }
+    1.0
+}
+
+/// Summarise one captured probability row.
+pub fn summarize_row(layer: usize, kv_head: usize, row: usize, probs: &[f32]) -> DistributionSummary {
+    let as64: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
+    DistributionSummary {
+        layer,
+        kv_head,
+        row,
+        n_keys: probs.len(),
+        tail_slope: powerlaw_slope(&as64),
+        gini: gini(&as64),
+        keys_for_half_mass: coverage_fraction(probs, 0.5),
+        keys_for_90_mass: coverage_fraction(probs, 0.9),
+    }
+}
+
+/// The sorted (descending) probability curve, optionally subsampled to at
+/// most `max_points` points for plotting.
+pub fn sorted_curve(probs: &[f32], max_points: usize) -> Vec<(usize, f32)> {
+    let mut sorted: Vec<f32> = probs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let n = sorted.len();
+    if n <= max_points || max_points == 0 {
+        return sorted.into_iter().enumerate().map(|(i, p)| (i + 1, p)).collect();
+    }
+    let step = n as f64 / max_points as f64;
+    (0..max_points)
+        .map(|i| {
+            let idx = ((i as f64 * step) as usize).min(n - 1);
+            (idx + 1, sorted[idx])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_row(n: usize) -> Vec<f32> {
+        let raw: Vec<f32> = (1..=n).map(|r| 1.0 / r as f32).collect();
+        let total: f32 = raw.iter().sum();
+        raw.into_iter().map(|v| v / total).collect()
+    }
+
+    #[test]
+    fn coverage_uniform_is_proportional() {
+        let probs = vec![0.1f32; 10];
+        assert!((coverage_fraction(&probs, 0.5) - 0.5).abs() < 1e-9);
+        assert!((coverage_fraction(&probs, 0.9) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_concentrated_is_small() {
+        let mut probs = vec![0.001f32; 100];
+        probs[42] = 0.9;
+        assert!(coverage_fraction(&probs, 0.5) <= 0.02);
+    }
+
+    #[test]
+    fn zipf_summary_is_heavy_tailed() {
+        let row = zipf_row(500);
+        let s = summarize_row(0, 0, 499, &row);
+        assert!(s.gini > 0.5, "gini {}", s.gini);
+        assert!(s.keys_for_half_mass < 0.1, "half {}", s.keys_for_half_mass);
+        let slope = s.tail_slope.expect("slope");
+        assert!(slope < -0.8, "slope {slope}");
+    }
+
+    #[test]
+    fn uniform_summary_is_flat() {
+        let row = vec![0.002f32; 500];
+        let s = summarize_row(0, 0, 0, &row);
+        assert!(s.gini < 0.01);
+        assert!(s.keys_for_half_mass > 0.45);
+    }
+
+    #[test]
+    fn sorted_curve_subsamples() {
+        let row = zipf_row(1000);
+        let curve = sorted_curve(&row, 50);
+        assert_eq!(curve.len(), 50);
+        // Monotone non-increasing probabilities.
+        for w in curve.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(curve[0].0, 1);
+    }
+
+    #[test]
+    fn sorted_curve_short_input_passthrough() {
+        let row = vec![0.5f32, 0.3, 0.2];
+        let curve = sorted_curve(&row, 10);
+        assert_eq!(curve, vec![(1, 0.5), (2, 0.3), (3, 0.2)]);
+    }
+
+    #[test]
+    fn coverage_empty_and_zero() {
+        assert_eq!(coverage_fraction(&[], 0.5), 0.0);
+        assert_eq!(coverage_fraction(&[0.0, 0.0], 0.5), 1.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! The decoder-only transformer: prefill and decode forward passes.
+//!
+//! The decode pass is parameterised over a [`KvSource`] — the hook through
+//! which PQCache (and every baseline policy) injects *which* key-value pairs
+//! each layer/kv-head attends to. A [`FullKvSource`] reference implementation
+//! reproduces exact full attention; the invariant "selective attention with
+//! an everything-budget equals full attention bit-for-bit" is tested against
+//! it.
+
+use crate::attention::{attend_selected, causal_attention, PrefillPattern, ScoreCapture};
+use crate::config::LlmConfig;
+use crate::rope::{apply_rope, apply_rope_rows};
+use crate::weights::{rms_norm, rms_norm_rows, ModelWeights};
+use pqc_tensor::{argmax, Matrix};
+
+/// Per-layer KVCache: one `(s, d_h)` key and value matrix per kv head.
+/// Keys are stored post-RoPE, exactly as a production KVCache would.
+#[derive(Debug, Clone)]
+pub struct LayerKv {
+    /// Keys per kv head.
+    pub keys: Vec<Matrix>,
+    /// Values per kv head.
+    pub values: Vec<Matrix>,
+}
+
+impl LayerKv {
+    /// Token count stored (same across heads).
+    pub fn len(&self) -> usize {
+        self.keys.first().map_or(0, |k| k.rows())
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Options controlling the prefill pass.
+#[derive(Debug, Clone)]
+pub struct PrefillOptions {
+    /// Attention pattern (dense, or MInference-style Λ-shape for Table 5).
+    pub pattern: PrefillPattern,
+    /// When `Some(w)`, capture H2O/SnapKV score statistics with observation
+    /// window `w`.
+    pub capture_window: Option<usize>,
+    /// Query rows whose full attention distribution to record (Fig. 6).
+    pub sample_rows: Vec<usize>,
+    /// Parallelise across kv heads with scoped threads.
+    pub parallel: bool,
+}
+
+impl Default for PrefillOptions {
+    fn default() -> Self {
+        Self {
+            pattern: PrefillPattern::Dense,
+            capture_window: None,
+            sample_rows: Vec::new(),
+            parallel: true,
+        }
+    }
+}
+
+/// Everything the prefill pass produces.
+#[derive(Debug, Clone)]
+pub struct PrefillOutput {
+    /// Per-layer KVCache.
+    pub kv: Vec<LayerKv>,
+    /// Final-layer hidden state of the last token.
+    pub last_hidden: Vec<f32>,
+    /// Classifier logits of the last token.
+    pub logits: Vec<f32>,
+    /// Captured attention statistics, `[layer][kv_head]`, when requested.
+    pub captures: Option<Vec<Vec<ScoreCapture>>>,
+}
+
+/// Decode-phase attention data provider.
+///
+/// The engine calls `publish` with the new token's roped key/value *before*
+/// `gather` (Algorithm 2 lines 6-7: the fresh token joins the local window
+/// and participates in its own attention).
+pub trait KvSource {
+    /// Record the new token's key/value for `(layer, kv_head)`.
+    fn publish(&mut self, layer: usize, kv_head: usize, key: &[f32], value: &[f32]);
+
+    /// Return the `(keys, values)` the group of queries should attend over.
+    /// `queries` has one row per query head in the kv head's GQA group.
+    fn gather(&mut self, layer: usize, kv_head: usize, queries: &Matrix) -> (Matrix, Matrix);
+}
+
+/// Output of one decode step.
+#[derive(Debug, Clone)]
+pub struct DecodeOutput {
+    /// Classifier logits for the next-token distribution.
+    pub logits: Vec<f32>,
+    /// Final-layer hidden state.
+    pub hidden: Vec<f32>,
+}
+
+impl DecodeOutput {
+    /// Greedy argmax token.
+    pub fn greedy(&self) -> u32 {
+        argmax(&self.logits) as u32
+    }
+}
+
+/// The transformer model.
+///
+/// ```
+/// use pqc_llm::{LlmConfig, Model, PrefillOptions};
+///
+/// let model = Model::new(LlmConfig::tiny());
+/// let tokens: Vec<u32> = (0..32).map(|i| i % 100).collect();
+/// let out = model.prefill(&tokens, &PrefillOptions::default());
+/// assert_eq!(out.kv.len(), model.config().n_layers);
+/// assert_eq!(out.kv[0].keys[0].shape(), (32, model.config().head_dim));
+/// assert_eq!(out.logits.len(), model.config().vocab_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    cfg: LlmConfig,
+    weights: ModelWeights,
+}
+
+impl Model {
+    /// Instantiate with deterministic weights from `cfg.seed`.
+    pub fn new(cfg: LlmConfig) -> Self {
+        cfg.validate();
+        let weights = ModelWeights::generate(&cfg);
+        Self { cfg, weights }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &LlmConfig {
+        &self.cfg
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.weights.param_count()
+    }
+
+    /// Embed a token sequence into `(s, d)`.
+    pub fn embed(&self, tokens: &[u32]) -> Matrix {
+        let d = self.cfg.d_model;
+        let mut x = Matrix::zeros(tokens.len(), d);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!((t as usize) < self.cfg.vocab_size, "token {t} out of vocab");
+            x.copy_row_from(i, self.weights.embedding.row(t as usize));
+        }
+        x
+    }
+
+    /// Tied classifier: logits of a hidden state.
+    pub fn logits(&self, hidden: &[f32]) -> Vec<f32> {
+        let normed = rms_norm(hidden);
+        let v = self.cfg.vocab_size;
+        let mut out = Vec::with_capacity(v);
+        for t in 0..v {
+            out.push(pqc_tensor::dot(&normed, self.weights.embedding.row(t)));
+        }
+        out
+    }
+
+    /// Full prefill over `tokens`. Computes every layer's KVCache, the last
+    /// token's hidden state and logits, and optional attention captures.
+    pub fn prefill(&self, tokens: &[u32], opts: &PrefillOptions) -> PrefillOutput {
+        assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let cfg = &self.cfg;
+        let s = tokens.len();
+        let dh = cfg.head_dim;
+        let group = cfg.group_size();
+        let mut x = self.embed(tokens);
+        let mut kv_out: Vec<LayerKv> = Vec::with_capacity(cfg.n_layers);
+        let mut captures: Option<Vec<Vec<ScoreCapture>>> =
+            opts.capture_window.map(|_| Vec::with_capacity(cfg.n_layers));
+
+        for l in 0..cfg.n_layers {
+            let w = &self.weights.layers[l];
+            let xn = rms_norm_rows(&x);
+            let q_all = xn.matmul(&w.wq); // (s, h*dh)
+            let k_all = xn.matmul(&w.wk); // (s, hkv*dh)
+            let v_all = xn.matmul(&w.wv);
+
+            // Split per head, apply RoPE.
+            let mut q_heads: Vec<Matrix> = (0..cfg.n_heads)
+                .map(|h| slice_head(&q_all, h, dh))
+                .collect();
+            let mut k_heads: Vec<Matrix> = (0..cfg.n_kv_heads)
+                .map(|h| slice_head(&k_all, h, dh))
+                .collect();
+            let v_heads: Vec<Matrix> = (0..cfg.n_kv_heads)
+                .map(|h| slice_head(&v_all, h, dh))
+                .collect();
+            for q in q_heads.iter_mut() {
+                apply_rope_rows(q, 0, cfg.rope_theta);
+            }
+            for k in k_heads.iter_mut() {
+                apply_rope_rows(k, 0, cfg.rope_theta);
+            }
+
+            // Attention per kv head (each serves `group` query heads).
+            let jobs: Vec<usize> = (0..cfg.n_kv_heads).collect();
+            let run_head = |kvh: usize| -> (Vec<Matrix>, Option<ScoreCapture>) {
+                let mut cap = opts.capture_window.map(|win| {
+                    let mut c = ScoreCapture::new(s, win.min(s));
+                    c.sample_rows = opts.sample_rows.clone();
+                    c
+                });
+                let mut outs = Vec::with_capacity(group);
+                for g in 0..group {
+                    let qh = &q_heads[kvh * group + g];
+                    outs.push(causal_attention(
+                        qh,
+                        &k_heads[kvh],
+                        &v_heads[kvh],
+                        opts.pattern,
+                        cap.as_mut(),
+                    ));
+                }
+                (outs, cap)
+            };
+
+            let results: Vec<(Vec<Matrix>, Option<ScoreCapture>)> = if opts.parallel
+                && cfg.n_kv_heads > 1
+            {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs
+                        .iter()
+                        .map(|&kvh| scope.spawn(move |_| run_head(kvh)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("head worker")).collect()
+                })
+                .expect("attention scope")
+            } else {
+                jobs.iter().map(|&kvh| run_head(kvh)).collect()
+            };
+
+            // Concatenate head outputs and project.
+            let mut concat = Matrix::zeros(s, cfg.n_heads * dh);
+            let mut layer_caps = Vec::with_capacity(cfg.n_kv_heads);
+            for (kvh, (outs, cap)) in results.into_iter().enumerate() {
+                for (g, o) in outs.into_iter().enumerate() {
+                    let h = kvh * group + g;
+                    write_head(&mut concat, &o, h, dh);
+                }
+                if let Some(c) = cap {
+                    layer_caps.push(c);
+                }
+            }
+            if let Some(caps) = captures.as_mut() {
+                caps.push(layer_caps);
+            }
+
+            let attn_proj = concat.matmul(&w.wo);
+            x.add_assign(&attn_proj);
+
+            // FFN with residual.
+            let xn2 = rms_norm_rows(&x);
+            let mut inner = xn2.matmul(&w.w1);
+            inner.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+            let ffn = inner.matmul(&w.w2);
+            x.add_assign(&ffn);
+
+            kv_out.push(LayerKv { keys: k_heads, values: v_heads });
+        }
+
+        let last_hidden = x.row(s - 1).to_vec();
+        let logits = self.logits(&last_hidden);
+        PrefillOutput { kv: kv_out, last_hidden, logits, captures }
+    }
+
+    /// One decode step for `token` at absolute position `pos`, attending
+    /// through `source`.
+    pub fn decode_step(&self, token: u32, pos: usize, source: &mut dyn KvSource) -> DecodeOutput {
+        let cfg = &self.cfg;
+        let dh = cfg.head_dim;
+        let group = cfg.group_size();
+        assert!((token as usize) < cfg.vocab_size, "token {token} out of vocab");
+        let mut x: Vec<f32> = self.weights.embedding.row(token as usize).to_vec();
+
+        for l in 0..cfg.n_layers {
+            let w = &self.weights.layers[l];
+            let xn = Matrix::from_vec(1, cfg.d_model, rms_norm(&x));
+            let q_all = xn.matmul(&w.wq);
+            let k_all = xn.matmul(&w.wk);
+            let v_all = xn.matmul(&w.wv);
+
+            let mut concat = vec![0.0f32; cfg.n_heads * dh];
+            for kvh in 0..cfg.n_kv_heads {
+                // New token's key/value for this head; key roped at `pos`.
+                let mut k_new = k_all.row(0)[kvh * dh..(kvh + 1) * dh].to_vec();
+                apply_rope(&mut k_new, pos, cfg.rope_theta);
+                let v_new = &v_all.row(0)[kvh * dh..(kvh + 1) * dh];
+                source.publish(l, kvh, &k_new, v_new);
+
+                // Group queries, roped at `pos`.
+                let mut queries = Matrix::zeros(group, dh);
+                for g in 0..group {
+                    let h = kvh * group + g;
+                    let mut q = q_all.row(0)[h * dh..(h + 1) * dh].to_vec();
+                    apply_rope(&mut q, pos, cfg.rope_theta);
+                    queries.copy_row_from(g, &q);
+                }
+
+                let (keys, values) = source.gather(l, kvh, &queries);
+                for g in 0..group {
+                    let h = kvh * group + g;
+                    let out = attend_selected(queries.row(g), &keys, &values);
+                    concat[h * dh..(h + 1) * dh].copy_from_slice(&out);
+                }
+            }
+
+            let attn_proj = Matrix::from_vec(1, cfg.n_heads * dh, concat).matmul(&w.wo);
+            for (a, b) in x.iter_mut().zip(attn_proj.row(0).iter()) {
+                *a += b;
+            }
+
+            let xn2 = Matrix::from_vec(1, cfg.d_model, rms_norm(&x));
+            let mut inner = xn2.matmul(&w.w1);
+            inner.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+            let ffn = inner.matmul(&w.w2);
+            for (a, b) in x.iter_mut().zip(ffn.row(0).iter()) {
+                *a += b;
+            }
+        }
+
+        let logits = self.logits(&x);
+        DecodeOutput { logits, hidden: x }
+    }
+
+    /// Reference generation with exact full attention: prefill then `steps`
+    /// greedy decode steps. Returns the generated token ids.
+    pub fn generate_full(&self, tokens: &[u32], steps: usize) -> Vec<u32> {
+        let prefill = self.prefill(tokens, &PrefillOptions::default());
+        let mut source = FullKvSource::from_prefill(&prefill);
+        let mut out = Vec::with_capacity(steps);
+        let mut next = argmax(&prefill.logits) as u32;
+        for pos in tokens.len()..tokens.len() + steps {
+            out.push(next);
+            let dec = self.decode_step(next, pos, &mut source);
+            next = dec.greedy();
+        }
+        out
+    }
+}
+
+/// Copy head `h`'s column block out of a fused `(s, n·d_h)` matrix.
+pub fn slice_head(fused: &Matrix, h: usize, dh: usize) -> Matrix {
+    let s = fused.rows();
+    let mut out = Matrix::zeros(s, dh);
+    for r in 0..s {
+        out.row_mut(r).copy_from_slice(&fused.row(r)[h * dh..(h + 1) * dh]);
+    }
+    out
+}
+
+/// Write a head's `(s, d_h)` output into its column block of `fused`.
+fn write_head(fused: &mut Matrix, head_out: &Matrix, h: usize, dh: usize) {
+    for r in 0..head_out.rows() {
+        fused.row_mut(r)[h * dh..(h + 1) * dh].copy_from_slice(head_out.row(r));
+    }
+}
+
+/// Reference [`KvSource`]: keeps the entire KVCache and always returns all of
+/// it — exact full attention.
+#[derive(Debug, Clone)]
+pub struct FullKvSource {
+    kv: Vec<LayerKv>,
+}
+
+impl FullKvSource {
+    /// Start from a prefill's KVCache.
+    pub fn from_prefill(prefill: &PrefillOutput) -> Self {
+        Self { kv: prefill.kv.clone() }
+    }
+
+    /// Start from an owned KVCache.
+    pub fn new(kv: Vec<LayerKv>) -> Self {
+        Self { kv }
+    }
+
+    /// Current stored length for a layer.
+    pub fn len(&self, layer: usize) -> usize {
+        self.kv[layer].len()
+    }
+
+    /// True when layer 0 holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.kv.first().is_none_or(|l| l.is_empty())
+    }
+}
+
+impl KvSource for FullKvSource {
+    fn publish(&mut self, layer: usize, kv_head: usize, key: &[f32], value: &[f32]) {
+        let lk = &mut self.kv[layer];
+        let k1 = Matrix::from_vec(1, key.len(), key.to_vec());
+        let v1 = Matrix::from_vec(1, value.len(), value.to_vec());
+        lk.keys[kv_head] = lk.keys[kv_head].vstack(&k1);
+        lk.values[kv_head] = lk.values[kv_head].vstack(&v1);
+    }
+
+    fn gather(&mut self, layer: usize, kv_head: usize, _queries: &Matrix) -> (Matrix, Matrix) {
+        (self.kv[layer].keys[kv_head].clone(), self.kv[layer].values[kv_head].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = pqc_tensor::Rng64::new(seed);
+        (0..n).map(|_| rng.below(200) as u32).collect()
+    }
+
+    #[test]
+    fn prefill_shapes() {
+        let model = Model::new(LlmConfig::tiny());
+        let out = model.prefill(&toks(20, 1), &PrefillOptions::default());
+        assert_eq!(out.kv.len(), 2);
+        assert_eq!(out.kv[0].keys.len(), 2);
+        assert_eq!(out.kv[0].keys[0].shape(), (20, 16));
+        assert_eq!(out.last_hidden.len(), 64);
+        assert_eq!(out.logits.len(), 256);
+    }
+
+    #[test]
+    fn prefill_deterministic_and_parallel_consistent() {
+        let model = Model::new(LlmConfig::tiny());
+        let t = toks(24, 2);
+        let par = model.prefill(&t, &PrefillOptions { parallel: true, ..Default::default() });
+        let ser = model.prefill(&t, &PrefillOptions { parallel: false, ..Default::default() });
+        assert_eq!(par.logits, ser.logits);
+        assert_eq!(par.kv[1].keys[1], ser.kv[1].keys[1]);
+    }
+
+    #[test]
+    fn hidden_states_bounded() {
+        // RMSNorm + fan-in scaling must keep activations finite and O(1-ish).
+        let model = Model::new(LlmConfig::small());
+        let out = model.prefill(&toks(40, 3), &PrefillOptions::default());
+        let norm: f32 =
+            out.last_hidden.iter().map(|v| v * v).sum::<f32>() / out.last_hidden.len() as f32;
+        assert!(norm.is_finite() && norm < 100.0, "rms² {norm}");
+    }
+
+    #[test]
+    fn decode_with_full_source_matches_incremental_prefill() {
+        // Prefill over n+1 tokens must equal prefill over n tokens followed
+        // by one full-attention decode step of token n.
+        let model = Model::new(LlmConfig::tiny());
+        let t = toks(16, 4);
+        let full = model.prefill(&t, &PrefillOptions::default());
+
+        let prefix = &t[..15];
+        let pre = model.prefill(prefix, &PrefillOptions::default());
+        let mut src = FullKvSource::from_prefill(&pre);
+        let dec = model.decode_step(t[15], 15, &mut src);
+
+        for (a, b) in full.logits.iter().zip(dec.logits.iter()) {
+            assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+        assert_eq!(argmax(&full.logits), argmax(&dec.logits));
+    }
+
+    #[test]
+    fn publish_grows_source() {
+        let model = Model::new(LlmConfig::tiny());
+        let pre = model.prefill(&toks(8, 5), &PrefillOptions::default());
+        let mut src = FullKvSource::from_prefill(&pre);
+        assert_eq!(src.len(0), 8);
+        let _ = model.decode_step(3, 8, &mut src);
+        assert_eq!(src.len(0), 9);
+        assert_eq!(src.len(1), 9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let model = Model::new(LlmConfig::tiny());
+        let t = toks(12, 6);
+        let a = model.generate_full(&t, 8);
+        let b = model.generate_full(&t, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&x| (x as usize) < 256));
+    }
+
+    #[test]
+    fn captures_present_when_requested() {
+        let model = Model::new(LlmConfig::tiny());
+        let out = model.prefill(
+            &toks(10, 7),
+            &PrefillOptions { capture_window: Some(4), ..Default::default() },
+        );
+        let caps = out.captures.expect("captures");
+        assert_eq!(caps.len(), 2); // layers
+        assert_eq!(caps[0].len(), 2); // kv heads
+        // Each kv head accumulates mass from `group` query heads × s rows.
+        let total: f32 = caps[0][0].accum.iter().sum();
+        assert!((total - 2.0 * 10.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn different_prompts_different_logits() {
+        let model = Model::new(LlmConfig::tiny());
+        let a = model.prefill(&toks(10, 8), &PrefillOptions::default());
+        let b = model.prefill(&toks(10, 9), &PrefillOptions::default());
+        assert_ne!(argmax(&a.logits), usize::MAX); // trivial use
+        assert!(a.logits.iter().zip(b.logits.iter()).any(|(x, y)| (x - y).abs() > 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn oversized_token_panics() {
+        let model = Model::new(LlmConfig::tiny());
+        let _ = model.embed(&[9999]);
+    }
+}

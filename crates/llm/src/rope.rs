@@ -1,0 +1,96 @@
+//! Rotary positional embeddings (RoPE).
+//!
+//! Keys are stored in the KVCache *after* rotation, matching real inference
+//! stacks (and the paper, which clusters KVCache keys as stored). Queries
+//! are rotated at their own position; the attention dot product then encodes
+//! relative position.
+
+/// Apply RoPE in place to one head vector at `pos`.
+///
+/// Pairs `(x[2i], x[2i+1])` are rotated by angle `pos / theta^(2i/d)`.
+pub fn apply_rope(x: &mut [f32], pos: usize, theta: f32) {
+    let d = x.len();
+    debug_assert!(d.is_multiple_of(2), "RoPE needs an even head dimension");
+    let half = d / 2;
+    for i in 0..half {
+        let freq = theta.powf(-((2 * i) as f32) / d as f32);
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let a = x[2 * i];
+        let b = x[2 * i + 1];
+        x[2 * i] = a * cos - b * sin;
+        x[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Rotate every row of a `(s, d_h)` block, row `i` at position `start + i`.
+pub fn apply_rope_rows(rows: &mut pqc_tensor::Matrix, start: usize, theta: f32) {
+    for i in 0..rows.rows() {
+        apply_rope(rows.row_mut(i), start + i, theta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_tensor::{dot, Matrix, Rng64};
+
+    #[test]
+    fn position_zero_is_identity() {
+        let orig = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut x = orig.clone();
+        apply_rope(&mut x, 0, 10_000.0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut rng = Rng64::new(1);
+        for pos in [1usize, 17, 1000, 100_000] {
+            let orig: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            let mut x = orig.clone();
+            apply_rope(&mut x, pos, 10_000.0);
+            let n0: f32 = orig.iter().map(|v| v * v).sum();
+            let n1: f32 = x.iter().map(|v| v * v).sum();
+            assert!((n0 - n1).abs() < 1e-4, "pos {pos}: {n0} vs {n1}");
+        }
+    }
+
+    #[test]
+    fn dot_product_depends_only_on_relative_position() {
+        // <rope(q, p+Δ), rope(k, p)> must be invariant in p.
+        let mut rng = Rng64::new(2);
+        let q: Vec<f32> = (0..8).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let k: Vec<f32> = (0..8).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let delta = 5;
+        let mut reference = None;
+        for p in [0usize, 3, 50, 1234] {
+            let mut qq = q.clone();
+            let mut kk = k.clone();
+            apply_rope(&mut qq, p + delta, 10_000.0);
+            apply_rope(&mut kk, p, 10_000.0);
+            let d = dot(&qq, &kk);
+            match reference {
+                None => reference = Some(d),
+                Some(r) => assert!((d - r).abs() < 1e-3, "p={p}: {d} vs {r}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rows_offset_matches_scalar() {
+        let mut rng = Rng64::new(3);
+        let m = Matrix::randn(4, 8, 1.0, &mut rng);
+        let mut rows = m.clone();
+        apply_rope_rows(&mut rows, 10, 10_000.0);
+        for i in 0..4 {
+            let mut expect = m.row(i).to_vec();
+            apply_rope(&mut expect, 10 + i, 10_000.0);
+            for (a, b) in rows.row(i).iter().zip(expect.iter()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic random weight generation.
+//!
+//! Weights are drawn from scaled Gaussians (variance `1/d` fan-in scaling)
+//! so residual-stream magnitudes stay O(1) through depth. The classifier is
+//! weight-tied to the embedding, as in most open LLMs.
+
+use crate::config::LlmConfig;
+use pqc_tensor::{Matrix, Rng64};
+
+/// Per-layer projection weights.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection `(d, h·d_h)`.
+    pub wq: Matrix,
+    /// Key projection `(d, h_kv·d_h)`.
+    pub wk: Matrix,
+    /// Value projection `(d, h_kv·d_h)`.
+    pub wv: Matrix,
+    /// Output projection `(h·d_h, d)`.
+    pub wo: Matrix,
+    /// FFN up-projection `(d, ffn)`.
+    pub w1: Matrix,
+    /// FFN down-projection `(ffn, d)`.
+    pub w2: Matrix,
+}
+
+/// All model parameters.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding `(vocab, d)`; also the (tied) classifier.
+    pub embedding: Matrix,
+    /// Transformer layers.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl ModelWeights {
+    /// Generate all weights deterministically from `cfg.seed`.
+    pub fn generate(cfg: &LlmConfig) -> Self {
+        cfg.validate();
+        let mut root = Rng64::new(cfg.seed);
+        let d = cfg.d_model;
+        let qdim = cfg.n_heads * cfg.head_dim;
+        let kvdim = cfg.n_kv_heads * cfg.head_dim;
+        let std_d = 1.0 / (d as f32).sqrt();
+        let std_f = 1.0 / (cfg.ffn_dim as f32).sqrt();
+
+        let mut emb_rng = root.fork(0xE13B);
+        let embedding = Matrix::randn(cfg.vocab_size, d, 1.0, &mut emb_rng);
+
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                let mut r = root.fork(0x1A7E_5000 + l as u64);
+                let wq = Matrix::randn(d, qdim, std_d, &mut r);
+                let mut wk = Matrix::randn(d, kvdim, std_d, &mut r);
+                // Retrieval heads: trained LLMs contain heads whose key
+                // projection is aligned with their query projection, so a
+                // query formed from token X scores token X's earlier key
+                // highly — the mechanism behind induction/needle retrieval
+                // (and the reason selective attention works at all). With
+                // two independent Gaussian projections that alignment has
+                // expectation zero, so we plant it: the first half of the
+                // kv heads get Wk ← α·Wq(first group head) + β·noise.
+                let group = cfg.n_heads / cfg.n_kv_heads;
+                let dh = cfg.head_dim;
+                let alpha = 0.95f32;
+                let beta = (1.0 - alpha * alpha).sqrt();
+                for kvh in 0..cfg.n_kv_heads / 2 {
+                    let qh = kvh * group; // first query head of the group
+                    for row in 0..d {
+                        for c in 0..dh {
+                            let qv = wq.get(row, qh * dh + c);
+                            let nv = wk.get(row, kvh * dh + c);
+                            wk.set(row, kvh * dh + c, alpha * qv + beta * nv);
+                        }
+                    }
+                }
+                LayerWeights {
+                    wq,
+                    wk,
+                    wv: Matrix::randn(d, kvdim, std_d, &mut r),
+                    wo: Matrix::randn(qdim, d, std_d, &mut r),
+                    w1: Matrix::randn(d, cfg.ffn_dim, std_d, &mut r),
+                    w2: Matrix::randn(cfg.ffn_dim, d, std_f, &mut r),
+                }
+            })
+            .collect();
+
+        Self { embedding, layers }
+    }
+
+    /// Total parameter count (for sanity reporting).
+    pub fn param_count(&self) -> usize {
+        let emb = self.embedding.rows() * self.embedding.cols();
+        let per_layer: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                let s = |m: &Matrix| m.rows() * m.cols();
+                s(&l.wq) + s(&l.wk) + s(&l.wv) + s(&l.wo) + s(&l.w1) + s(&l.w2)
+            })
+            .sum();
+        emb + per_layer
+    }
+}
+
+/// RMS normalisation of one vector into a fresh buffer.
+pub fn rms_norm(x: &[f32]) -> Vec<f32> {
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + 1e-6).sqrt();
+    x.iter().map(|v| v * inv).collect()
+}
+
+/// RMS-normalise every row of a matrix.
+pub fn rms_norm_rows(x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        out.copy_row_from(r, &rms_norm(x.row(r)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LlmConfig::tiny();
+        let a = ModelWeights::generate(&cfg);
+        let b = ModelWeights::generate(&cfg);
+        assert_eq!(a.embedding, b.embedding);
+        assert_eq!(a.layers[0].wq, b.layers[0].wq);
+        assert_eq!(a.layers[1].w2, b.layers[1].w2);
+    }
+
+    #[test]
+    fn layers_have_distinct_weights() {
+        let cfg = LlmConfig::tiny();
+        let w = ModelWeights::generate(&cfg);
+        assert_ne!(w.layers[0].wq, w.layers[1].wq);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg2 = LlmConfig::tiny();
+        cfg2.seed = 999;
+        let a = ModelWeights::generate(&LlmConfig::tiny());
+        let b = ModelWeights::generate(&cfg2);
+        assert_ne!(a.embedding, b.embedding);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = LlmConfig::small();
+        let w = ModelWeights::generate(&cfg);
+        assert_eq!(w.embedding.shape(), (cfg.vocab_size, cfg.d_model));
+        let l = &w.layers[0];
+        assert_eq!(l.wq.shape(), (cfg.d_model, cfg.n_heads * cfg.head_dim));
+        assert_eq!(l.wk.shape(), (cfg.d_model, cfg.n_kv_heads * cfg.head_dim));
+        assert_eq!(l.wv.shape(), (cfg.d_model, cfg.n_kv_heads * cfg.head_dim));
+        assert_eq!(l.wo.shape(), (cfg.n_heads * cfg.head_dim, cfg.d_model));
+        assert_eq!(l.w1.shape(), (cfg.d_model, cfg.ffn_dim));
+        assert_eq!(l.w2.shape(), (cfg.ffn_dim, cfg.d_model));
+    }
+
+    #[test]
+    fn rms_norm_unit_scale() {
+        let x = vec![3.0f32; 16];
+        let y = rms_norm(&x);
+        let ms: f32 = y.iter().map(|v| v * v).sum::<f32>() / 16.0;
+        assert!((ms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn param_count_positive_and_scales() {
+        let small = ModelWeights::generate(&LlmConfig::tiny()).param_count();
+        let big = ModelWeights::generate(&LlmConfig::small()).param_count();
+        assert!(big > small * 4);
+    }
+}

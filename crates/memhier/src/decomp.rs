@@ -1,0 +1,121 @@
+//! Phase time decomposition (Fig. 12 of the paper).
+//!
+//! Aggregates a [`crate::sim::SimEngine`] op log into the named components
+//! the paper profiles: GPU compute, K-Means, KVCache offload, PQ-structure
+//! communication, top-k fetch — plus the end-to-end makespan, which is
+//! *smaller* than the sum of parts whenever overlap succeeds.
+
+use crate::sim::SimEngine;
+
+/// Canonical op labels used across the engine so that decompositions are
+/// comparable between experiments.
+pub mod labels {
+    /// GPU forward compute (prefill or decode).
+    pub const COMPUTE: &str = "compute";
+    /// Device→host KVCache offload.
+    pub const OFFLOAD: &str = "offload";
+    /// CPU K-Means clustering.
+    pub const KMEANS: &str = "kmeans";
+    /// Host→device PQ codes/centroids prefetch.
+    pub const PQ_COMM: &str = "pq_comm";
+    /// ADC scoring + top-k selection on GPU.
+    pub const PQ_SEARCH: &str = "pq_search";
+    /// Host→device fetch of selected top-k key-value rows.
+    pub const TOPK_FETCH: &str = "topk_fetch";
+}
+
+/// A named time breakdown of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Decomposition {
+    /// GPU forward compute seconds.
+    pub compute: f64,
+    /// KVCache offload seconds (D2H).
+    pub offload: f64,
+    /// K-Means clustering seconds (CPU).
+    pub kmeans: f64,
+    /// PQ codes/centroids communication seconds (H2D).
+    pub pq_comm: f64,
+    /// ADC + top-k seconds (GPU).
+    pub pq_search: f64,
+    /// Top-k KV fetch seconds (H2D).
+    pub topk_fetch: f64,
+    /// Simulated end-to-end seconds (with overlap).
+    pub end_to_end: f64,
+}
+
+impl Decomposition {
+    /// Extract the decomposition from an engine's op log.
+    pub fn from_engine(engine: &SimEngine) -> Self {
+        Self {
+            compute: engine.label_time(labels::COMPUTE),
+            offload: engine.label_time(labels::OFFLOAD),
+            kmeans: engine.label_time(labels::KMEANS),
+            pq_comm: engine.label_time(labels::PQ_COMM),
+            pq_search: engine.label_time(labels::PQ_SEARCH),
+            topk_fetch: engine.label_time(labels::TOPK_FETCH),
+            end_to_end: engine.makespan(),
+        }
+    }
+
+    /// Sum of all components, i.e. the fully-sequential schedule.
+    pub fn component_sum(&self) -> f64 {
+        self.compute + self.offload + self.kmeans + self.pq_comm + self.pq_search + self.topk_fetch
+    }
+
+    /// Fraction of component time hidden by overlap, in `[0, 1)`.
+    pub fn overlap_savings(&self) -> f64 {
+        let total = self.component_sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.end_to_end / total).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Resource, SimEngine};
+
+    #[test]
+    fn decomposition_collects_labels() {
+        let mut e = SimEngine::new();
+        let c = e.schedule(Resource::Gpu, labels::COMPUTE, 10.0, &[]);
+        e.schedule(Resource::D2H, labels::OFFLOAD, 4.0, &[c]);
+        e.schedule(Resource::Cpu, labels::KMEANS, 6.0, &[c]);
+        let d = Decomposition::from_engine(&e);
+        assert_eq!(d.compute, 10.0);
+        assert_eq!(d.offload, 4.0);
+        assert_eq!(d.kmeans, 6.0);
+        assert_eq!(d.end_to_end, 16.0);
+        assert_eq!(d.component_sum(), 20.0);
+    }
+
+    #[test]
+    fn overlap_savings_bounds() {
+        let mut e = SimEngine::new();
+        e.schedule(Resource::Gpu, labels::COMPUTE, 10.0, &[]);
+        e.schedule(Resource::Cpu, labels::KMEANS, 10.0, &[]);
+        let d = Decomposition::from_engine(&e);
+        // Perfect overlap: 20s of work in 10s wall.
+        assert!((d.overlap_savings() - 0.5).abs() < 1e-12);
+
+        let empty = Decomposition::default();
+        assert_eq!(empty.overlap_savings(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_le_component_sum() {
+        let mut e = SimEngine::new();
+        let mut prev = e.schedule(Resource::Gpu, labels::COMPUTE, 3.0, &[]);
+        for _ in 0..4 {
+            let c = e.schedule(Resource::Gpu, labels::COMPUTE, 3.0, &[prev]);
+            e.schedule(Resource::D2H, labels::OFFLOAD, 1.0, &[c]);
+            e.schedule(Resource::Cpu, labels::KMEANS, 2.0, &[c]);
+            prev = c;
+        }
+        let d = Decomposition::from_engine(&e);
+        assert!(d.end_to_end <= d.component_sum() + 1e-12);
+        assert!(d.end_to_end >= d.compute);
+    }
+}

@@ -1,0 +1,249 @@
+//! Host-tier KVCache storage with transfer accounting.
+//!
+//! The paper keeps the full KVCache in CPU memory (Step ❶) and fetches rows
+//! on demand (Step ❺). [`HostKvStore`] holds per-layer/per-head K and V
+//! matrices and meters every byte that crosses the simulated PCIe link, so
+//! efficiency experiments can compare methods by *data moved*, the
+//! fair-comparison axis of §4.1.3.
+
+use parking_lot::Mutex;
+use pqc_tensor::Matrix;
+use std::sync::Arc;
+
+/// Bytes-per-element used for wire accounting (FP16, as the paper serves).
+pub const WIRE_BYTES_PER_ELEM: usize = 2;
+
+/// Cumulative transfer statistics, shared between store handles.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TransferStats {
+    /// Bytes moved device→host (offload).
+    pub d2h_bytes: u64,
+    /// Bytes moved host→device (fetch).
+    pub h2d_bytes: u64,
+    /// Number of offload operations.
+    pub d2h_ops: u64,
+    /// Number of fetch operations.
+    pub h2d_ops: u64,
+}
+
+/// Key and value rows for one (layer, kv-head) pair.
+#[derive(Debug, Clone)]
+struct HeadKv {
+    keys: Matrix,
+    values: Matrix,
+}
+
+/// CPU-resident KVCache for a whole model: `n_layers × n_kv_heads` slots.
+#[derive(Debug, Clone)]
+pub struct HostKvStore {
+    n_layers: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+    slots: Vec<Option<HeadKv>>,
+    stats: Arc<Mutex<TransferStats>>,
+}
+
+impl HostKvStore {
+    /// An empty store for the given model geometry.
+    pub fn new(n_layers: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        Self {
+            n_layers,
+            n_kv_heads,
+            head_dim,
+            slots: vec![None; n_layers * n_kv_heads],
+            stats: Arc::new(Mutex::new(TransferStats::default())),
+        }
+    }
+
+    fn slot_index(&self, layer: usize, head: usize) -> usize {
+        assert!(layer < self.n_layers, "layer {layer} out of range");
+        assert!(head < self.n_kv_heads, "head {head} out of range");
+        layer * self.n_kv_heads + head
+    }
+
+    /// Offload the full prefill K/V of one (layer, head): Step ❶.
+    /// Overwrites any prior content for the slot.
+    pub fn offload(&mut self, layer: usize, head: usize, keys: Matrix, values: Matrix) {
+        assert_eq!(keys.shape(), values.shape(), "K/V shape mismatch");
+        assert_eq!(keys.cols(), self.head_dim, "head_dim mismatch");
+        let bytes = (2 * keys.rows() * keys.cols() * WIRE_BYTES_PER_ELEM) as u64;
+        {
+            let mut st = self.stats.lock();
+            st.d2h_bytes += bytes;
+            st.d2h_ops += 1;
+        }
+        let idx = self.slot_index(layer, head);
+        self.slots[idx] = Some(HeadKv { keys, values });
+    }
+
+    /// Append a single evicted token's K/V row (Algorithm 2, line 5).
+    pub fn append_token(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.head_dim);
+        assert_eq!(value.len(), self.head_dim);
+        let idx = self.slot_index(layer, head);
+        let slot = self.slots[idx].get_or_insert_with(|| HeadKv {
+            keys: Matrix::zeros(0, self.head_dim),
+            values: Matrix::zeros(0, self.head_dim),
+        });
+        let k1 = Matrix::from_vec(1, self.head_dim, key.to_vec());
+        let v1 = Matrix::from_vec(1, self.head_dim, value.to_vec());
+        slot.keys = slot.keys.vstack(&k1);
+        slot.values = slot.values.vstack(&v1);
+        let mut st = self.stats.lock();
+        st.d2h_bytes += (2 * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
+        st.d2h_ops += 1;
+    }
+
+    /// Fetch the K/V rows of the given token indices: Step ❺. Meters H2D
+    /// traffic for exactly the rows moved.
+    pub fn fetch(&self, layer: usize, head: usize, token_ids: &[usize]) -> (Matrix, Matrix) {
+        let idx = self.slot_index(layer, head);
+        let slot = self.slots[idx].as_ref().expect("fetch from empty slot");
+        let keys = slot.keys.gather_rows(token_ids);
+        let values = slot.values.gather_rows(token_ids);
+        let mut st = self.stats.lock();
+        st.h2d_bytes += (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
+        st.h2d_ops += 1;
+        (keys, values)
+    }
+
+    /// Read keys *without* metering transfer — used by host-side PQ
+    /// construction, which happens on CPU where the data already lives.
+    pub fn keys_host(&self, layer: usize, head: usize) -> &Matrix {
+        let idx = self.slot_index(layer, head);
+        &self.slots[idx].as_ref().expect("empty slot").keys
+    }
+
+    /// Read values host-side without metering (CPU-local access).
+    pub fn values_host(&self, layer: usize, head: usize) -> &Matrix {
+        let idx = self.slot_index(layer, head);
+        &self.slots[idx].as_ref().expect("empty slot").values
+    }
+
+    /// Stored token count for a slot (0 if never offloaded).
+    pub fn len(&self, layer: usize, head: usize) -> usize {
+        self.slots[self.slot_index(layer, head)]
+            .as_ref()
+            .map_or(0, |s| s.keys.rows())
+    }
+
+    /// True when no slot holds data.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Resident bytes across all slots (FP16 accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| (2 * s.keys.rows() * s.keys.cols() * WIRE_BYTES_PER_ELEM) as u64)
+            .sum()
+    }
+
+    /// Snapshot of cumulative transfer statistics.
+    pub fn stats(&self) -> TransferStats {
+        *self.stats.lock()
+    }
+
+    /// Zero the transfer counters (e.g. to meter decode separately from
+    /// prefill).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = TransferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_tensor::Rng64;
+
+    fn store_with_data(s: usize, dh: usize) -> (HostKvStore, Matrix, Matrix) {
+        let mut rng = Rng64::new(1);
+        let k = Matrix::randn(s, dh, 1.0, &mut rng);
+        let v = Matrix::randn(s, dh, 1.0, &mut rng);
+        let mut store = HostKvStore::new(2, 2, dh);
+        store.offload(0, 0, k.clone(), v.clone());
+        (store, k, v)
+    }
+
+    #[test]
+    fn offload_then_fetch_roundtrip() {
+        let (store, k, v) = store_with_data(50, 8);
+        let ids = [3usize, 10, 49];
+        let (fk, fv) = store.fetch(0, 0, &ids);
+        for (row, &id) in ids.iter().enumerate() {
+            assert_eq!(fk.row(row), k.row(id));
+            assert_eq!(fv.row(row), v.row(id));
+        }
+    }
+
+    #[test]
+    fn transfer_accounting_exact() {
+        let (store, _, _) = store_with_data(100, 16);
+        // offload: 2 (K+V) * 100 * 16 * 2 bytes
+        assert_eq!(store.stats().d2h_bytes, 2 * 100 * 16 * 2);
+        assert_eq!(store.stats().d2h_ops, 1);
+        let _ = store.fetch(0, 0, &[1, 2, 3]);
+        assert_eq!(store.stats().h2d_bytes, 2 * 3 * 16 * 2);
+        assert_eq!(store.stats().h2d_ops, 1);
+    }
+
+    #[test]
+    fn append_token_extends() {
+        let (mut store, _, _) = store_with_data(10, 4);
+        let key = [1.0f32, 2.0, 3.0, 4.0];
+        let val = [9.0f32, 8.0, 7.0, 6.0];
+        store.append_token(0, 0, &key, &val);
+        assert_eq!(store.len(0, 0), 11);
+        let (fk, fv) = store.fetch(0, 0, &[10]);
+        assert_eq!(fk.row(0), &key);
+        assert_eq!(fv.row(0), &val);
+    }
+
+    #[test]
+    fn append_into_empty_slot_allowed() {
+        let mut store = HostKvStore::new(1, 1, 4);
+        store.append_token(0, 0, &[1.0; 4], &[2.0; 4]);
+        assert_eq!(store.len(0, 0), 1);
+    }
+
+    #[test]
+    fn host_reads_do_not_meter() {
+        let (store, _, _) = store_with_data(20, 8);
+        let before = store.stats();
+        let _ = store.keys_host(0, 0);
+        let _ = store.values_host(0, 0);
+        assert_eq!(store.stats(), before);
+    }
+
+    #[test]
+    fn resident_bytes_counts_all_slots() {
+        let mut store = HostKvStore::new(2, 1, 4);
+        let mut rng = Rng64::new(2);
+        store.offload(0, 0, Matrix::randn(10, 4, 1.0, &mut rng), Matrix::randn(10, 4, 1.0, &mut rng));
+        store.offload(1, 0, Matrix::randn(5, 4, 1.0, &mut rng), Matrix::randn(5, 4, 1.0, &mut rng));
+        assert_eq!(store.resident_bytes(), (2 * 10 * 4 * 2 + 2 * 5 * 4 * 2) as u64);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let (store, _, _) = store_with_data(10, 4);
+        store.reset_stats();
+        assert_eq!(store.stats(), TransferStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_layer_panics() {
+        let store = HostKvStore::new(1, 1, 4);
+        let _ = store.len(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slot")]
+    fn fetch_empty_panics() {
+        let store = HostKvStore::new(1, 1, 4);
+        let _ = store.fetch(0, 0, &[0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! # pqc-policies
+//!
+//! Selective-attention policies: the paper's baselines and PQCache itself,
+//! behind one [`SelectionPolicy`] trait.
+//!
+//! The KVCache is segmented into **initial**, **middle**, and **local**
+//! tokens (paper §3.4). Initial and local tokens always participate in
+//! attention; a policy's job is to pick which *middle* tokens join them,
+//! given the current decode query and a token budget. Policies fall into two
+//! families:
+//!
+//! - **Dropping** (H2O, SnapKV, PyramidKV, StreamingLLM): commit to a fixed
+//!   kept set at prefill time using attention statistics; anything dropped is
+//!   gone for every later step — the failure mode the paper targets.
+//! - **Offloading / retrieval** (Oracle, SPARQ, InfLLM, PQCache): keep
+//!   everything on the host and re-select per step, paying communication.
+//!
+//! Every policy reports its per-step communication so comm-budget-matched
+//! comparisons (§4.1.3) are honest.
+
+#![warn(missing_docs)]
+
+pub mod dropping;
+pub mod pqcache;
+pub mod retrieval;
+
+use pqc_tensor::Matrix;
+
+pub use dropping::{H2oPolicy, PyramidKvPolicy, SnapKvPolicy, StreamingLlmPolicy};
+pub use pqcache::{PqCachePolicy, PqCachePolicyConfig};
+pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy};
+
+/// Everything a policy may consume at initialisation time, derived from the
+/// prefill pass. Indices are in *middle coordinates*: 0 is the first middle
+/// token (absolute position `n_init`).
+#[derive(Debug, Clone)]
+pub struct PolicyInit {
+    /// Layer count.
+    pub n_layers: usize,
+    /// KV head count.
+    pub n_kv_heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Middle-region keys, `[layer][kv_head]` of `(s_mid, d_h)` (post-RoPE,
+    /// exactly as stored in the host KVCache).
+    pub middle_keys: Vec<Vec<Matrix>>,
+    /// H2O-style accumulated attention mass per middle token,
+    /// `[layer][kv_head][middle_idx]` (None if prefill ran without capture).
+    pub accum_scores: Option<Vec<Vec<Vec<f32>>>>,
+    /// SnapKV-style observation-window mass per middle token.
+    pub window_scores: Option<Vec<Vec<Vec<f32>>>>,
+}
+
+impl PolicyInit {
+    /// Middle-region length (tokens), taken from layer 0 head 0.
+    pub fn middle_len(&self) -> usize {
+        self.middle_keys
+            .first()
+            .and_then(|l| l.first())
+            .map_or(0, |m| m.rows())
+    }
+}
+
+/// Per-step selection context for one (layer, kv-head).
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// Layer index.
+    pub layer: usize,
+    /// KV head index.
+    pub kv_head: usize,
+    /// RoPE'd queries of the GQA group, `(group, d_h)`.
+    pub queries: &'a Matrix,
+    /// Number of middle tokens to select.
+    pub budget: usize,
+    /// Current middle-region length (grows as local tokens are evicted).
+    pub middle_len: usize,
+}
+
+/// A selective-attention policy. One instance serves all layers/heads;
+/// per-slot state is keyed by `(layer, kv_head)`.
+pub trait SelectionPolicy {
+    /// Stable display name ("H2O", "PQCache", ...).
+    fn name(&self) -> &'static str;
+
+    /// Consume prefill-derived state. Called exactly once before decoding.
+    fn init(&mut self, init: &PolicyInit);
+
+    /// Indices (middle coordinates, strictly less than `ctx.middle_len`) of
+    /// the middle tokens to include in attention, at most `ctx.budget` of
+    /// them, descending by the policy's notion of relevance.
+    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize>;
+
+    /// A token evicted from the local window becomes middle token
+    /// `middle_idx`; policies holding per-token state must integrate it.
+    fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], middle_idx: usize) {
+        let _ = (layer, kv_head, key, middle_idx);
+    }
+
+    /// Non-overlappable communication bytes this policy incurs per decode
+    /// step for one (layer, kv-head), *excluding* the final top-k KV fetch
+    /// (which is identical across retrieval policies). `middle_len` is the
+    /// current middle-region size.
+    fn comm_bytes_per_step(&self, middle_len: usize) -> u64;
+
+    /// Overlappable (prefetchable) communication per step per (layer,
+    /// kv-head) — PQ codes, block representatives, etc.
+    fn prefetch_bytes_per_step(&self, middle_len: usize) -> u64 {
+        let _ = middle_len;
+        0
+    }
+
+    /// Dropping policies keep a static set and never fetch from host.
+    fn is_dropping(&self) -> bool {
+        false
+    }
+
+    /// Rebuild internal structures from the *current* middle region (paper
+    /// §5, "Longer Output Sequences": periodically reconstruct PQ so
+    /// structures built from the input also cover generated tokens).
+    /// Default: no-op; PQCache retrains its codebooks.
+    fn refresh(&mut self, init: &PolicyInit) {
+        let _ = init;
+    }
+}
+
+/// Combine a GQA group's queries into the single scoring query shared by
+/// their kv head (sum of rows — for linear scores this equals summing
+/// per-query scores).
+pub fn group_query(queries: &Matrix) -> Vec<f32> {
+    let mut q = vec![0.0f32; queries.cols()];
+    for r in 0..queries.rows() {
+        for (acc, v) in q.iter_mut().zip(queries.row(r).iter()) {
+            *acc += v;
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use pqc_tensor::Rng64;
+
+    /// A synthetic PolicyInit: random keys plus score stats that favour a
+    /// known set of "important" tokens.
+    pub fn synthetic_init(
+        n_layers: usize,
+        n_kv_heads: usize,
+        s_mid: usize,
+        dh: usize,
+        hot: &[usize],
+        seed: u64,
+    ) -> PolicyInit {
+        let mut rng = Rng64::new(seed);
+        let mut middle_keys = Vec::new();
+        let mut accum = Vec::new();
+        let mut window = Vec::new();
+        for _ in 0..n_layers {
+            let mut lk = Vec::new();
+            let mut la = Vec::new();
+            let mut lw = Vec::new();
+            for _ in 0..n_kv_heads {
+                lk.push(Matrix::randn(s_mid, dh, 1.0, &mut rng));
+                let mut a = vec![0.01f32; s_mid];
+                let mut w = vec![0.01f32; s_mid];
+                for &h in hot {
+                    a[h] = 1.0 + rng.uniform_f32(0.0, 0.1);
+                    w[h] = 1.0 + rng.uniform_f32(0.0, 0.1);
+                }
+                la.push(a);
+                lw.push(w);
+            }
+            middle_keys.push(lk);
+            accum.push(la);
+            window.push(lw);
+        }
+        PolicyInit {
+            n_layers,
+            n_kv_heads,
+            head_dim: dh,
+            middle_keys,
+            accum_scores: Some(accum),
+            window_scores: Some(window),
+        }
+    }
+
+    /// A query matrix aligned with a specific middle token's key, so that
+    /// token wins any inner-product scoring.
+    pub fn query_for(init: &PolicyInit, layer: usize, head: usize, token: usize) -> Matrix {
+        let k = init.middle_keys[layer][head].row(token);
+        let mut m = Matrix::zeros(1, k.len());
+        m.copy_row_from(0, &k.iter().map(|v| v * 3.0).collect::<Vec<_>>());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_query_sums_rows() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        assert_eq!(group_query(&m), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn synthetic_init_shapes() {
+        let init = testutil::synthetic_init(2, 3, 40, 8, &[5, 7], 1);
+        assert_eq!(init.middle_len(), 40);
+        assert_eq!(init.middle_keys.len(), 2);
+        assert_eq!(init.middle_keys[0].len(), 3);
+        assert_eq!(init.accum_scores.as_ref().unwrap()[1][2].len(), 40);
+    }
+}

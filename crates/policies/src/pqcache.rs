@@ -1,0 +1,248 @@
+//! The PQCache selection policy (paper §3).
+//!
+//! At `init` (end of prefill), a PQ codebook is trained per (layer, kv-head)
+//! over the middle keys — the paper's Step ❷, with the iteration budget
+//! supplied externally (adaptive controller). At each decode step, `select`
+//! builds the ADC table from the group query and scores every middle token
+//! through its codes (Steps ❸-❹). Tokens evicted from the local window are
+//! assigned codes by nearest centroid (Algorithm 2, line 4).
+
+use crate::{group_query, PolicyContext, PolicyInit, SelectionPolicy};
+use pqc_pq::{AdcTable, PqCodebook, PqCodes, PqConfig};
+use pqc_tensor::top_k_indices;
+
+/// PQCache policy hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PqCachePolicyConfig {
+    /// Sub-space count `m`.
+    pub m: usize,
+    /// Bits per code `b`.
+    pub b: u32,
+    /// K-Means iteration budget (from the adaptive controller).
+    pub kmeans_iters: usize,
+    /// Clustering seed.
+    pub seed: u64,
+}
+
+impl Default for PqCachePolicyConfig {
+    fn default() -> Self {
+        // Paper default for LongBench: m=2, b=6 (§4.2.7).
+        Self { m: 2, b: 6, kmeans_iters: 25, seed: 0xBEEF }
+    }
+}
+
+/// Product-quantization-based selective attention.
+#[derive(Debug)]
+pub struct PqCachePolicy {
+    cfg: PqCachePolicyConfig,
+    /// `[layer][kv_head]` trained codebooks.
+    books: Vec<Vec<PqCodebook>>,
+    /// `[layer][kv_head]` per-token codes (grow with evictions).
+    codes: Vec<Vec<PqCodes>>,
+}
+
+impl PqCachePolicy {
+    /// A policy with the given PQ configuration.
+    pub fn new(cfg: PqCachePolicyConfig) -> Self {
+        Self { cfg, books: Vec::new(), codes: Vec::new() }
+    }
+
+    /// Total construction inertia across all codebooks (diagnostics for the
+    /// Fig. 12c iteration sweep).
+    pub fn total_inertia(&self) -> f64 {
+        self.books.iter().flatten().map(|b| b.inertia()).sum()
+    }
+
+    /// K-Means iterations actually run, averaged over codebooks/sub-spaces.
+    pub fn mean_iters_run(&self) -> f64 {
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for b in self.books.iter().flatten() {
+            for &it in b.iters_run() {
+                total += it;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// The PQ configuration in use.
+    pub fn pq_config(&self) -> PqConfig {
+        PqConfig { m: self.cfg.m, b: self.cfg.b, max_iters: self.cfg.kmeans_iters, seed: self.cfg.seed }
+    }
+}
+
+impl Default for PqCachePolicy {
+    fn default() -> Self {
+        Self::new(PqCachePolicyConfig::default())
+    }
+}
+
+impl SelectionPolicy for PqCachePolicy {
+    fn name(&self) -> &'static str {
+        "PQCache"
+    }
+
+    fn init(&mut self, init: &PolicyInit) {
+        let pq_cfg = self.pq_config();
+        self.books = Vec::with_capacity(init.n_layers);
+        self.codes = Vec::with_capacity(init.n_layers);
+        for layer_keys in &init.middle_keys {
+            let mut lb = Vec::with_capacity(init.n_kv_heads);
+            let mut lc = Vec::with_capacity(init.n_kv_heads);
+            for (h, keys) in layer_keys.iter().enumerate() {
+                let mut cfg_h = pq_cfg;
+                cfg_h.seed = pq_cfg.seed.wrapping_add((lb.len() as u64) << 32 | h as u64);
+                let (book, codes) = PqCodebook::train(keys, cfg_h);
+                lb.push(book);
+                lc.push(codes);
+            }
+            self.books.push(lb);
+            self.codes.push(lc);
+        }
+    }
+
+    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
+        let q = group_query(ctx.queries);
+        let book = &self.books[ctx.layer][ctx.kv_head];
+        let codes = &self.codes[ctx.layer][ctx.kv_head];
+        let n = codes.len().min(ctx.middle_len);
+        if n == 0 || ctx.budget == 0 {
+            return Vec::new();
+        }
+        let table = AdcTable::build(book, &q);
+        let mut scores = Vec::with_capacity(n);
+        for i in 0..n {
+            scores.push(table.score_token(codes.token(i)));
+        }
+        top_k_indices(&scores, ctx.budget)
+    }
+
+    fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
+        let code = self.books[layer][kv_head].assign(key);
+        self.codes[layer][kv_head].push(&code);
+    }
+
+    /// PQ codes are query-independent: fully prefetchable. Non-overlappable
+    /// per-step traffic is zero (the paper's headline efficiency property).
+    fn comm_bytes_per_step(&self, _middle_len: usize) -> u64 {
+        0
+    }
+
+    /// Periodic reconstruction (paper §5): retrain codebooks over the
+    /// current middle keys, folding generated tokens into the centroids.
+    fn refresh(&mut self, init: &PolicyInit) {
+        self.init(init);
+    }
+
+    fn prefetch_bytes_per_step(&self, middle_len: usize) -> u64 {
+        // m·b bits per token, plus the (tiny, s-independent) centroids are
+        // GPU-resident after the first step, so codes dominate.
+        ((middle_len * self.cfg.m * self.cfg.b as usize) as u64).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retrieval::OraclePolicy;
+    use crate::testutil::{query_for, synthetic_init};
+    use pqc_tensor::{topk_recall, Matrix, Rng64};
+
+    fn cfg(m: usize, b: u32, iters: usize) -> PqCachePolicyConfig {
+        PqCachePolicyConfig { m, b, kmeans_iters: iters, seed: 7 }
+    }
+
+    #[test]
+    fn finds_aligned_token() {
+        let init = synthetic_init(2, 2, 128, 16, &[], 1);
+        let mut p = PqCachePolicy::new(cfg(4, 6, 20));
+        p.init(&init);
+        let q = query_for(&init, 1, 0, 77);
+        let ctx = PolicyContext { layer: 1, kv_head: 0, queries: &q, budget: 5, middle_len: 128 };
+        let sel = p.select(&ctx);
+        assert!(sel.contains(&77), "{sel:?}");
+    }
+
+    #[test]
+    fn recall_against_oracle_reasonable() {
+        let init = synthetic_init(1, 1, 400, 32, &[], 2);
+        let mut oracle = OraclePolicy::default();
+        let mut pq = PqCachePolicy::new(cfg(4, 8, 25));
+        oracle.init(&init);
+        pq.init(&init);
+        let mut rng = Rng64::new(9);
+        let mut recall = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let q = Matrix::randn(2, 32, 1.0, &mut rng);
+            let mk = |queries| PolicyContext { layer: 0, kv_head: 0, queries, budget: 40, middle_len: 400 };
+            let exact = oracle.select(&mk(&q));
+            recall += topk_recall(&exact, &pq.select(&mk(&q)));
+        }
+        recall /= trials as f64;
+        assert!(recall > 0.6, "recall {recall}");
+    }
+
+    #[test]
+    fn more_iterations_not_worse() {
+        // Fig. 12c: more clustering iterations generally help (inertia
+        // strictly non-increasing; recall statistically better).
+        let init = synthetic_init(1, 1, 300, 16, &[], 3);
+        let mut p0 = PqCachePolicy::new(cfg(2, 6, 0));
+        let mut p25 = PqCachePolicy::new(cfg(2, 6, 25));
+        p0.init(&init);
+        p25.init(&init);
+        assert!(p25.total_inertia() <= p0.total_inertia() + 1e-6);
+        assert!(p25.mean_iters_run() > p0.mean_iters_run());
+    }
+
+    #[test]
+    fn evicted_token_becomes_retrievable() {
+        let init = synthetic_init(1, 1, 64, 16, &[], 4);
+        let mut p = PqCachePolicy::new(cfg(2, 5, 15));
+        p.init(&init);
+        let key = vec![2.0f32; 16];
+        p.on_evict(0, 0, &key, 64);
+        let mut q = Matrix::zeros(1, 16);
+        q.copy_row_from(0, &key);
+        let ctx = PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 3, middle_len: 65 };
+        let sel = p.select(&ctx);
+        assert!(sel.contains(&64), "{sel:?}");
+    }
+
+    #[test]
+    fn comm_is_prefetchable_only() {
+        let init = synthetic_init(1, 1, 64, 16, &[], 5);
+        let mut p = PqCachePolicy::new(cfg(2, 6, 5));
+        p.init(&init);
+        assert_eq!(p.comm_bytes_per_step(100_000), 0);
+        // m=2, b=6: 12 bits -> 1.5 bytes/token.
+        assert_eq!(p.prefetch_bytes_per_step(1000), 1500);
+    }
+
+    #[test]
+    fn comm_budget_below_paper_bound() {
+        // §4.1.3: codes/keys ratio m·b/(16·dh) must be ≤ 1/128 for the
+        // LongBench config at dh=128.
+        let p = PqCachePolicy::new(cfg(2, 6, 5));
+        let ratio = p.pq_config().comm_ratio(128);
+        assert!(ratio <= 1.0 / 128.0 + 1e-12, "ratio {ratio}");
+    }
+
+    #[test]
+    fn respects_budget_and_middle_len() {
+        let init = synthetic_init(1, 1, 50, 16, &[], 6);
+        let mut p = PqCachePolicy::new(cfg(2, 4, 5));
+        p.init(&init);
+        let q = Matrix::zeros(1, 16);
+        let ctx = PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 7, middle_len: 30 };
+        let sel = p.select(&ctx);
+        assert!(sel.len() <= 7);
+        assert!(sel.iter().all(|&i| i < 30));
+    }
+}

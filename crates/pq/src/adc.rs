@@ -1,0 +1,171 @@
+//! Asymmetric Distance Computation (ADC) for inner-product search.
+//!
+//! Decode-phase Step ❹: multiply the partitioned query against PQ centroids
+//! once (`(m, 1, dm) × (m, dm, 2^b)` in the paper's shapes), producing a
+//! lookup table; then every token's approximate attention logit is the sum of
+//! `m` table entries addressed by its codes. This is O(2^b·dh + s·m) instead
+//! of O(s·dh) for exact scores.
+
+use crate::codebook::{PqCodebook, PqCodes};
+use pqc_tensor::{dot, top_k_indices, Matrix};
+
+/// Pre-computed per-query lookup table: `table[j][c]` is the inner product of
+/// query sub-vector `j` with centroid `c` of sub-space `j`.
+#[derive(Debug, Clone)]
+pub struct AdcTable {
+    m: usize,
+    k_c: usize,
+    table: Vec<f32>,
+}
+
+impl AdcTable {
+    /// Build the table for one query vector.
+    pub fn build(book: &PqCodebook, query: &[f32]) -> Self {
+        assert_eq!(query.len(), book.dh(), "query dimension mismatch");
+        let m = book.config().m;
+        let dm = book.dm();
+        let k_c = book.centroids(0).rows();
+        let mut table = Vec::with_capacity(m * k_c);
+        for j in 0..m {
+            let sub = &query[j * dm..(j + 1) * dm];
+            let cents = book.centroids(j);
+            debug_assert_eq!(cents.rows(), k_c);
+            for c in 0..k_c {
+                table.push(dot(sub, cents.row(c)));
+            }
+        }
+        Self { m, k_c, table }
+    }
+
+    /// Table entry for sub-space `j`, centroid `c`.
+    #[inline]
+    pub fn entry(&self, j: usize, c: usize) -> f32 {
+        self.table[j * self.k_c + c]
+    }
+
+    /// Approximate inner product of the query with one token's codes.
+    #[inline]
+    pub fn score_token(&self, token_codes: &[u16]) -> f32 {
+        debug_assert_eq!(token_codes.len(), self.m);
+        let mut s = 0.0;
+        for (j, &c) in token_codes.iter().enumerate() {
+            s += self.entry(j, c as usize);
+        }
+        s
+    }
+
+    /// Approximate inner products for all encoded tokens.
+    pub fn score_all(&self, codes: &PqCodes) -> Vec<f32> {
+        let n = codes.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.score_token(codes.token(i)));
+        }
+        out
+    }
+}
+
+/// Approximate top-k retrieval: score every encoded token with ADC and return
+/// the indices of the `k` best, descending.
+pub fn pq_top_k(book: &PqCodebook, codes: &PqCodes, query: &[f32], k: usize) -> Vec<usize> {
+    let table = AdcTable::build(book, query);
+    let scores = table.score_all(codes);
+    top_k_indices(&scores, k)
+}
+
+/// Exact top-k over raw keys, for Oracle comparisons and recall measurement.
+pub fn exact_top_k(keys: &Matrix, query: &[f32], k: usize) -> Vec<usize> {
+    let mut scores = Vec::with_capacity(keys.rows());
+    for i in 0..keys.rows() {
+        scores.push(dot(query, keys.row(i)));
+    }
+    top_k_indices(&scores, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::PqConfig;
+    use pqc_tensor::{topk_recall, Rng64};
+
+    fn setup(s: usize, dh: usize, m: usize, b: u32, seed: u64) -> (Matrix, PqCodebook, PqCodes) {
+        let mut rng = Rng64::new(seed);
+        let keys = Matrix::randn(s, dh, 1.0, &mut rng);
+        let (book, codes) = PqCodebook::train(&keys, PqConfig { m, b, max_iters: 20, seed });
+        (keys, book, codes)
+    }
+
+    #[test]
+    fn adc_score_equals_dot_with_reconstruction() {
+        // Core PQ invariant: ADC(q, codes_i) == <q, reconstruct(codes_i)>.
+        let (_, book, codes) = setup(150, 16, 4, 4, 11);
+        let mut rng = Rng64::new(99);
+        let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let table = AdcTable::build(&book, &q);
+        for i in 0..codes.len() {
+            let approx = table.score_token(codes.token(i));
+            let rec = book.reconstruct(codes.token(i));
+            let exact_on_rec = dot(&q, &rec);
+            assert!(
+                (approx - exact_on_rec).abs() < 1e-4,
+                "token {i}: {approx} vs {exact_on_rec}"
+            );
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_more_bits() {
+        let mut rng = Rng64::new(21);
+        let keys = Matrix::randn(500, 32, 1.0, &mut rng);
+        let q: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let exact = exact_top_k(&keys, &q, 50);
+
+        let mut recalls = Vec::new();
+        for b in [2u32, 4, 6, 8] {
+            let (book, codes) =
+                PqCodebook::train(&keys, PqConfig { m: 4, b, max_iters: 20, seed: 5 });
+            let approx = pq_top_k(&book, &codes, &q, 50);
+            recalls.push(topk_recall(&exact, &approx));
+        }
+        // Not necessarily strictly monotone, but the trend must be clear.
+        assert!(recalls[3] > recalls[0] + 0.1, "recalls {recalls:?}");
+        assert!(recalls[3] > 0.6, "recalls {recalls:?}");
+    }
+
+    #[test]
+    fn perfect_recall_when_centroids_exhaust_data() {
+        // k_c >= s means every key can be its own centroid: exact search.
+        let (keys, book, codes) = setup(30, 8, 1, 5, 31);
+        let mut rng = Rng64::new(7);
+        let q: Vec<f32> = (0..8).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let exact = exact_top_k(&keys, &q, 5);
+        let approx = pq_top_k(&book, &codes, &q, 5);
+        let recall = topk_recall(&exact, &approx);
+        assert!(recall > 0.99, "recall {recall}");
+    }
+
+    #[test]
+    fn score_all_length() {
+        let (_, book, codes) = setup(64, 16, 2, 4, 41);
+        let q = vec![0.5f32; 16];
+        let t = AdcTable::build(&book, &q);
+        assert_eq!(t.score_all(&codes).len(), 64);
+    }
+
+    #[test]
+    fn zero_query_scores_zero() {
+        let (_, book, codes) = setup(40, 16, 2, 4, 51);
+        let q = vec![0.0f32; 16];
+        let t = AdcTable::build(&book, &q);
+        for s in t.score_all(&codes) {
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn top_k_deterministic() {
+        let (_, book, codes) = setup(256, 32, 4, 6, 61);
+        let q = vec![0.1f32; 32];
+        assert_eq!(pq_top_k(&book, &codes, &q, 10), pq_top_k(&book, &codes, &q, 10));
+    }
+}

@@ -1,0 +1,403 @@
+//! Product-quantization codebooks over key vectors.
+//!
+//! A [`PqCodebook`] mirrors the paper's Step ❷: the `d_h`-dimensional key
+//! space is split into `m` sub-spaces of `d_m = d_h / m` dimensions, each
+//! clustered into `2^b` centroids. Tokens carry one `b`-bit code per
+//! sub-space ([`PqCodes`]); approximate inner products are computed by the
+//! ADC machinery in [`crate::adc`].
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use pqc_tensor::{squared_l2, Matrix};
+
+/// PQ hyper-parameters: `m` partitions × `2^b` centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqConfig {
+    /// Number of sub-spaces the key dimension is split into.
+    pub m: usize,
+    /// Bits per code; each sub-space has `2^b` centroids.
+    pub b: u32,
+    /// Maximum K-Means iterations for construction (the adaptive budget).
+    pub max_iters: usize,
+    /// Seed for clustering.
+    pub seed: u64,
+}
+
+impl PqConfig {
+    /// The paper's default LongBench configuration (m=2, b=6).
+    pub fn longbench_default() -> Self {
+        Self { m: 2, b: 6, max_iters: 25, seed: 0 }
+    }
+
+    /// The paper's InfiniteBench configuration (m=4, b=8).
+    pub fn infinitebench_default() -> Self {
+        Self { m: 4, b: 8, max_iters: 25, seed: 0 }
+    }
+
+    /// Number of centroids per sub-space.
+    pub fn centroids_per_subspace(&self) -> usize {
+        1usize << self.b
+    }
+
+    /// Bytes of PQ-code traffic for `s` tokens (`m·s·b/8`, paper §4.1.3).
+    pub fn code_bytes(&self, s: usize) -> usize {
+        (self.m * s * self.b as usize).div_ceil(8)
+    }
+
+    /// Communication ratio of PQ codes relative to FP16 keys of head
+    /// dimension `dh`: `m·b / (16·dh)` (paper §4.1.3).
+    pub fn comm_ratio(&self, dh: usize) -> f64 {
+        (self.m as f64 * self.b as f64) / (16.0 * dh as f64)
+    }
+}
+
+/// PQ codes for a sequence of tokens: row-major `(len, m)` of `u16`.
+///
+/// `u16` accommodates every configuration the paper sweeps (`m·b ≤ 16`,
+/// so `b ≤ 16`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqCodes {
+    m: usize,
+    codes: Vec<u16>,
+}
+
+impl PqCodes {
+    /// An empty code table for `m` sub-spaces.
+    pub fn new(m: usize) -> Self {
+        Self { m, codes: Vec::new() }
+    }
+
+    /// Number of encoded tokens.
+    pub fn len(&self) -> usize {
+        self.codes.len() / self.m
+    }
+
+    /// Whether no tokens are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Sub-space count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Codes of token `i` (one per sub-space).
+    pub fn token(&self, i: usize) -> &[u16] {
+        &self.codes[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Append one token's codes.
+    pub fn push(&mut self, token_codes: &[u16]) {
+        assert_eq!(token_codes.len(), self.m);
+        self.codes.extend_from_slice(token_codes);
+    }
+
+    /// Raw storage in *bits* at `b` bits per code (what actually crosses
+    /// PCIe; in-memory we hold u16 for simplicity).
+    pub fn wire_bits(&self, b: u32) -> usize {
+        self.codes.len() * b as usize
+    }
+}
+
+/// A trained product quantizer for one (layer, head) key space.
+///
+/// ```
+/// use pqc_pq::{PqCodebook, PqConfig};
+/// use pqc_tensor::{Matrix, Rng64};
+///
+/// let mut rng = Rng64::new(1);
+/// let keys = Matrix::randn(256, 32, 1.0, &mut rng);          // (s, d_h)
+/// let cfg = PqConfig { m: 2, b: 6, max_iters: 10, seed: 1 }; // paper default
+/// let (book, codes) = PqCodebook::train(&keys, cfg);
+/// assert_eq!(codes.len(), 256);
+/// // Codes cost m·b = 12 bits/token vs 32·16 = 512 bits of FP16 keys.
+/// assert!(cfg.comm_ratio(32) < 0.03);
+/// // Reconstruction approximates the original key.
+/// let approx = book.reconstruct(codes.token(0));
+/// assert_eq!(approx.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PqCodebook {
+    cfg: PqConfig,
+    /// Dimension of the full key vector.
+    dh: usize,
+    /// Dimension of each sub-space (`dh / m`).
+    dm: usize,
+    /// One `(k_c, dm)` centroid matrix per sub-space.
+    centroids: Vec<Matrix>,
+    /// K-Means iterations actually run, per sub-space (diagnostics).
+    iters_run: Vec<usize>,
+    /// Total clustering inertia (diagnostics).
+    inertia: f64,
+}
+
+impl PqCodebook {
+    /// Train a codebook from a `(s, dh)` key matrix and encode all rows.
+    ///
+    /// Panics if `dh` is not divisible by `m` or the key matrix is empty —
+    /// both are configuration errors, not runtime conditions.
+    pub fn train(keys: &Matrix, cfg: PqConfig) -> (Self, PqCodes) {
+        let (s, dh) = keys.shape();
+        assert!(s > 0, "cannot train PQ on zero keys");
+        assert!(cfg.m > 0 && dh % cfg.m == 0, "dh={dh} not divisible by m={}", cfg.m);
+        let dm = dh / cfg.m;
+        let k = cfg.centroids_per_subspace();
+
+        // Sub-space clustering. Each sub-space is independent; run them on
+        // scoped threads, matching the paper's m·h_kv parallel CPU processes.
+        let subviews: Vec<Matrix> = (0..cfg.m).map(|j| subspace_view(keys, j, dm)).collect();
+        let mut results: Vec<Option<crate::kmeans::KMeansResult>> = (0..cfg.m).map(|_| None).collect();
+        if cfg.m > 1 && s >= 1024 {
+            crossbeam::thread::scope(|scope| {
+                for (j, slot) in results.iter_mut().enumerate() {
+                    let view = &subviews[j];
+                    let kcfg = KMeansConfig {
+                        k,
+                        max_iters: cfg.max_iters,
+                        tol: 1e-4,
+                        seed: cfg.seed.wrapping_add(j as u64).wrapping_mul(0x9E37_79B9),
+                    };
+                    scope.spawn(move |_| {
+                        *slot = Some(kmeans(view, &kcfg));
+                    });
+                }
+            })
+            .expect("kmeans worker panicked");
+        } else {
+            for (j, slot) in results.iter_mut().enumerate() {
+                let kcfg = KMeansConfig {
+                    k,
+                    max_iters: cfg.max_iters,
+                    tol: 1e-4,
+                    seed: cfg.seed.wrapping_add(j as u64).wrapping_mul(0x9E37_79B9),
+                };
+                *slot = Some(kmeans(&subviews[j], &kcfg));
+            }
+        }
+
+        let mut centroids = Vec::with_capacity(cfg.m);
+        let mut iters_run = Vec::with_capacity(cfg.m);
+        let mut inertia = 0.0;
+        let mut codes = PqCodes::new(cfg.m);
+        let mut per_token: Vec<Vec<u16>> = vec![vec![0u16; cfg.m]; s];
+        for (j, res) in results.into_iter().enumerate() {
+            let res = res.expect("kmeans result missing");
+            for (i, &a) in res.assignments.iter().enumerate() {
+                per_token[i][j] = a as u16;
+            }
+            inertia += res.inertia;
+            iters_run.push(res.iters_run);
+            centroids.push(res.centroids);
+        }
+        for t in &per_token {
+            codes.push(t);
+        }
+
+        (Self { cfg, dh, dm, centroids, iters_run, inertia }, codes)
+    }
+
+    /// The configuration this codebook was trained with.
+    pub fn config(&self) -> PqConfig {
+        self.cfg
+    }
+
+    /// Full key dimension.
+    pub fn dh(&self) -> usize {
+        self.dh
+    }
+
+    /// Sub-space dimension.
+    pub fn dm(&self) -> usize {
+        self.dm
+    }
+
+    /// Centroid matrix of sub-space `j` (`k_c x dm`).
+    pub fn centroids(&self, j: usize) -> &Matrix {
+        &self.centroids[j]
+    }
+
+    /// Iterations K-Means actually ran per sub-space.
+    pub fn iters_run(&self) -> &[usize] {
+        &self.iters_run
+    }
+
+    /// Total construction inertia (sum over sub-spaces).
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Assign PQ codes to a single new key vector (nearest centroid per
+    /// sub-space). This is the decode-phase path for tokens evicted from the
+    /// local window (Algorithm 2, line 4).
+    pub fn assign(&self, key: &[f32]) -> Vec<u16> {
+        assert_eq!(key.len(), self.dh);
+        let mut out = Vec::with_capacity(self.cfg.m);
+        for j in 0..self.cfg.m {
+            let sub = &key[j * self.dm..(j + 1) * self.dm];
+            let cents = &self.centroids[j];
+            let mut best = 0u16;
+            let mut best_d = f32::INFINITY;
+            for c in 0..cents.rows() {
+                let d = squared_l2(sub, cents.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c as u16;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Reconstruct the approximate key vector of a token from its codes.
+    pub fn reconstruct(&self, token_codes: &[u16]) -> Vec<f32> {
+        assert_eq!(token_codes.len(), self.cfg.m);
+        let mut out = Vec::with_capacity(self.dh);
+        for (j, &c) in token_codes.iter().enumerate() {
+            out.extend_from_slice(self.centroids[j].row(c as usize));
+        }
+        out
+    }
+
+    /// Memory footprint of the centroid tables in bytes (FP16 accounting, as
+    /// the paper stores centroids on GPU): `m · k_c · dm · 2`.
+    pub fn centroid_bytes(&self) -> usize {
+        self.centroids.iter().map(|c| c.rows() * c.cols() * 2).sum()
+    }
+}
+
+/// Extract the `(s, dm)` sub-matrix of sub-space `j`.
+fn subspace_view(keys: &Matrix, j: usize, dm: usize) -> Matrix {
+    let s = keys.rows();
+    let mut out = Matrix::zeros(s, dm);
+    for i in 0..s {
+        let src = &keys.row(i)[j * dm..(j + 1) * dm];
+        out.row_mut(i).copy_from_slice(src);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_tensor::Rng64;
+
+    fn random_keys(s: usize, dh: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::new(seed);
+        Matrix::randn(s, dh, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn train_shapes() {
+        let keys = random_keys(200, 32, 1);
+        let cfg = PqConfig { m: 4, b: 4, max_iters: 10, seed: 1 };
+        let (book, codes) = PqCodebook::train(&keys, cfg);
+        assert_eq!(book.dm(), 8);
+        assert_eq!(codes.len(), 200);
+        assert_eq!(codes.m(), 4);
+        for j in 0..4 {
+            assert_eq!(book.centroids(j).shape(), (16, 8));
+        }
+    }
+
+    #[test]
+    fn codes_in_range() {
+        let keys = random_keys(300, 16, 2);
+        let cfg = PqConfig { m: 2, b: 3, max_iters: 8, seed: 2 };
+        let (_, codes) = PqCodebook::train(&keys, cfg);
+        for i in 0..codes.len() {
+            for &c in codes.token(i) {
+                assert!(c < 8, "code {c} out of range for b=3");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_better_than_random_centroid() {
+        let keys = random_keys(400, 32, 3);
+        let cfg = PqConfig { m: 4, b: 6, max_iters: 15, seed: 3 };
+        let (book, codes) = PqCodebook::train(&keys, cfg);
+        let mut err_assigned = 0.0f64;
+        let mut err_fixed = 0.0f64;
+        for i in 0..keys.rows() {
+            let rec = book.reconstruct(codes.token(i));
+            err_assigned += squared_l2(keys.row(i), &rec) as f64;
+            // Compare against always using centroid 0 in every sub-space.
+            let fixed = book.reconstruct(&[0u16; 4]);
+            err_fixed += squared_l2(keys.row(i), &fixed) as f64;
+        }
+        assert!(
+            err_assigned < err_fixed * 0.8,
+            "assigned {err_assigned} vs fixed {err_fixed}"
+        );
+    }
+
+    #[test]
+    fn assign_matches_training_codes() {
+        // Re-assigning a training vector must give codes at least as close
+        // as the training assignment (they should be identical since both
+        // pick the nearest centroid).
+        let keys = random_keys(128, 16, 4);
+        let cfg = PqConfig { m: 2, b: 4, max_iters: 12, seed: 4 };
+        let (book, codes) = PqCodebook::train(&keys, cfg);
+        for i in 0..keys.rows() {
+            let re = book.assign(keys.row(i));
+            let trained_rec = book.reconstruct(codes.token(i));
+            let re_rec = book.reconstruct(&re);
+            let d_train = squared_l2(keys.row(i), &trained_rec);
+            let d_re = squared_l2(keys.row(i), &re_rec);
+            assert!(d_re <= d_train + 1e-5, "token {i}: reassign worse");
+        }
+    }
+
+    #[test]
+    fn m1_single_subspace_works() {
+        let keys = random_keys(100, 8, 5);
+        let cfg = PqConfig { m: 1, b: 5, max_iters: 10, seed: 5 };
+        let (book, codes) = PqCodebook::train(&keys, cfg);
+        assert_eq!(book.dm(), 8);
+        assert_eq!(codes.m(), 1);
+    }
+
+    #[test]
+    fn comm_ratio_matches_paper_formula() {
+        // Paper §4.1.3: m=2, b=6, dh=128 -> 12/2048 = (b/8)*(1/128) <= 1/128.
+        let cfg = PqConfig { m: 2, b: 6, max_iters: 1, seed: 0 };
+        let r = cfg.comm_ratio(128);
+        assert!((r - 12.0 / 2048.0).abs() < 1e-12);
+        // m=4, b=8, dh=128 -> 32/2048 = 1/64.
+        let cfg2 = PqConfig { m: 4, b: 8, max_iters: 1, seed: 0 };
+        assert!((cfg2.comm_ratio(128) - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_bytes_rounds_up() {
+        let cfg = PqConfig { m: 2, b: 6, max_iters: 1, seed: 0 };
+        // 2 codes * 6 bits = 12 bits -> 2 bytes per token.
+        assert_eq!(cfg.code_bytes(1), 2);
+        assert_eq!(cfg.code_bytes(100), 150);
+    }
+
+    #[test]
+    fn parallel_and_serial_training_agree() {
+        // s >= 1024 triggers the threaded path; the result must be
+        // identical to the serial path because seeds are per-sub-space.
+        let keys = random_keys(1100, 16, 6);
+        let cfg = PqConfig { m: 4, b: 4, max_iters: 6, seed: 6 };
+        let (book_a, codes_a) = PqCodebook::train(&keys, cfg);
+        let small = keys.slice_rows(0, 1100); // same data, force clone
+        let (book_b, codes_b) = PqCodebook::train(&small, cfg);
+        assert_eq!(codes_a, codes_b);
+        for j in 0..4 {
+            assert_eq!(book_a.centroids(j), book_b.centroids(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_dh_panics() {
+        let keys = random_keys(10, 10, 7);
+        let cfg = PqConfig { m: 3, b: 2, max_iters: 1, seed: 0 };
+        let _ = PqCodebook::train(&keys, cfg);
+    }
+}

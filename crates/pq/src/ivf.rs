@@ -1,0 +1,211 @@
+//! IVF (inverted-file) coarse quantization — the paper's §5 extension.
+//!
+//! "Other retrieval techniques, such as IVF \[48\] ... could potentially
+//! contribute to more efficient LLM inference." IVF partitions the keys into
+//! `n_list` coarse cells by K-Means; a query then scores only the tokens in
+//! its `n_probe` nearest cells instead of all `s` tokens, cutting ADC work
+//! from O(s·m) to O(s·m·n_probe/n_list) at some recall cost. This module
+//! implements IVF over the PQ codebook (IVF-PQ) so the trade-off can be
+//! measured — see the `ivf_ablation` test and the extension notes in
+//! EXPERIMENTS.md.
+
+use crate::adc::AdcTable;
+use crate::codebook::{PqCodebook, PqCodes};
+use crate::kmeans::{kmeans, KMeansConfig};
+use pqc_tensor::{dot, squared_l2, top_k_indices, Matrix};
+
+/// IVF configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IvfConfig {
+    /// Number of coarse cells.
+    pub n_list: usize,
+    /// Cells probed per query.
+    pub n_probe: usize,
+    /// Coarse K-Means iterations.
+    pub max_iters: usize,
+    /// Seed for coarse clustering.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self { n_list: 16, n_probe: 4, max_iters: 10, seed: 0x1BF }
+    }
+}
+
+/// An inverted-file index over token keys, layered on top of PQ codes.
+///
+/// ```
+/// use pqc_pq::{IvfConfig, IvfIndex, PqCodebook, PqConfig};
+/// use pqc_tensor::{Matrix, Rng64};
+///
+/// let mut rng = Rng64::new(2);
+/// let keys = Matrix::randn(512, 16, 1.0, &mut rng);
+/// let (book, codes) = PqCodebook::train(&keys, PqConfig { m: 2, b: 5, max_iters: 8, seed: 2 });
+/// let ivf = IvfIndex::build(&keys, IvfConfig { n_list: 16, n_probe: 4, max_iters: 8, seed: 3 });
+/// let q: Vec<f32> = keys.row(42).to_vec();
+/// let top = ivf.search(&book, &codes, &q, 10);
+/// assert!(top.len() <= 10);
+/// // Only ~n_probe/n_list of tokens were ADC-scored.
+/// assert!(ivf.scan_fraction(&q, 512) < 0.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    cfg: IvfConfig,
+    /// `(n_list, dh)` coarse centroids.
+    coarse: Matrix,
+    /// Token ids per cell.
+    lists: Vec<Vec<usize>>,
+}
+
+impl IvfIndex {
+    /// Build the index from raw keys.
+    pub fn build(keys: &Matrix, cfg: IvfConfig) -> Self {
+        assert!(cfg.n_list >= 1 && cfg.n_probe >= 1);
+        let res = kmeans(
+            keys,
+            &KMeansConfig { k: cfg.n_list, max_iters: cfg.max_iters, tol: 1e-4, seed: cfg.seed },
+        );
+        let n_list = res.centroids.rows();
+        let mut lists = vec![Vec::new(); n_list];
+        for (i, &a) in res.assignments.iter().enumerate() {
+            lists[a as usize].push(i);
+        }
+        Self { cfg, coarse: res.centroids, lists }
+    }
+
+    /// Number of coarse cells actually built.
+    pub fn n_list(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Append a new token (assigned to its nearest coarse cell).
+    pub fn append(&mut self, token_id: usize, key: &[f32]) {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.coarse.rows() {
+            let d = squared_l2(key, self.coarse.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        self.lists[best].push(token_id);
+    }
+
+    /// The token ids inside the `n_probe` cells nearest to `query` (by
+    /// inner product, matching the attention-scoring geometry).
+    pub fn probe(&self, query: &[f32]) -> Vec<usize> {
+        let scores: Vec<f32> =
+            (0..self.coarse.rows()).map(|c| dot(query, self.coarse.row(c))).collect();
+        let cells = top_k_indices(&scores, self.cfg.n_probe.min(self.lists.len()));
+        let mut out = Vec::new();
+        for c in cells {
+            out.extend_from_slice(&self.lists[c]);
+        }
+        out
+    }
+
+    /// IVF-PQ top-k: ADC-score only the probed candidates.
+    pub fn search(
+        &self,
+        book: &PqCodebook,
+        codes: &PqCodes,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<usize> {
+        let candidates = self.probe(query);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let table = AdcTable::build(book, query);
+        let scores: Vec<f32> =
+            candidates.iter().map(|&i| table.score_token(codes.token(i))).collect();
+        top_k_indices(&scores, k).into_iter().map(|j| candidates[j]).collect()
+    }
+
+    /// Fraction of tokens scored per query (the ADC-work saving).
+    pub fn scan_fraction(&self, query: &[f32], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        self.probe(query).len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::PqConfig;
+    use crate::exact_top_k;
+    use pqc_tensor::{topk_recall, Rng64};
+
+    fn setup(s: usize, dh: usize, seed: u64) -> (Matrix, PqCodebook, PqCodes) {
+        let mut rng = Rng64::new(seed);
+        let keys = Matrix::randn(s, dh, 1.0, &mut rng);
+        let (book, codes) =
+            PqCodebook::train(&keys, PqConfig { m: 4, b: 6, max_iters: 15, seed });
+        (keys, book, codes)
+    }
+
+    #[test]
+    fn lists_partition_tokens() {
+        let (keys, _, _) = setup(300, 16, 1);
+        let ivf = IvfIndex::build(&keys, IvfConfig::default());
+        let mut all: Vec<usize> = ivf.lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probing_reduces_scan() {
+        let (keys, _, _) = setup(400, 16, 2);
+        let ivf = IvfIndex::build(&keys, IvfConfig { n_list: 16, n_probe: 4, ..Default::default() });
+        let mut rng = Rng64::new(9);
+        let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let frac = ivf.scan_fraction(&q, 400);
+        assert!(frac < 0.7, "scan fraction {frac}");
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn ivf_ablation_recall_vs_scan() {
+        // More probes => more scan => better recall against exact search.
+        let (keys, book, codes) = setup(600, 16, 3);
+        let mut rng = Rng64::new(10);
+        let mut prev_recall = 0.0;
+        for n_probe in [1usize, 4, 16] {
+            let ivf = IvfIndex::build(
+                &keys,
+                IvfConfig { n_list: 16, n_probe, max_iters: 10, seed: 5 },
+            );
+            let mut recall = 0.0;
+            let trials = 10;
+            let mut rq = rng.fork(n_probe as u64);
+            for _ in 0..trials {
+                let q: Vec<f32> = (0..16).map(|_| rq.normal_f32(0.0, 1.0)).collect();
+                let exact = exact_top_k(&keys, &q, 30);
+                let got = ivf.search(&book, &codes, &q, 30);
+                recall += topk_recall(&exact, &got);
+            }
+            recall /= trials as f64;
+            assert!(recall + 0.12 >= prev_recall, "recall regressed: {recall} vs {prev_recall}");
+            prev_recall = prev_recall.max(recall);
+        }
+        // Probing everything should recover most of plain PQ's recall.
+        assert!(prev_recall > 0.5, "full-probe recall {prev_recall}");
+    }
+
+    #[test]
+    fn append_routes_to_a_cell() {
+        let (keys, _, _) = setup(100, 16, 4);
+        let mut ivf = IvfIndex::build(&keys, IvfConfig::default());
+        let before: usize = ivf.lists.iter().map(|l| l.len()).sum();
+        ivf.append(100, keys.row(0));
+        let after: usize = ivf.lists.iter().map(|l| l.len()).sum();
+        assert_eq!(after, before + 1);
+        // The appended token is findable with a query aligned to its key.
+        let q: Vec<f32> = keys.row(0).iter().map(|v| v * 2.0).collect();
+        assert!(ivf.probe(&q).contains(&100));
+    }
+}

@@ -1,0 +1,273 @@
+//! Lloyd's K-Means with k-means++ seeding and empty-cluster repair.
+//!
+//! PQ construction (paper §3, Step ❷) runs one K-Means per sub-space per
+//! layer per KV head. The iteration count is externally budgeted — the
+//! adaptive controller (§3.3) clips it so clustering never blocks GPU
+//! compute — so `fit` takes an explicit `max_iters` and reports how many
+//! iterations actually ran and the final inertia.
+
+use pqc_tensor::{squared_l2, Matrix, Rng64};
+
+/// Outcome of a K-Means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k x d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster id per input row.
+    pub assignments: Vec<u32>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed (may stop early on convergence).
+    pub iters_run: usize,
+}
+
+/// Configuration for a K-Means fit.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters requested; silently capped at the number of rows.
+    pub k: usize,
+    /// Maximum Lloyd iterations (0 means "seed only, one assignment pass").
+    pub max_iters: usize,
+    /// Stop early when inertia improves by less than this relative amount.
+    pub tol: f64,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 16, max_iters: 25, tol: 1e-4, seed: 0 }
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones proportional to
+/// squared distance from the nearest chosen centroid.
+fn seed_centroids(data: &Matrix, k: usize, rng: &mut Rng64) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.below(n);
+    centroids.copy_row_from(0, data.row(first));
+
+    let mut dists: Vec<f64> = (0..n)
+        .map(|i| squared_l2(data.row(i), centroids.row(0)) as f64)
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = dists.iter().sum();
+        let idx = if total <= 0.0 {
+            // All points identical to chosen centroids; pick anything.
+            rng.below(n)
+        } else {
+            rng.weighted(&dists)
+        };
+        centroids.copy_row_from(c, data.row(idx));
+        for (i, dist) in dists.iter_mut().enumerate() {
+            let nd = squared_l2(data.row(i), centroids.row(c)) as f64;
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Assign every row to its nearest centroid. Returns total inertia.
+fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> f64 {
+    let k = centroids.rows();
+    let mut inertia = 0.0f64;
+    for i in 0..data.rows() {
+        let row = data.row(i);
+        let mut best = 0u32;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = squared_l2(row, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_d as f64;
+    }
+    inertia
+}
+
+/// Recompute centroids as the mean of their members; repair empty clusters by
+/// re-seeding them at the point farthest from its centroid.
+fn update(data: &Matrix, assignments: &[u32], k: usize) -> Matrix {
+    let d = data.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a as usize] += 1;
+        let crow = centroids.row_mut(a as usize);
+        for (o, v) in crow.iter_mut().zip(data.row(i).iter()) {
+            *o += v;
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            let inv = 1.0 / counts[c] as f32;
+            for v in centroids.row_mut(c) {
+                *v *= inv;
+            }
+        }
+    }
+    // Repair empties: steal the point with the largest distance to its
+    // (non-empty) centroid. Deterministic: scan in order.
+    for c in 0..k {
+        if counts[c] == 0 {
+            let mut far_i = 0;
+            let mut far_d = -1.0f32;
+            for i in 0..data.rows() {
+                let a = assignments[i] as usize;
+                if counts[a] <= 1 {
+                    continue; // don't empty another cluster
+                }
+                let dist = squared_l2(data.row(i), centroids.row(a));
+                if dist > far_d {
+                    far_d = dist;
+                    far_i = i;
+                }
+            }
+            centroids.copy_row_from(c, data.row(far_i));
+            counts[c] = 1;
+        }
+    }
+    let _ = d;
+    centroids
+}
+
+/// Run K-Means on the rows of `data`.
+///
+/// Always performs the k-means++ seeding plus one assignment pass, then up to
+/// `max_iters` Lloyd iterations with early stop at relative tolerance `tol`.
+pub fn kmeans(data: &Matrix, cfg: &KMeansConfig) -> KMeansResult {
+    let n = data.rows();
+    assert!(n > 0, "kmeans on empty data");
+    let k = cfg.k.min(n).max(1);
+    let mut rng = Rng64::new(cfg.seed);
+
+    let mut centroids = seed_centroids(data, k, &mut rng);
+    let mut assignments = vec![0u32; n];
+    let mut inertia = assign(data, &centroids, &mut assignments);
+    let mut iters_run = 0;
+
+    for _ in 0..cfg.max_iters {
+        centroids = update(data, &assignments, k);
+        let new_inertia = assign(data, &centroids, &mut assignments);
+        iters_run += 1;
+        let improved = inertia - new_inertia;
+        let done = improved <= cfg.tol * inertia.max(1e-12);
+        inertia = new_inertia;
+        if done {
+            break;
+        }
+    }
+
+    KMeansResult { centroids, assignments, inertia, iters_run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs(per: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::new(seed);
+        let centers = [(-10.0f32, -10.0), (0.0, 10.0), (10.0, -5.0)];
+        let mut data = Matrix::zeros(per * 3, 2);
+        for (b, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per {
+                let r = b * per + i;
+                data.set(r, 0, cx + rng.normal_f32(0.0, 0.5));
+                data.set(r, 1, cy + rng.normal_f32(0.0, 0.5));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs(50, 1);
+        let res = kmeans(&data, &KMeansConfig { k: 3, max_iters: 50, tol: 1e-6, seed: 2 });
+        // Each blob should map to exactly one cluster.
+        for b in 0..3 {
+            let first = res.assignments[b * 50];
+            for i in 0..50 {
+                assert_eq!(res.assignments[b * 50 + i], first, "blob {b} split");
+            }
+        }
+        // And the three blobs should use three distinct clusters.
+        let mut ids: Vec<u32> = (0..3).map(|b| res.assignments[b * 50]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        assert!(res.inertia < 150.0 * 2.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_with_more_iters() {
+        let data = blobs(30, 3);
+        let mut last = f64::INFINITY;
+        for iters in [0usize, 1, 2, 5, 20] {
+            let res = kmeans(&data, &KMeansConfig { k: 5, max_iters: iters, tol: 0.0, seed: 7 });
+            assert!(
+                res.inertia <= last + 1e-6,
+                "inertia rose at iters={iters}: {} > {last}",
+                res.inertia
+            );
+            last = res.inertia;
+        }
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let data = blobs(1, 4); // 3 points
+        let res = kmeans(&data, &KMeansConfig { k: 64, max_iters: 5, tol: 0.0, seed: 1 });
+        assert_eq!(res.centroids.rows(), 3);
+        assert!(res.inertia < 1e-6);
+    }
+
+    #[test]
+    fn zero_iters_still_assigns() {
+        let data = blobs(10, 5);
+        let res = kmeans(&data, &KMeansConfig { k: 3, max_iters: 0, tol: 0.0, seed: 1 });
+        assert_eq!(res.assignments.len(), 30);
+        assert_eq!(res.iters_run, 0);
+        assert!(res.inertia.is_finite());
+    }
+
+    #[test]
+    fn identical_points_no_panic() {
+        let data = Matrix::from_vec(8, 2, vec![1.0; 16]);
+        let res = kmeans(&data, &KMeansConfig { k: 4, max_iters: 10, tol: 0.0, seed: 9 });
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let data = blobs(20, 6);
+        let cfg = KMeansConfig { k: 4, max_iters: 10, tol: 0.0, seed: 42 };
+        let a = kmeans(&data, &cfg);
+        let b = kmeans(&data, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn all_clusters_nonempty_after_repair() {
+        // Fewer distinct points than clusters would love to stay empty.
+        let mut data = Matrix::zeros(20, 2);
+        for i in 0..20 {
+            data.set(i, 0, (i % 4) as f32 * 10.0);
+        }
+        let res = kmeans(&data, &KMeansConfig { k: 4, max_iters: 10, tol: 0.0, seed: 3 });
+        let mut seen = vec![false; res.centroids.rows()];
+        for &a in &res.assignments {
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "assignments {:?}", res.assignments);
+    }
+}

@@ -1,0 +1,149 @@
+//! Top-k selection.
+//!
+//! Decoding needs "indices of the k largest approximate scores" every step at
+//! every layer/head (Algorithm 2, line 14). We provide a heap-based partial
+//! selection that is O(s log k) — the same asymptotics PyTorch's radix-select
+//! achieves in practice for the sizes here — plus a full argsort for tests.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, index)` pair ordered by score then by index (descending index
+/// breaks ties so results are deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f32,
+    index: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: scores first (NaN sorts lowest), larger index loses
+        // ties so that earlier tokens win deterministically.
+        match self.score.partial_cmp(&other.score) {
+            Some(o) => o.then_with(|| other.index.cmp(&self.index)),
+            None => {
+                if self.score.is_nan() && other.score.is_nan() {
+                    other.index.cmp(&self.index)
+                } else if self.score.is_nan() {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Indices of the `k` largest scores, in descending score order.
+///
+/// If `k >= scores.len()` every index is returned (still sorted by score).
+/// Ties are broken toward the smaller index.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current best k (std BinaryHeap is a max-heap, so wrap
+    // with Reverse semantics via manual comparison: keep the *smallest* of
+    // the retained set at the top by pushing inverted entries).
+    let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in scores.iter().enumerate() {
+        let e = Entry { score, index };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse(e));
+        } else if e > heap.peek().expect("non-empty").0 {
+            heap.pop();
+            heap.push(std::cmp::Reverse(e));
+        }
+    }
+    let mut out: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
+    out.sort_by(|a, b| b.cmp(a));
+    out.into_iter().map(|e| e.index).collect()
+}
+
+/// Indices that would sort `scores` descending (stable for equal scores).
+pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(Ordering::Equal).then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Recall of a predicted top-k set against the exact top-k set:
+/// `|pred ∩ exact| / |exact|`. Returns 1.0 when `exact` is empty.
+pub fn topk_recall(exact: &[usize], predicted: &[usize]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<usize> = predicted.iter().copied().collect();
+    let hit = exact.iter().filter(|i| set.contains(i)).count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn topk_small_known() {
+        let s = [0.1f32, 5.0, 3.0, 4.0, -1.0];
+        assert_eq!(top_k_indices(&s, 3), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn topk_k_zero_and_oversized() {
+        let s = [1.0f32, 2.0];
+        assert!(top_k_indices(&s, 0).is_empty());
+        assert_eq!(top_k_indices(&s, 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn topk_ties_prefer_smaller_index() {
+        let s = [2.0f32, 2.0, 2.0, 1.0];
+        assert_eq!(top_k_indices(&s, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_matches_argsort_prefix() {
+        let mut rng = Rng64::new(77);
+        for _ in 0..20 {
+            let n = 1 + rng.below(200);
+            let scores: Vec<f32> = (0..n).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            let k = rng.below(n + 1);
+            let fast = top_k_indices(&scores, k);
+            let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn topk_handles_nan_by_ranking_it_last() {
+        let s = [1.0f32, f32::NAN, 2.0];
+        assert_eq!(top_k_indices(&s, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn argsort_desc_stable() {
+        let s = [1.0f32, 3.0, 1.0];
+        assert_eq!(argsort_desc(&s), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn recall_bounds() {
+        assert_eq!(topk_recall(&[], &[1, 2]), 1.0);
+        assert_eq!(topk_recall(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(topk_recall(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(topk_recall(&[1, 2, 3, 4], &[1, 2]), 0.5);
+    }
+}

@@ -1,0 +1,345 @@
+//! Synthetic long-context workload generators.
+//!
+//! Stand-ins for LongBench / InfiniteBench task families (DESIGN.md §2).
+//! Each generator produces a token sequence over the simulated vocabulary
+//! plus the ground-truth set of *planted* positions — the tokens a competent
+//! selective-attention method must retrieve. Fillers are drawn from a
+//! Zipf-ish distribution over a "common-word" band so the haystack has
+//! realistic repetition structure; planted content uses reserved rare tokens
+//! so its keys are distinctive, the way salient facts are in real text.
+
+use pqc_tensor::Rng64;
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Task family name (table row label).
+    pub name: &'static str,
+    /// The prompt.
+    pub tokens: Vec<u32>,
+    /// Positions a faithful method must be able to retrieve.
+    pub planted: Vec<usize>,
+    /// Tokens to re-probe with during decoding (appended to random driver
+    /// tokens by the harness); usually the question span.
+    pub probe: Vec<u32>,
+}
+
+/// Vocabulary layout shared by all generators.
+#[derive(Debug, Clone, Copy)]
+pub struct VocabLayout {
+    /// Total vocabulary size (must match the model config).
+    pub vocab: usize,
+    /// Filler tokens come from `[0, common)`.
+    pub common: usize,
+    /// Rare/salient tokens come from `[common, vocab)`.
+    pub rare_lo: usize,
+}
+
+impl VocabLayout {
+    /// Layout for a model vocabulary of `vocab` tokens.
+    pub fn for_vocab(vocab: usize) -> Self {
+        Self { vocab, common: (vocab * 3) / 4, rare_lo: (vocab * 3) / 4 }
+    }
+
+    fn filler(&self, rng: &mut Rng64) -> u32 {
+        // Zipf-ish: square a uniform to skew toward low token ids.
+        let u = rng.uniform();
+        ((u * u * self.common as f64) as usize).min(self.common - 1) as u32
+    }
+
+    fn rare(&self, rng: &mut Rng64) -> u32 {
+        (self.rare_lo + rng.below(self.vocab - self.rare_lo)) as u32
+    }
+}
+
+/// Fill `out[lo..hi]` with filler tokens.
+fn fill(out: &mut [u32], layout: &VocabLayout, rng: &mut Rng64) {
+    for t in out.iter_mut() {
+        *t = layout.filler(rng);
+    }
+}
+
+/// Needle-in-a-haystack (Fig. 9): one rare-token span ("the needle") hidden
+/// at `depth` (fraction of the context), with the probe/question at the end.
+pub fn needle(s: usize, depth: f64, layout: &VocabLayout, seed: u64) -> Workload {
+    assert!(s >= 64, "needle workload needs s >= 64");
+    assert!((0.0..=1.0).contains(&depth));
+    let mut rng = Rng64::new(seed);
+    let mut tokens = vec![0u32; s];
+    fill(&mut tokens, layout, &mut rng);
+
+    let needle_len = 8;
+    let probe_len = 8;
+    // Needle body: marker + payload of rare tokens.
+    let needle_toks: Vec<u32> = (0..needle_len).map(|_| layout.rare(&mut rng)).collect();
+    let pos = ((s - probe_len - needle_len - 1) as f64 * depth) as usize;
+    let planted: Vec<usize> = (pos..pos + needle_len).collect();
+    tokens[pos..pos + needle_len].copy_from_slice(&needle_toks);
+
+    // Probe: re-states the needle marker (first half of the needle) at the
+    // very end, like asking "what was the magic number?".
+    let probe: Vec<u32> = needle_toks[..probe_len.min(needle_len) / 2]
+        .iter()
+        .copied()
+        .chain((0..probe_len / 2).map(|_| layout.rare(&mut rng)))
+        .collect();
+    let plo = s - probe.len();
+    tokens[plo..].copy_from_slice(&probe);
+
+    Workload { name: "Needle", tokens, planted, probe }
+}
+
+/// Passkey retrieval (InfiniteBench Retr.PassKey): like needle but the
+/// payload is a repeated digit-style pattern, making the key signature very
+/// strong.
+pub fn passkey(s: usize, layout: &VocabLayout, seed: u64) -> Workload {
+    let mut w = needle(s, 0.5, layout, seed.wrapping_add(0x9A55));
+    w.name = "Retr.PassKey";
+    w
+}
+
+/// Key-value retrieval (InfiniteBench Retr.KV): `n_pairs` (key, value) rare
+/// token pairs scattered through the haystack; the probe asks for one pair.
+/// Hard for block methods because pairs are discretely placed.
+pub fn kv_retrieval(s: usize, n_pairs: usize, layout: &VocabLayout, seed: u64) -> Workload {
+    assert!(s >= 16 * n_pairs + 32, "context too small for {n_pairs} pairs");
+    let mut rng = Rng64::new(seed);
+    let mut tokens = vec![0u32; s];
+    fill(&mut tokens, layout, &mut rng);
+
+    let pair_len = 4; // key marker, key, value marker, value
+    let probe_len = 6;
+    let usable = s - probe_len - pair_len;
+    let mut positions: Vec<usize> = (0..n_pairs)
+        .map(|i| 8 + (usable - 16) * i / n_pairs + rng.below(usable / (2 * n_pairs)))
+        .collect();
+    positions.dedup();
+
+    let mut pairs = Vec::new();
+    for &p in &positions {
+        let pair: Vec<u32> = (0..pair_len).map(|_| layout.rare(&mut rng)).collect();
+        tokens[p..p + pair_len].copy_from_slice(&pair);
+        pairs.push((p, pair));
+    }
+    // Query a middle pair (neither first nor last).
+    let (qpos, qpair) = pairs[pairs.len() / 2].clone();
+    let planted: Vec<usize> = (qpos..qpos + pair_len).collect();
+    let probe: Vec<u32> = qpair[..2]
+        .iter()
+        .copied()
+        .chain((0..probe_len - 2).map(|_| layout.rare(&mut rng)))
+        .collect();
+    let plo = s - probe.len();
+    tokens[plo..].copy_from_slice(&probe);
+
+    Workload { name: "Retr.KV", tokens, planted, probe }
+}
+
+/// Where the question is placed in a QA workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuestionPosition {
+    /// Question at the end (standard LongBench layout — favours SnapKV).
+    End,
+    /// Question before the context (Table 3's adversarial layout).
+    Start,
+}
+
+/// Long-document QA: several salient "fact" spans; the question references
+/// one of them and is placed at the start or end.
+pub fn qa(
+    s: usize,
+    n_facts: usize,
+    position: QuestionPosition,
+    layout: &VocabLayout,
+    seed: u64,
+) -> Workload {
+    assert!(s >= 32 * n_facts.max(2), "context too small");
+    let mut rng = Rng64::new(seed);
+    let mut tokens = vec![0u32; s];
+    fill(&mut tokens, layout, &mut rng);
+
+    let fact_len = 6;
+    let q_len = 8;
+    let body_lo = q_len + 2;
+    let body_hi = s - q_len - 2;
+    let mut facts = Vec::new();
+    for i in 0..n_facts {
+        let span = (body_hi - body_lo - fact_len) / n_facts;
+        let p = body_lo + i * span + rng.below(span / 2 + 1);
+        let fact: Vec<u32> = (0..fact_len).map(|_| layout.rare(&mut rng)).collect();
+        tokens[p..p + fact_len].copy_from_slice(&fact);
+        facts.push((p, fact));
+    }
+    let (fpos, fact) = facts[rng.below(n_facts)].clone();
+    let planted: Vec<usize> = (fpos..fpos + fact_len).collect();
+    // Question = first half of the fact + filler question words.
+    let probe: Vec<u32> = fact[..fact_len / 2]
+        .iter()
+        .copied()
+        .chain((0..q_len - fact_len / 2).map(|_| layout.filler(&mut rng)))
+        .collect();
+    match position {
+        QuestionPosition::End => {
+            let plo = s - probe.len();
+            tokens[plo..].copy_from_slice(&probe);
+        }
+        QuestionPosition::Start => {
+            tokens[..probe.len()].copy_from_slice(&probe);
+        }
+    }
+
+    let name = match position {
+        QuestionPosition::End => "QA",
+        QuestionPosition::Start => "QA-qfirst",
+    };
+    Workload { name, tokens, planted, probe }
+}
+
+/// Multi-hop chain-of-thought (GSM8k-CoT proxy): `hops` linked facts
+/// scattered through the context; each hop's span shares tokens with the
+/// next, and the probe references only the first hop — the model must chain.
+pub fn cot_chain(s: usize, hops: usize, layout: &VocabLayout, seed: u64) -> Workload {
+    assert!(hops >= 2 && s >= 48 * hops, "context too small for {hops} hops");
+    let mut rng = Rng64::new(seed);
+    let mut tokens = vec![0u32; s];
+    fill(&mut tokens, layout, &mut rng);
+
+    let span_len = 6;
+    let q_len = 6;
+    let mut planted = Vec::new();
+    // Shuffled placement so hops are NOT in textual order.
+    let mut slots: Vec<usize> = (0..hops).collect();
+    rng.shuffle(&mut slots);
+    let region = (s - q_len - span_len - 8) / hops;
+    let mut link: u32 = layout.rare(&mut rng);
+    let mut first_link = link;
+    for (i, &slot) in slots.iter().enumerate() {
+        let p = 4 + slot * region + rng.below(region / 2 + 1);
+        let next_link = layout.rare(&mut rng);
+        let mut span = vec![link; 1];
+        span.extend((0..span_len - 2).map(|_| layout.rare(&mut rng)));
+        span.push(next_link);
+        tokens[p..p + span_len].copy_from_slice(&span);
+        planted.extend(p..p + span_len);
+        if i == 0 {
+            first_link = link;
+        }
+        link = next_link;
+    }
+    let probe: Vec<u32> = std::iter::once(first_link)
+        .chain((0..q_len - 1).map(|_| layout.filler(&mut rng)))
+        .collect();
+    let plo = s - probe.len();
+    tokens[plo..].copy_from_slice(&probe);
+
+    Workload { name: "CoT", tokens, planted, probe }
+}
+
+/// Aggregation/summarisation proxy (En.Sum / GovReport): importance is
+/// spread over many moderately-salient spans; no single needle.
+pub fn aggregation(s: usize, n_spans: usize, layout: &VocabLayout, seed: u64) -> Workload {
+    assert!(s >= 16 * n_spans.max(4));
+    let mut rng = Rng64::new(seed);
+    let mut tokens = vec![0u32; s];
+    fill(&mut tokens, layout, &mut rng);
+    let span_len = 3;
+    let mut planted = Vec::new();
+    for i in 0..n_spans {
+        let region = (s - 16) / n_spans;
+        let p = 4 + i * region + rng.below(region / 2 + 1);
+        for j in 0..span_len {
+            tokens[p + j] = layout.rare(&mut rng);
+        }
+        planted.extend(p..p + span_len);
+    }
+    let probe: Vec<u32> = (0..6).map(|_| layout.filler(&mut rng)).collect();
+    let plo = s - probe.len();
+    tokens[plo..].copy_from_slice(&probe);
+    Workload { name: "Summ", tokens, planted, probe }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> VocabLayout {
+        VocabLayout::for_vocab(1024)
+    }
+
+    #[test]
+    fn needle_planted_positions_hold_rare_tokens() {
+        let w = needle(512, 0.4, &layout(), 1);
+        assert_eq!(w.tokens.len(), 512);
+        for &p in &w.planted {
+            assert!(w.tokens[p] as usize >= layout().rare_lo, "pos {p}");
+        }
+        // Depth 0.4 puts the needle around 40% in.
+        let mid = w.planted[0] as f64 / 512.0;
+        assert!((0.3..0.5).contains(&mid), "depth {mid}");
+    }
+
+    #[test]
+    fn needle_probe_overlaps_needle_tokens() {
+        let w = needle(256, 0.5, &layout(), 2);
+        // The probe's first tokens are drawn from the needle span.
+        assert!(w.probe.len() >= 4);
+        let needle_toks: Vec<u32> = w.planted.iter().map(|&p| w.tokens[p]).collect();
+        assert!(needle_toks.contains(&w.probe[0]));
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = kv_retrieval(512, 8, &layout(), 7);
+        let b = kv_retrieval(512, 8, &layout(), 7);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.planted, b.planted);
+        let c = kv_retrieval(512, 8, &layout(), 8);
+        assert_ne!(a.tokens, c.tokens);
+    }
+
+    #[test]
+    fn qa_question_position_respected() {
+        let end = qa(512, 4, QuestionPosition::End, &layout(), 3);
+        let start = qa(512, 4, QuestionPosition::Start, &layout(), 3);
+        // Same probe tokens at opposite ends.
+        let e = &end.tokens[512 - end.probe.len()..];
+        assert_eq!(e, &end.probe[..]);
+        let s0 = &start.tokens[..start.probe.len()];
+        assert_eq!(s0, &start.probe[..]);
+    }
+
+    #[test]
+    fn cot_hops_are_linked() {
+        let w = cot_chain(512, 3, &layout(), 4);
+        // 3 hops × 6 tokens planted.
+        assert_eq!(w.planted.len(), 18);
+        // First probe token appears somewhere in a planted span (the first
+        // hop's link).
+        let link = w.probe[0];
+        assert!(w.planted.iter().any(|&p| w.tokens[p] == link));
+    }
+
+    #[test]
+    fn aggregation_spreads_importance() {
+        let w = aggregation(512, 12, &layout(), 5);
+        assert_eq!(w.planted.len(), 36);
+        // Spans spread across at least half of the context.
+        let lo = *w.planted.iter().min().unwrap();
+        let hi = *w.planted.iter().max().unwrap();
+        assert!(hi - lo > 256);
+    }
+
+    #[test]
+    fn tokens_within_vocab() {
+        for w in [
+            needle(256, 0.9, &layout(), 6),
+            kv_retrieval(512, 6, &layout(), 6),
+            qa(512, 4, QuestionPosition::End, &layout(), 6),
+            cot_chain(512, 4, &layout(), 6),
+            aggregation(256, 8, &layout(), 6),
+        ] {
+            assert!(w.tokens.iter().all(|&t| (t as usize) < 1024), "{}", w.name);
+            assert!(w.planted.iter().all(|&p| p < w.tokens.len()));
+        }
+    }
+}

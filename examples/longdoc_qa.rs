@@ -1,0 +1,47 @@
+//! Long-document QA with the question at the END vs at the START.
+//!
+//! ```sh
+//! cargo run --release --example longdoc_qa
+//! ```
+//!
+//! SnapKV-style methods rank tokens by the prompt's final window; they look
+//! great when the question is last (the standard benchmark layout) and go
+//! blind when it is first. PQCache retrieves per decode query and does not
+//! care where the question sits — the paper's Table 3 experiment.
+
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::workloads::{
+    evaluate_method, qa, reference, EvalConfig, MethodSpec, QuestionPosition, VocabLayout,
+};
+
+fn main() {
+    let model = Model::new(LlmConfig::small());
+    let layout = VocabLayout::for_vocab(model.config().vocab_size);
+    let mut cfg = EvalConfig::default();
+    cfg.session.token_ratio = 0.045; // tight budget: ~10 middle tokens of ~990
+
+    for (label, pos) in [
+        ("question LAST (standard benchmarks)", QuestionPosition::End),
+        ("question FIRST (Table 3 layout)", QuestionPosition::Start),
+    ] {
+        println!("\n=== {label} ===");
+        println!("{:>14} | {:>12} {:>12}", "method", "fact found", "fidelity");
+        // Average over a few documents to smooth workload noise.
+        let docs: Vec<_> = (0..4).map(|i| qa(1024, 16, pos, &layout, 0x0A + i)).collect();
+        for spec in [MethodSpec::SnapKv, MethodSpec::PyramidKv, MethodSpec::pqcache_default()] {
+            let mut recall = 0.0;
+            let mut fid = 0.0;
+            for w in &docs {
+                let rf = reference(&model, w, &cfg);
+                let r = evaluate_method(&model, w, &rf, spec, &cfg);
+                recall += r.planted_recall;
+                fid += r.agreement;
+            }
+            let n = docs.len() as f64;
+            println!("{:>14} | {:>11.0}% {:>12.2}", spec.name(), 100.0 * recall / n, fid / n);
+        }
+    }
+    println!("\nExpected pattern: the droppers ride the question when it is last in the prompt;");
+    println!("once it moves to the front their observation window is filler and their recall drops,");
+    println!("while PQCache's query-time retrieval holds (paper Table 3: +7.10% for PQCache).");
+}

@@ -1,0 +1,55 @@
+//! Needle-in-a-haystack: which KVCache policies can still find one planted
+//! fact after compression?
+//!
+//! ```sh
+//! cargo run --release --example needle_in_haystack
+//! ```
+//!
+//! Plants an 8-token "needle" at half depth in a 1024-token haystack, then
+//! decodes with re-probing driver tokens under each policy at a 1/10 token
+//! budget, reporting (a) whether the needle's position was retrieved and
+//! (b) output fidelity vs exact full attention.
+
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::workloads::{evaluate_method, needle, reference, EvalConfig, MethodSpec, VocabLayout};
+
+fn main() {
+    let model = Model::new(LlmConfig::small());
+    let layout = VocabLayout::for_vocab(model.config().vocab_size);
+    let w = needle(1024, 0.5, &layout, 0x0E0);
+    println!(
+        "haystack: {} tokens; needle at positions {:?}",
+        w.tokens.len(),
+        (w.planted.first().unwrap(), w.planted.last().unwrap())
+    );
+
+    let mut cfg = EvalConfig::default();
+    cfg.session.token_ratio = 0.1; // attend to 1/10 of the context
+    let rf = reference(&model, &w, &cfg);
+
+    println!(
+        "\n{:>14} | {:>14} {:>12} {:>12}",
+        "method", "needle found", "fidelity", "H2D bytes"
+    );
+    for spec in [
+        MethodSpec::Oracle,
+        MethodSpec::StreamingLlm,
+        MethodSpec::H2o,
+        MethodSpec::SnapKv,
+        MethodSpec::PyramidKv,
+        MethodSpec::InfLlm,
+        MethodSpec::Sparq,
+        MethodSpec::pqcache_default(),
+    ] {
+        let r = evaluate_method(&model, &w, &rf, spec, &cfg);
+        println!(
+            "{:>14} | {:>13.0}% {:>12.2} {:>12}",
+            r.method,
+            100.0 * r.planted_recall,
+            r.agreement,
+            r.h2d_bytes
+        );
+    }
+    println!("\nPQCache finds the needle through PQ codes alone (zero query-time proxy traffic);");
+    println!("InfLLM's block representatives hide it; dropping methods gamble on prefill scores.");
+}

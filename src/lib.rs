@@ -1,0 +1,47 @@
+//! # pqcache
+//!
+//! Umbrella crate for the PQCache reproduction (SIGMOD 2025): re-exports the
+//! public API of every subsystem crate so applications can depend on a
+//! single crate.
+//!
+//! ```
+//! use pqcache::llm::{LlmConfig, Model};
+//! use pqcache::core::{SelectiveSession, SessionConfig};
+//! use pqcache::workloads::MethodSpec;
+//!
+//! let model = Model::new(LlmConfig::tiny());
+//! let prompt: Vec<u32> = (0..64).map(|i| (i * 7 % 200) as u32).collect();
+//! let policy = MethodSpec::pqcache_default().build(model.config().head_dim, 1.0 / 16.0);
+//! let cfg = SessionConfig { n_init: 2, n_local: 8, ..Default::default() };
+//! let start = SelectiveSession::start(&model, policy, cfg, &prompt);
+//! let mut session = start.session;
+//! let generated = session.generate(&start.logits, 4);
+//! assert_eq!(generated.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Dense linear algebra, RNG, statistics (re-export of `pqc-tensor`).
+pub use pqc_tensor as tensor;
+
+/// Product quantization: K-Means, codebooks, ADC (re-export of `pqc-pq`).
+pub use pqc_pq as pq;
+
+/// Simulated memory hierarchy and cost model (re-export of `pqc-memhier`).
+pub use pqc_memhier as memhier;
+
+/// Transformer substrate (re-export of `pqc-llm`).
+pub use pqc_llm as llm;
+
+/// Block-level GPU cache (re-export of `pqc-cache`).
+pub use pqc_cache as cache;
+
+/// Selection policies: baselines + PQCache (re-export of `pqc-policies`).
+pub use pqc_policies as policies;
+
+/// The PQCache engine (re-export of `pqc-core`).
+pub use pqc_core as core;
+
+/// Synthetic workloads and the evaluation harness (re-export of
+/// `pqc-workloads`).
+pub use pqc_workloads as workloads;

@@ -1,0 +1,163 @@
+//! Property-based tests over the core data structures and invariants listed
+//! in DESIGN.md §6.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+use proptest::prelude::*;
+use pqcache::cache::{top_blocks, BlockCache, EvictionPolicy};
+use pqcache::llm::{attend_selected, causal_attention, PrefillPattern};
+use pqcache::pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig};
+use pqcache::tensor::{
+    argsort_desc, dot, softmax_inplace, top_k_indices, Matrix, Rng64, StreamingSoftmax,
+};
+
+fn matrix_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows).prop_flat_map(move |rows| {
+        proptest::collection::vec(-3.0f32..3.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-30.0f32..30.0, 1..64)) {
+        let mut v = xs.clone();
+        softmax_inplace(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn streaming_softmax_equals_naive(
+        scores in proptest::collection::vec(-20.0f32..20.0, 1..32),
+        dim in 1usize..6,
+    ) {
+        let mut rng = Rng64::new(1);
+        let values: Vec<Vec<f32>> = (0..scores.len())
+            .map(|_| (0..dim).map(|_| rng.normal_f32(0.0, 1.0)).collect())
+            .collect();
+        let mut naive_w = scores.clone();
+        softmax_inplace(&mut naive_w);
+        let mut naive = vec![0.0f32; dim];
+        for (w, v) in naive_w.iter().zip(values.iter()) {
+            for (o, x) in naive.iter_mut().zip(v.iter()) {
+                *o += w * x;
+            }
+        }
+        let mut st = StreamingSoftmax::new(dim);
+        for (s, v) in scores.iter().zip(values.iter()) {
+            st.push(*s, v);
+        }
+        let got = st.finish();
+        for (a, b) in naive.iter().zip(got.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn topk_is_argsort_prefix(
+        scores in proptest::collection::vec(-100.0f32..100.0, 0..128),
+        k in 0usize..64,
+    ) {
+        let fast = top_k_indices(&scores, k);
+        let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn kmeans_clusters_nonempty_and_inertia_finite(
+        m in matrix_strategy(48, 4),
+        k in 1usize..10,
+        iters in 0usize..8,
+    ) {
+        let res = kmeans(&m, &KMeansConfig { k, max_iters: iters, tol: 0.0, seed: 3 });
+        prop_assert!(res.inertia.is_finite() && res.inertia >= 0.0);
+        prop_assert_eq!(res.assignments.len(), m.rows());
+        let kk = res.centroids.rows();
+        prop_assert!(kk <= k.max(1));
+        for &a in &res.assignments {
+            prop_assert!((a as usize) < kk);
+        }
+    }
+
+    #[test]
+    fn pq_adc_equals_dot_with_reconstruction(
+        m in matrix_strategy(64, 8),
+        q in proptest::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let (book, codes) = PqCodebook::train(&m, PqConfig { m: 2, b: 3, max_iters: 5, seed: 5 });
+        let table = AdcTable::build(&book, &q);
+        for i in 0..codes.len() {
+            let approx = table.score_token(codes.token(i));
+            let rec = book.reconstruct(codes.token(i));
+            let exact = dot(&q, &rec);
+            prop_assert!((approx - exact).abs() < 1e-3, "token {i}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn pq_codes_in_range(m in matrix_strategy(64, 8), b in 1u32..6) {
+        let (_, codes) = PqCodebook::train(&m, PqConfig { m: 4, b, max_iters: 3, seed: 7 });
+        for i in 0..codes.len() {
+            for &c in codes.token(i) {
+                prop_assert!((c as usize) < (1usize << b));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_accounting_invariants(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0usize..4096, 1..24), proptest::bool::ANY),
+            1..40,
+        ),
+        cap_blocks in 0usize..12,
+    ) {
+        let mut cache = BlockCache::new(cap_blocks * 64, 64, EvictionPolicy::Lfu);
+        for (tokens, do_update) in &ops {
+            let r = cache.lookup(tokens);
+            prop_assert_eq!(r.hits.len() + r.misses.len(), tokens.len());
+            if *do_update {
+                cache.update(&top_blocks(tokens, 64, 4));
+            }
+            prop_assert!(cache.len() <= cap_blocks);
+        }
+        let st = cache.stats();
+        prop_assert_eq!(st.token_hits + st.token_misses, st.token_lookups);
+    }
+
+    #[test]
+    fn attend_selected_is_convex_combination(
+        keys in matrix_strategy(32, 8),
+        q in proptest::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        // The output of attention lies inside the convex hull of the values:
+        // each coordinate is bounded by the min/max of the value column.
+        let values = keys.clone();
+        let out = attend_selected(&q, &keys, &values);
+        for c in 0..8 {
+            let lo = (0..values.rows()).map(|r| values.get(r, c)).fold(f32::INFINITY, f32::min);
+            let hi = (0..values.rows()).map(|r| values.get(r, c)).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[c] >= lo - 1e-4 && out[c] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn ashape_attention_equals_dense_when_window_covers(
+        q in matrix_strategy(16, 4),
+    ) {
+        let s = q.rows();
+        let k = q.clone();
+        let v = q.clone();
+        let dense = causal_attention(&q, &k, &v, PrefillPattern::Dense, None);
+        let covered = causal_attention(
+            &q, &k, &v,
+            PrefillPattern::AShape { init: s, local: 1 },
+            None,
+        );
+        prop_assert!(dense.max_abs_diff(&covered) < 1e-5);
+    }
+}
