@@ -223,14 +223,13 @@ impl Model {
             let results: Vec<(Vec<Matrix>, Option<ScoreCapture>)> = if opts.parallel
                 && cfg.n_kv_heads > 1
             {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = jobs
                         .iter()
-                        .map(|&kvh| scope.spawn(move |_| run_head(kvh)))
+                        .map(|&kvh| scope.spawn(move || run_head(kvh)))
                         .collect();
                     handles.into_iter().map(|h| h.join().expect("head worker")).collect()
                 })
-                .expect("attention scope")
             } else {
                 jobs.iter().map(|&kvh| run_head(kvh)).collect()
             };

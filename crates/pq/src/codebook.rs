@@ -147,31 +147,25 @@ impl PqCodebook {
         // scoped threads, matching the paper's m·h_kv parallel CPU processes.
         let subviews: Vec<Matrix> = (0..cfg.m).map(|j| subspace_view(keys, j, dm)).collect();
         let mut results: Vec<Option<crate::kmeans::KMeansResult>> = (0..cfg.m).map(|_| None).collect();
+        let subspace_cfg = |j: usize| KMeansConfig {
+            k,
+            max_iters: cfg.max_iters,
+            tol: 1e-4,
+            seed: cfg.seed.wrapping_add(j as u64).wrapping_mul(0x9E37_79B9),
+        };
         if cfg.m > 1 && s >= 1024 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (j, slot) in results.iter_mut().enumerate() {
                     let view = &subviews[j];
-                    let kcfg = KMeansConfig {
-                        k,
-                        max_iters: cfg.max_iters,
-                        tol: 1e-4,
-                        seed: cfg.seed.wrapping_add(j as u64).wrapping_mul(0x9E37_79B9),
-                    };
-                    scope.spawn(move |_| {
+                    let kcfg = subspace_cfg(j);
+                    scope.spawn(move || {
                         *slot = Some(kmeans(view, &kcfg));
                     });
                 }
-            })
-            .expect("kmeans worker panicked");
+            });
         } else {
             for (j, slot) in results.iter_mut().enumerate() {
-                let kcfg = KMeansConfig {
-                    k,
-                    max_iters: cfg.max_iters,
-                    tol: 1e-4,
-                    seed: cfg.seed.wrapping_add(j as u64).wrapping_mul(0x9E37_79B9),
-                };
-                *slot = Some(kmeans(&subviews[j], &kcfg));
+                *slot = Some(kmeans(&subviews[j], &subspace_cfg(j)));
             }
         }
 
@@ -297,6 +291,38 @@ mod tests {
         assert_eq!(codes.m(), 4);
         for j in 0..4 {
             assert_eq!(book.centroids(j).shape(), (16, 8));
+        }
+    }
+
+    #[test]
+    fn training_converges_and_is_reproducible_on_fixed_seed_matrix() {
+        // With a generous iteration budget, Lloyd iterations on a fixed-seed
+        // matrix must hit the early-stop tolerance well before the cap, and
+        // re-training with the identical config must reproduce the codebook
+        // bit-for-bit (inertia, iteration counts, and all codes).
+        let keys = random_keys(512, 16, 7);
+        let cfg = PqConfig { m: 2, b: 4, max_iters: 200, seed: 7 };
+        let (book, codes) = PqCodebook::train(&keys, cfg);
+        for (j, &it) in book.iters_run().iter().enumerate() {
+            assert!(it < cfg.max_iters, "sub-space {j} never converged ({it} iters)");
+        }
+        assert!(book.inertia().is_finite() && book.inertia() >= 0.0);
+
+        // A tighter budget can only leave inertia the same or worse.
+        let (short, _) =
+            PqCodebook::train(&keys, PqConfig { m: 2, b: 4, max_iters: 1, seed: 7 });
+        assert!(
+            book.inertia() <= short.inertia() + 1e-6,
+            "more iterations worsened inertia: {} vs {}",
+            book.inertia(),
+            short.inertia()
+        );
+
+        let (book2, codes2) = PqCodebook::train(&keys, cfg);
+        assert_eq!(book.inertia(), book2.inertia(), "inertia not reproducible");
+        assert_eq!(book.iters_run(), book2.iters_run(), "iteration counts differ");
+        for i in 0..codes.len() {
+            assert_eq!(codes.token(i), codes2.token(i), "codes differ at token {i}");
         }
     }
 

@@ -1,0 +1,77 @@
+//! Cross-policy smoke test: every `MethodSpec` variant — full attention, the
+//! dropping/retrieval baselines, and PQCache — must survive one short decode
+//! with well-formed, finite logits and in-vocabulary tokens.
+
+use pqcache::core::{CacheConfig, SelectiveSession, SessionConfig};
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::tensor::Rng64;
+use pqcache::workloads::MethodSpec;
+
+/// Every variant of [`MethodSpec`]. The match below is checked exhaustively
+/// by the compiler, so adding a variant without extending this smoke test is
+/// a compile error.
+fn all_variants() -> Vec<MethodSpec> {
+    let witness = |spec: &MethodSpec| match spec {
+        MethodSpec::Full
+        | MethodSpec::Oracle
+        | MethodSpec::StreamingLlm
+        | MethodSpec::H2o
+        | MethodSpec::SnapKv
+        | MethodSpec::PyramidKv
+        | MethodSpec::Sparq
+        | MethodSpec::InfLlm
+        | MethodSpec::PqCache { .. } => (),
+    };
+    let variants = vec![
+        MethodSpec::Full,
+        MethodSpec::Oracle,
+        MethodSpec::StreamingLlm,
+        MethodSpec::H2o,
+        MethodSpec::SnapKv,
+        MethodSpec::PyramidKv,
+        MethodSpec::Sparq,
+        MethodSpec::InfLlm,
+        MethodSpec::pqcache_default(),
+        MethodSpec::PqCache { m: 4, b: 3, iters: 6 },
+    ];
+    variants.iter().for_each(witness);
+    variants
+}
+
+#[test]
+fn every_variant_survives_a_short_decode() {
+    let model = Model::new(LlmConfig::tiny());
+    let vocab = model.config().vocab_size;
+    let mut rng = Rng64::new(3);
+    let toks: Vec<u32> = (0..80).map(|_| rng.below(200) as u32).collect();
+    let steps = 5;
+
+    for spec in all_variants() {
+        let cfg = SessionConfig {
+            n_init: 2,
+            n_local: 8,
+            token_ratio: 0.25,
+            comm_fraction: 1.0 / 16.0,
+            obs_window: 8,
+            cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+        };
+        let policy = spec.build(model.config().head_dim, cfg.comm_fraction);
+        let start = SelectiveSession::start(&model, policy, cfg, &toks);
+
+        assert_eq!(start.logits.len(), vocab, "{}: logits shape", spec.name());
+        assert!(
+            start.logits.iter().all(|l| l.is_finite()),
+            "{}: non-finite prefill logits",
+            spec.name()
+        );
+
+        let mut session = start.session;
+        let out = session.generate(&start.logits, steps);
+        assert_eq!(out.len(), steps, "{}: output length", spec.name());
+        assert!(
+            out.iter().all(|&t| (t as usize) < vocab),
+            "{}: token out of vocabulary: {out:?}",
+            spec.name()
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Boolean strategies (`proptest::bool`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy yielding uniformly random booleans.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical boolean strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

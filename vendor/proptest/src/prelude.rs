@@ -1,0 +1,6 @@
+//! The customary glob-import surface (`use proptest::prelude::*;`).
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    TestCaseError, TestCaseResult, TestRng,
+};

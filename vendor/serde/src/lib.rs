@@ -1,0 +1,21 @@
+//! Offline facade for the `serde` crate.
+//!
+//! The build environment cannot reach a crates registry, so this vendored
+//! crate supplies just enough surface for the workspace to compile:
+//! `Serialize`/`Deserialize` marker traits with blanket impls, plus the
+//! no-op derive macros from `vendor/serde_derive`. Config structs across the
+//! workspace keep their `#[derive(Serialize, Deserialize)]` annotations so
+//! the real serde can be dropped in (edit `[workspace.dependencies]`)
+//! without touching any source file.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented so generic
+/// bounds written against the real trait keep compiling.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented so generic
+/// bounds written against the real trait keep compiling.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
