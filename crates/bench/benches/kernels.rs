@@ -1,82 +1,517 @@
-//! Criterion micro-benchmarks for the hot kernels: K-Means, ADC scoring,
-//! top-k selection, block-cache operations, and attention.
+//! Kernel micro-benchmarks: old vs new hot-path kernels, measured in the
+//! same target so every PR records an honest perf trajectory.
+//!
+//! Each benchmark pits the **pre-change kernel** (the seed implementation,
+//! reproduced verbatim below as `baseline_*`) against the current library
+//! kernel on identical fixtures:
+//!
+//! - `adc_scan`: token-major scalar scan vs the fused SoA column scan, at
+//!   the paper's two operating points (m=2/b=6 LongBench, m=4/b=8
+//!   InfiniteBench) over s = 65 536 tokens.
+//! - `top_k`: `BinaryHeap`-per-call selection vs the reusable `TopK` heap.
+//! - `kmeans_assign`: per-row per-centroid `squared_l2` loop vs the blocked
+//!   `‖x‖² − 2·X·Cᵀ + ‖c‖²` kernel.
+//! - `matmul_transb`: 4-wide-unrolled dot (seed) vs the 8-wide FMA kernel.
+//! - `causal_attention`: seed row-wise kernel vs the current one.
+//!
+//! Results are printed as a table and written to `BENCH_kernels.json` at the
+//! workspace root (override with `BENCH_KERNELS_OUT=<path>`). Pass `--quick`
+//! (or set `BENCH_QUICK=1`) for the CI smoke mode: smaller fixtures, fewer
+//! samples, same JSON schema. See EXPERIMENTS.md for the workflow.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pqc_cache::{top_blocks, BlockCache, EvictionPolicy};
-use pqc_llm::{attend_selected, causal_attention, PrefillPattern};
-use pqc_pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig};
-use pqc_tensor::{top_k_indices, Matrix, Rng64};
+// The baseline kernels below reproduce the seed implementations verbatim,
+// index loops included.
+#![allow(clippy::needless_range_loop)]
+
+use pqc_llm::{causal_attention, PrefillPattern};
+use pqc_pq::{AdcTable, PqCodebook, PqCodes, PqConfig};
+use pqc_tensor::{softmax_inplace, AssignScratch, Matrix, Rng64, TopK};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_kmeans(c: &mut Criterion) {
-    let mut rng = Rng64::new(1);
-    let data = Matrix::randn(2048, 16, 1.0, &mut rng);
-    c.bench_function("kmeans_2048x16_k64_it10", |bch| {
-        bch.iter(|| {
-            let cfg = KMeansConfig { k: 64, max_iters: 10, tol: 0.0, seed: 42 };
-            black_box(kmeans(black_box(&data), &cfg))
-        })
-    });
+// ---------------------------------------------------------------------------
+// Measurement harness: median ns/iter over `samples` timed samples, one
+// warm-up sample, `iters` calls per sample.
+// ---------------------------------------------------------------------------
+
+struct Config {
+    quick: bool,
+    samples: usize,
 }
 
-fn bench_adc(c: &mut Criterion) {
-    let mut rng = Rng64::new(2);
-    let keys = Matrix::randn(4096, 32, 1.0, &mut rng);
-    let (book, codes) =
-        PqCodebook::train(&keys, PqConfig { m: 2, b: 6, max_iters: 10, seed: 3 });
-    let q: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
-    c.bench_function("adc_score_4096_tokens_m2_b6", |bch| {
-        bch.iter(|| {
-            let t = AdcTable::build(black_box(&book), black_box(&q));
-            black_box(t.score_all(&codes))
-        })
-    });
+fn time_ns(cfg: &Config, iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut per_iter: Vec<f64> = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_iter[per_iter.len() / 2]
 }
 
-fn bench_topk(c: &mut Criterion) {
-    let mut rng = Rng64::new(4);
-    let scores: Vec<f32> = (0..131_072).map(|_| rng.normal_f32(0.0, 1.0)).collect();
-    c.bench_function("topk_128k_scores_k1024", |bch| {
-        bch.iter(|| black_box(top_k_indices(black_box(&scores), 1024)))
-    });
+struct BenchRow {
+    name: String,
+    params: String,
+    baseline_ns: f64,
+    new_ns: f64,
+    /// Items processed per iteration (tokens, rows, ...) for throughput.
+    items: usize,
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut rng = Rng64::new(5);
-    let batches: Vec<Vec<usize>> =
-        (0..64).map(|_| (0..256).map(|_| rng.below(131_072)).collect()).collect();
-    c.bench_function("block_cache_lookup_update_lfu", |bch| {
-        bch.iter_batched(
-            || BlockCache::new(4096, 128, EvictionPolicy::Lfu),
-            |mut cache| {
-                for b in &batches {
-                    let _ = cache.lookup(b);
-                    cache.update(&top_blocks(b, 128, 32));
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.new_ns
+    }
+
+    fn mitems_per_s(&self) -> f64 {
+        self.items as f64 / self.new_ns * 1e3
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-change (seed) kernels, reproduced verbatim for the baseline side.
+// ---------------------------------------------------------------------------
+
+/// Seed `squared_l2`: plain scalar loop (no unrolling).
+#[inline]
+fn seed_squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Seed `dot`: 4-wide unrolled.
+#[inline]
+fn seed_dot(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// Seed ADC scan: token-major codes, one `score_token` per token, fresh
+/// output vector per call (exactly the pre-SoA `AdcTable::score_all`).
+fn seed_adc_scan(table: &[f32], k_c: usize, m: usize, codes_rowmajor: &[u16]) -> Vec<f32> {
+    let n = codes_rowmajor.len() / m;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let token = &codes_rowmajor[i * m..(i + 1) * m];
+        let mut s = 0.0f32;
+        for (j, &c) in token.iter().enumerate() {
+            s += table[j * k_c + c as usize];
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Seed top-k: `BinaryHeap` allocated per call (pre-`TopK` implementation).
+fn seed_top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq, Clone, Copy)]
+    struct Entry {
+        score: f32,
+        index: usize,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            match self.score.partial_cmp(&other.score) {
+                Some(o) => o.then_with(|| other.index.cmp(&self.index)),
+                None => {
+                    if self.score.is_nan() && other.score.is_nan() {
+                        other.index.cmp(&self.index)
+                    } else if self.score.is_nan() {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
                 }
-                black_box(cache.stats())
-            },
-            BatchSize::SmallInput,
-        )
+            }
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in scores.iter().enumerate() {
+        let e = Entry { score, index };
+        if heap.len() < k {
+            heap.push(std::cmp::Reverse(e));
+        } else if e > heap.peek().expect("non-empty").0 {
+            heap.pop();
+            heap.push(std::cmp::Reverse(e));
+        }
+    }
+    let mut out: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
+    out.sort_by(|a, b| b.cmp(a));
+    out.into_iter().map(|e| e.index).collect()
+}
+
+/// Seed K-Means assignment: per-row per-centroid scalar `squared_l2`.
+fn seed_kmeans_assign(data: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> f64 {
+    let k = centroids.rows();
+    let mut inertia = 0.0f64;
+    for i in 0..data.rows() {
+        let row = data.row(i);
+        let mut best = 0u32;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = seed_squared_l2(row, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_d as f64;
+    }
+    inertia
+}
+
+/// Seed `matmul_transb`: same loop structure, 4-wide dot.
+fn seed_matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = &a.as_slice()[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b.as_slice()[j * k..(j + 1) * k];
+            out.as_mut_slice()[i * n + j] = seed_dot(arow, brow);
+        }
+    }
+    out
+}
+
+/// Seed causal attention: row-wise with 4-wide dot and scalar axpy.
+fn seed_causal_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    let (s, dh) = q.shape();
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut out = Matrix::zeros(s, dh);
+    let mut scores: Vec<f32> = Vec::with_capacity(s);
+    for i in 0..s {
+        scores.clear();
+        let qi = q.row(i);
+        for j in 0..=i {
+            scores.push(seed_dot(qi, k.row(j)) * scale);
+        }
+        softmax_inplace(&mut scores);
+        let orow = out.row_mut(i);
+        for (j, &p) in scores.iter().enumerate() {
+            for (o, val) in orow.iter_mut().zip(v.row(j).iter()) {
+                *o += p * val;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// A trained ADC table plus matching random codes in both layouts.
+struct AdcFixture {
+    table_flat: Vec<f32>,
+    table: AdcTable,
+    k_c: usize,
+    m: usize,
+    codes_rowmajor: Vec<u16>,
+    codes_soa: PqCodes,
+}
+
+fn adc_fixture(s: usize, m: usize, b: u32, dh: usize, seed: u64) -> AdcFixture {
+    let mut rng = Rng64::new(seed);
+    // Train on a small key sample: the scan cost is independent of centroid
+    // values, only the table shape matters.
+    let train_rows = (1usize << b) * 4;
+    let keys = Matrix::randn(train_rows, dh, 1.0, &mut rng);
+    let (book, _) = PqCodebook::train(&keys, PqConfig { m, b, max_iters: 2, seed });
+    let q: Vec<f32> = (0..dh).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    let table = AdcTable::build(&book, &q);
+    let k_c = book.centroids(0).rows();
+    let table_flat: Vec<f32> =
+        (0..m).flat_map(|j| (0..k_c).map(move |c| (j, c))).map(|(j, c)| table.entry(j, c)).collect();
+
+    let mut codes_rowmajor = Vec::with_capacity(s * m);
+    let mut cols: Vec<Vec<u16>> = vec![Vec::with_capacity(s); m];
+    for _ in 0..s {
+        for col in cols.iter_mut() {
+            let c = rng.below(k_c) as u16;
+            codes_rowmajor.push(c);
+            col.push(c);
+        }
+    }
+    let codes_soa = PqCodes::from_columns(cols);
+    AdcFixture { table_flat, table, k_c, m, codes_rowmajor, codes_soa }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------------
+
+fn bench_adc_scan(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    let s = if cfg.quick { 8_192 } else { 65_536 };
+    for &(m, b) in &[(2usize, 6u32), (4, 8)] {
+        let fx = adc_fixture(s, m, b, 64, 0xADC0 + b as u64);
+        // Sanity: both scans agree bit-for-bit.
+        let base = seed_adc_scan(&fx.table_flat, fx.k_c, fx.m, &fx.codes_rowmajor);
+        let mut fused = Vec::new();
+        fx.table.scores_into(&fx.codes_soa, &mut fused);
+        assert_eq!(base, fused, "scan results diverged at m={m} b={b}");
+
+        let iters = if cfg.quick { 8 } else { 32 };
+        let baseline_ns = time_ns(cfg, iters, || {
+            black_box(seed_adc_scan(
+                black_box(&fx.table_flat),
+                fx.k_c,
+                fx.m,
+                black_box(&fx.codes_rowmajor),
+            ));
+        });
+        let mut buf = Vec::new();
+        let new_ns = time_ns(cfg, iters, || {
+            fx.table.scores_into(black_box(&fx.codes_soa), &mut buf);
+            black_box(&buf);
+        });
+        rows.push(BenchRow {
+            name: format!("adc_scan_m{m}_b{b}"),
+            params: format!("s={s}, m={m}, b={b}, dh=64"),
+            baseline_ns,
+            new_ns,
+            items: s,
+        });
+    }
+}
+
+fn bench_top_k(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    let n = if cfg.quick { 16_384 } else { 65_536 };
+    let k = 1024;
+    let mut rng = Rng64::new(0x70B);
+    let scores: Vec<f32> = (0..n).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    let mut topk = TopK::new();
+    let mut out = Vec::new();
+    topk.select_into(&scores, k, &mut out);
+    assert_eq!(out, seed_top_k(&scores, k), "top-k results diverged");
+
+    let iters = if cfg.quick { 8 } else { 32 };
+    let baseline_ns = time_ns(cfg, iters, || {
+        black_box(seed_top_k(black_box(&scores), k));
+    });
+    let new_ns = time_ns(cfg, iters, || {
+        topk.select_into(black_box(&scores), k, &mut out);
+        black_box(&out);
+    });
+    rows.push(BenchRow {
+        name: "top_k".into(),
+        params: format!("n={n}, k={k}"),
+        baseline_ns,
+        new_ns,
+        items: n,
     });
 }
 
-fn bench_attention(c: &mut Criterion) {
-    let mut rng = Rng64::new(6);
-    let q = Matrix::randn(512, 32, 1.0, &mut rng);
-    let k = Matrix::randn(512, 32, 1.0, &mut rng);
-    let v = Matrix::randn(512, 32, 1.0, &mut rng);
-    c.bench_function("causal_attention_512x32", |bch| {
-        bch.iter(|| black_box(causal_attention(&q, &k, &v, PrefillPattern::Dense, None)))
+fn bench_kmeans_assign(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    let n = if cfg.quick { 2_048 } else { 8_192 };
+    let (k, d) = (64, 32);
+    let mut rng = Rng64::new(0x83A);
+    let data = Matrix::randn(n, d, 1.0, &mut rng);
+    let centroids = Matrix::randn(k, d, 1.0, &mut rng);
+    let mut base_asn = vec![0u32; n];
+    let mut new_asn = vec![0u32; n];
+    let mut scratch = AssignScratch::new();
+    let base_inertia = seed_kmeans_assign(&data, &centroids, &mut base_asn);
+    let new_inertia = scratch.assign(&data, &centroids, &mut new_asn);
+    assert!(
+        (base_inertia - new_inertia).abs() <= 1e-3 * base_inertia.max(1.0),
+        "assign inertia diverged: {base_inertia} vs {new_inertia}"
+    );
+
+    let iters = if cfg.quick { 4 } else { 12 };
+    let baseline_ns = time_ns(cfg, iters, || {
+        black_box(seed_kmeans_assign(black_box(&data), black_box(&centroids), &mut base_asn));
     });
-    let query: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
-    c.bench_function("attend_selected_512_keys", |bch| {
-        bch.iter(|| black_box(attend_selected(&query, &k, &v)))
+    let new_ns = time_ns(cfg, iters, || {
+        black_box(scratch.assign(black_box(&data), black_box(&centroids), &mut new_asn));
+    });
+    rows.push(BenchRow {
+        name: "kmeans_assign".into(),
+        params: format!("n={n}, k={k}, d={d}"),
+        baseline_ns,
+        new_ns,
+        items: n,
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kmeans, bench_adc, bench_topk, bench_cache, bench_attention
+fn bench_matmul_transb(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    let (m, k, n) = if cfg.quick { (64, 64, 256) } else { (128, 128, 1024) };
+    let mut rng = Rng64::new(0x6E4);
+    let a = Matrix::randn(m, k, 1.0, &mut rng);
+    let b = Matrix::randn(n, k, 1.0, &mut rng);
+    let diff = seed_matmul_transb(&a, &b).max_abs_diff(&a.matmul_transb(&b));
+    assert!(diff < 1e-3, "matmul_transb diverged: {diff}");
+
+    let iters = if cfg.quick { 8 } else { 16 };
+    let baseline_ns = time_ns(cfg, iters, || {
+        black_box(seed_matmul_transb(black_box(&a), black_box(&b)));
+    });
+    let mut out = Matrix::zeros(m, n);
+    let new_ns = time_ns(cfg, iters, || {
+        a.matmul_transb_into(black_box(&b), &mut out);
+        black_box(&out);
+    });
+    rows.push(BenchRow {
+        name: "matmul_transb".into(),
+        params: format!("({m}x{k}) @ ({n}x{k})T"),
+        baseline_ns,
+        new_ns,
+        items: m * n,
+    });
 }
-criterion_main!(kernels);
+
+fn bench_causal_attention(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    let (s, dh) = if cfg.quick { (128, 64) } else { (384, 64) };
+    let mut rng = Rng64::new(0xA77);
+    let q = Matrix::randn(s, dh, 1.0, &mut rng);
+    let k = Matrix::randn(s, dh, 1.0, &mut rng);
+    let v = Matrix::randn(s, dh, 1.0, &mut rng);
+    let diff = seed_causal_attention(&q, &k, &v)
+        .max_abs_diff(&causal_attention(&q, &k, &v, PrefillPattern::Dense, None));
+    assert!(diff < 1e-3, "causal attention diverged: {diff}");
+
+    let iters = if cfg.quick { 2 } else { 6 };
+    let baseline_ns = time_ns(cfg, iters, || {
+        black_box(seed_causal_attention(black_box(&q), black_box(&k), black_box(&v)));
+    });
+    let new_ns = time_ns(cfg, iters, || {
+        black_box(causal_attention(
+            black_box(&q),
+            black_box(&k),
+            black_box(&v),
+            PrefillPattern::Dense,
+            None,
+        ));
+    });
+    rows.push(BenchRow {
+        name: "causal_attention".into(),
+        params: format!("s={s}, dh={dh}"),
+        baseline_ns,
+        new_ns,
+        items: s,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &std::path::Path, mode: &str, rows: &[BenchRow]) {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"kernels\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"unix_time_s\": {unix_s},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"baseline_ns_per_iter\": {:.1}, \
+             \"new_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \"mitems_per_s\": {:.2}}}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.params),
+            r.baseline_ns,
+            r.new_ns,
+            r.speedup(),
+            r.mitems_per_s(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_kernels.json");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let cfg = Config { quick, samples: if quick { 3 } else { 7 } };
+    let mode = if quick { "quick" } else { "full" };
+    println!("kernel micro-benchmarks ({mode} mode) — old (seed) vs new kernels\n");
+
+    let mut rows = Vec::new();
+    bench_adc_scan(&cfg, &mut rows);
+    bench_top_k(&cfg, &mut rows);
+    bench_kmeans_assign(&cfg, &mut rows);
+    bench_matmul_transb(&cfg, &mut rows);
+    bench_causal_attention(&cfg, &mut rows);
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9} {:>12}  params",
+        "kernel", "baseline ns", "new ns", "speedup", "Mitems/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>8.2}x {:>12.2}  {}",
+            r.name,
+            r.baseline_ns,
+            r.new_ns,
+            r.speedup(),
+            r.mitems_per_s(),
+            r.params
+        );
+    }
+
+    // Perf-trajectory gates: enforced (non-zero exit) in full mode; in
+    // quick mode the tiny fixtures and shared-runner noise make ratios
+    // unstable, so CI only records the JSON and warns.
+    let mut gate_failed = false;
+    for (prefix, need) in [("adc_scan", 3.0f64), ("kmeans_assign", 2.0)] {
+        for r in rows.iter().filter(|r| r.name.starts_with(prefix)) {
+            let got = r.speedup();
+            if got < need {
+                println!("GATE MISS: {} speedup {:.2}x below target {:.1}x", r.name, got, need);
+                gate_failed = true;
+            }
+        }
+    }
+
+    let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| {
+        format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let path = std::path::PathBuf::from(path);
+    write_json(&path, mode, &rows);
+    println!("\nwrote {}", path.display());
+    if gate_failed && !quick {
+        std::process::exit(1);
+    }
+}

@@ -51,6 +51,10 @@ pub struct SelectiveSession<'m> {
     /// Selected middle indices (absolute token ids) of the last step,
     /// `[layer][kv_head]` — used by retrieval-accuracy instrumentation.
     last_selected: Vec<Vec<Vec<usize>>>,
+    /// Reusable selection buffer handed to `SelectionPolicy::select_into`
+    /// each step (taken/restored around the call to satisfy the borrow
+    /// checker without reallocating).
+    sel_scratch: Vec<usize>,
 }
 
 /// Outcome of session construction: the session plus the prefill output
@@ -346,6 +350,7 @@ impl<'m> SessionParts<'m> {
                 steps: 0,
                 policy_comm_bytes: 0,
                 last_selected,
+                sel_scratch: Vec::new(),
             },
             logits,
         }
@@ -372,14 +377,13 @@ impl KvSource for SelectiveSession<'_> {
         let middle_len = self.store.len(layer, kv_head);
         let budget = self.budget_middle.min(middle_len);
 
-        let sel_rel: Vec<usize> = if self.policy_ready && budget > 0 {
+        let mut sel_rel = std::mem::take(&mut self.sel_scratch);
+        sel_rel.clear();
+        if self.policy_ready && budget > 0 {
             let ctx = PolicyContext { layer, kv_head, queries, budget, middle_len };
-            let mut sel = self.policy.select(&ctx);
-            sel.retain(|&i| i < middle_len);
-            sel
-        } else {
-            Vec::new()
-        };
+            self.policy.select_into(&ctx, &mut sel_rel);
+            sel_rel.retain(|&i| i < middle_len);
+        }
 
         // Account the policy's non-overlappable proxy communication.
         self.policy_comm_bytes += self.policy.comm_bytes_per_step(middle_len);
@@ -436,6 +440,7 @@ impl KvSource for SelectiveSession<'_> {
             local_k.copy_row_from(i, k);
             local_v.copy_row_from(i, v);
         }
+        self.sel_scratch = sel_rel;
         (keys.vstack(&local_k), values.vstack(&local_v))
     }
 }

@@ -64,6 +64,12 @@ pub struct ScoreCapture {
     pub sample_rows: Vec<usize>,
     /// Captured `(row, probabilities)` pairs.
     pub samples: Vec<(usize, Vec<f32>)>,
+    /// Sorted copy of `sample_rows` built by [`Self::prepare`], so per-row
+    /// membership checks are a binary search instead of a linear scan —
+    /// without mutating the caller-owned field.
+    sorted_rows: Vec<usize>,
+    /// Reusable dense scatter buffer for sparse (masked) rows.
+    scratch: Vec<f32>,
 }
 
 impl ScoreCapture {
@@ -75,9 +81,19 @@ impl ScoreCapture {
             window,
             sample_rows: Vec::new(),
             samples: Vec::new(),
+            sorted_rows: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
+    /// Refresh the sorted sample-row index; called once per attention pass.
+    fn prepare(&mut self) {
+        self.sorted_rows.clear();
+        self.sorted_rows.extend_from_slice(&self.sample_rows);
+        self.sorted_rows.sort_unstable();
+    }
+
+    /// Record a dense probability row (`probs[j]` = mass on key `j`).
     fn record(&mut self, row: usize, probs: &[f32], s_total: usize) {
         for (j, &p) in probs.iter().enumerate() {
             self.accum[j] += p;
@@ -87,9 +103,24 @@ impl ScoreCapture {
                 self.window_accum[j] += p;
             }
         }
-        if self.sample_rows.contains(&row) {
+        if self.sorted_rows.binary_search(&row).is_ok() {
             self.samples.push((row, probs.to_vec()));
         }
+    }
+
+    /// Record a sparse row given the allowed key indices and their
+    /// probabilities; the dense scatter goes through one reusable scratch
+    /// buffer instead of a fresh allocation per masked row.
+    fn record_sparse(&mut self, row: usize, allowed: &[usize], probs: &[f32], s_total: usize) {
+        debug_assert_eq!(allowed.len(), probs.len());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.resize(row + 1, 0.0);
+        for (&j, &p) in allowed.iter().zip(probs.iter()) {
+            scratch[j] = p;
+        }
+        self.record(row, &scratch, s_total);
+        self.scratch = scratch;
     }
 }
 
@@ -113,6 +144,9 @@ pub fn causal_attention(
     let mut out = Matrix::zeros(s, dh);
     let mut scores: Vec<f32> = Vec::with_capacity(s);
     let mut allowed: Vec<usize> = Vec::with_capacity(s);
+    if let Some(cap) = capture.as_deref_mut() {
+        cap.prepare();
+    }
 
     for i in 0..s {
         scores.clear();
@@ -130,15 +164,10 @@ pub fn causal_attention(
             pqc_tensor::axpy(orow, v.row(j), p);
         }
         if let Some(cap) = capture.as_deref_mut() {
-            // Scatter the sparse probability vector back to dense indexing.
             if allowed.len() == i + 1 {
                 cap.record(i, &scores, s);
             } else {
-                let mut dense = vec![0.0f32; i + 1];
-                for (&j, &p) in allowed.iter().zip(scores.iter()) {
-                    dense[j] = p;
-                }
-                cap.record(i, &dense, s);
+                cap.record_sparse(i, &allowed, &scores, s);
             }
         }
     }
@@ -148,22 +177,39 @@ pub fn causal_attention(
 /// Decode-time attention of a single query vector over an arbitrary set of
 /// gathered keys/values (the selective-attention kernel, Step ❻).
 pub fn attend_selected(query: &[f32], keys: &Matrix, values: &Matrix) -> Vec<f32> {
+    let mut scores = Vec::new();
+    let mut out = Vec::new();
+    attend_selected_into(query, keys, values, &mut scores, &mut out);
+    out
+}
+
+/// [`attend_selected`] with caller-owned score and output buffers (both
+/// cleared first) — the decode loop runs one of these per query head per
+/// layer per step, so buffer reuse removes its steady-state allocations.
+pub fn attend_selected_into(
+    query: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    scores: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
     let dh = query.len();
     assert_eq!(keys.cols(), dh);
     assert_eq!(keys.shape(), values.shape());
     let n = keys.rows();
     assert!(n > 0, "attend_selected over empty set");
     let scale = 1.0 / (dh as f32).sqrt();
-    let mut scores: Vec<f32> = Vec::with_capacity(n);
+    scores.clear();
+    scores.reserve(n);
     for j in 0..n {
         scores.push(dot(query, keys.row(j)) * scale);
     }
-    softmax_inplace(&mut scores);
-    let mut out = vec![0.0f32; dh];
+    softmax_inplace(scores);
+    out.clear();
+    out.resize(dh, 0.0);
     for (j, &p) in scores.iter().enumerate() {
-        pqc_tensor::axpy(&mut out, values.row(j), p);
+        pqc_tensor::axpy(out, values.row(j), p);
     }
-    out
 }
 
 /// Exact attention scores (pre-softmax logits) of a query against all keys —

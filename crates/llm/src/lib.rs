@@ -19,7 +19,10 @@ pub mod model;
 pub mod rope;
 pub mod weights;
 
-pub use attention::{attend_selected, causal_attention, exact_logits, PrefillPattern, ScoreCapture};
+pub use attention::{
+    attend_selected, attend_selected_into, causal_attention, exact_logits, PrefillPattern,
+    ScoreCapture,
+};
 pub use config::LlmConfig;
 pub use model::{
     slice_head, DecodeOutput, FullKvSource, KvSource, LayerKv, Model, PrefillOptions, PrefillOutput,

@@ -7,7 +7,7 @@
 //! an everything-budget equals full attention bit-for-bit" is tested against
 //! it.
 
-use crate::attention::{attend_selected, causal_attention, PrefillPattern, ScoreCapture};
+use crate::attention::{attend_selected_into, causal_attention, PrefillPattern, ScoreCapture};
 use crate::config::LlmConfig;
 use crate::rope::{apply_rope, apply_rope_rows};
 use crate::weights::{rms_norm, rms_norm_rows, ModelWeights};
@@ -276,6 +276,9 @@ impl Model {
         let group = cfg.group_size();
         assert!((token as usize) < cfg.vocab_size, "token {token} out of vocab");
         let mut x: Vec<f32> = self.weights.embedding.row(token as usize).to_vec();
+        // Attention scratch shared across layers/heads within this step.
+        let mut attn_scores: Vec<f32> = Vec::new();
+        let mut attn_out: Vec<f32> = Vec::new();
 
         for l in 0..cfg.n_layers {
             let w = &self.weights.layers[l];
@@ -304,8 +307,14 @@ impl Model {
                 let (keys, values) = source.gather(l, kvh, &queries);
                 for g in 0..group {
                     let h = kvh * group + g;
-                    let out = attend_selected(queries.row(g), &keys, &values);
-                    concat[h * dh..(h + 1) * dh].copy_from_slice(&out);
+                    attend_selected_into(
+                        queries.row(g),
+                        &keys,
+                        &values,
+                        &mut attn_scores,
+                        &mut attn_out,
+                    );
+                    concat[h * dh..(h + 1) * dh].copy_from_slice(&attn_out);
                 }
             }
 

@@ -34,13 +34,11 @@ impl StaticRanking {
         Self { ranking }
     }
 
-    fn select(&self, layer: usize, head: usize, budget: usize, middle_len: usize) -> Vec<usize> {
-        self.ranking[layer][head]
-            .iter()
-            .copied()
-            .filter(|&i| i < middle_len)
-            .take(budget)
-            .collect()
+    fn select_into(&self, layer: usize, head: usize, budget: usize, middle_len: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.ranking[layer][head].iter().copied().filter(|&i| i < middle_len).take(budget),
+        );
     }
 }
 
@@ -73,8 +71,8 @@ impl SelectionPolicy for StreamingLlmPolicy {
 
     fn init(&mut self, _init: &PolicyInit) {}
 
-    fn select(&mut self, _ctx: &PolicyContext<'_>) -> Vec<usize> {
-        Vec::new()
+    fn select_into(&mut self, _ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        out.clear();
     }
 
     fn comm_bytes_per_step(&self, _middle_len: usize) -> u64 {
@@ -106,8 +104,8 @@ impl SelectionPolicy for H2oPolicy {
         self.ranking = StaticRanking::build(scores, 1);
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        self.ranking.select(ctx.layer, ctx.kv_head, ctx.budget, ctx.middle_len)
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        self.ranking.select_into(ctx.layer, ctx.kv_head, ctx.budget, ctx.middle_len, out);
     }
 
     fn comm_bytes_per_step(&self, _middle_len: usize) -> u64 {
@@ -153,8 +151,8 @@ impl SelectionPolicy for SnapKvPolicy {
         self.ranking = StaticRanking::build(scores, self.pool_kernel);
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        self.ranking.select(ctx.layer, ctx.kv_head, ctx.budget, ctx.middle_len)
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        self.ranking.select_into(ctx.layer, ctx.kv_head, ctx.budget, ctx.middle_len, out);
     }
 
     fn comm_bytes_per_step(&self, _middle_len: usize) -> u64 {
@@ -213,9 +211,9 @@ impl SelectionPolicy for PyramidKvPolicy {
         self.ranking = StaticRanking::build(scores, self.pool_kernel);
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
         let scaled = (ctx.budget as f64 * self.layer_multiplier(ctx.layer)).round() as usize;
-        self.ranking.select(ctx.layer, ctx.kv_head, scaled, ctx.middle_len)
+        self.ranking.select_into(ctx.layer, ctx.kv_head, scaled, ctx.middle_len, out);
     }
 
     fn comm_bytes_per_step(&self, _middle_len: usize) -> u64 {

@@ -87,8 +87,20 @@ pub trait SelectionPolicy {
 
     /// Indices (middle coordinates, strictly less than `ctx.middle_len`) of
     /// the middle tokens to include in attention, at most `ctx.budget` of
-    /// them, descending by the policy's notion of relevance.
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize>;
+    /// them, descending by the policy's notion of relevance, written into
+    /// `out` (cleared first).
+    ///
+    /// This is the per-step hot path: implementations keep their scoring
+    /// scratch internal so steady-state selection performs no heap
+    /// allocations.
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>);
+
+    /// Allocating convenience wrapper around [`Self::select_into`].
+    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_into(ctx, &mut out);
+        out
+    }
 
     /// A token evicted from the local window becomes middle token
     /// `middle_idx`; policies holding per-token state must integrate it.
@@ -127,13 +139,21 @@ pub trait SelectionPolicy {
 /// their kv head (sum of rows — for linear scores this equals summing
 /// per-query scores).
 pub fn group_query(queries: &Matrix) -> Vec<f32> {
-    let mut q = vec![0.0f32; queries.cols()];
+    let mut q = Vec::new();
+    group_query_into(queries, &mut q);
+    q
+}
+
+/// [`group_query`] into a caller-owned buffer (cleared first) so per-step
+/// policies reuse one query scratch.
+pub fn group_query_into(queries: &Matrix, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(queries.cols(), 0.0);
     for r in 0..queries.rows() {
-        for (acc, v) in q.iter_mut().zip(queries.row(r).iter()) {
+        for (acc, v) in out.iter_mut().zip(queries.row(r).iter()) {
             *acc += v;
         }
     }
-    q
 }
 
 #[cfg(test)]

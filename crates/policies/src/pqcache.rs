@@ -7,9 +7,8 @@
 //! through its codes (Steps ❸-❹). Tokens evicted from the local window are
 //! assigned codes by nearest centroid (Algorithm 2, line 4).
 
-use crate::{group_query, PolicyContext, PolicyInit, SelectionPolicy};
-use pqc_pq::{AdcTable, PqCodebook, PqCodes, PqConfig};
-use pqc_tensor::top_k_indices;
+use crate::{group_query_into, PolicyContext, PolicyInit, SelectionPolicy};
+use pqc_pq::{PqCodebook, PqCodes, PqConfig, PqRetriever};
 
 /// PQCache policy hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,12 +38,35 @@ pub struct PqCachePolicy {
     books: Vec<Vec<PqCodebook>>,
     /// `[layer][kv_head]` per-token codes (grow with evictions).
     codes: Vec<Vec<PqCodes>>,
+    /// Reusable decode-step retrieval scratch (ADC table, fused-scan score
+    /// buffer, top-k heap): one per policy, shared across layers/heads, so
+    /// steady-state selection performs zero heap allocations.
+    retriever: PqRetriever,
+    /// Reusable group-query buffer.
+    q_buf: Vec<f32>,
+    /// Reusable eviction-encoding buffer.
+    code_buf: Vec<u16>,
 }
 
 impl PqCachePolicy {
     /// A policy with the given PQ configuration.
     pub fn new(cfg: PqCachePolicyConfig) -> Self {
-        Self { cfg, books: Vec::new(), codes: Vec::new() }
+        Self {
+            cfg,
+            books: Vec::new(),
+            codes: Vec::new(),
+            retriever: PqRetriever::new(),
+            q_buf: Vec::new(),
+            code_buf: Vec::new(),
+        }
+    }
+
+    /// Capacities of the per-step scratch buffers (retriever table/scores/
+    /// heap, group query, eviction codes) — exposed so tests can assert
+    /// zero-allocation steady state across decode steps.
+    pub fn scratch_capacities(&self) -> (usize, usize, usize, usize, usize) {
+        let (t, s, h) = self.retriever.scratch_capacities();
+        (t, s, h, self.q_buf.capacity(), self.code_buf.capacity())
     }
 
     /// Total construction inertia across all codebooks (diagnostics for the
@@ -106,25 +128,23 @@ impl SelectionPolicy for PqCachePolicy {
         }
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        let q = group_query(ctx.queries);
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        out.clear();
         let book = &self.books[ctx.layer][ctx.kv_head];
         let codes = &self.codes[ctx.layer][ctx.kv_head];
         let n = codes.len().min(ctx.middle_len);
         if n == 0 || ctx.budget == 0 {
-            return Vec::new();
+            return;
         }
-        let table = AdcTable::build(book, &q);
-        let mut scores = Vec::with_capacity(n);
-        for i in 0..n {
-            scores.push(table.score_token(codes.token(i)));
-        }
-        top_k_indices(&scores, ctx.budget)
+        group_query_into(ctx.queries, &mut self.q_buf);
+        // Steps ❸-❹-❺ fused: ADC table build, SoA column scan, top-k — all
+        // through the reusable retriever scratch.
+        self.retriever.top_k_prefix_into(book, codes, &self.q_buf, n, ctx.budget, out);
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
-        let code = self.books[layer][kv_head].assign(key);
-        self.codes[layer][kv_head].push(&code);
+        self.books[layer][kv_head].assign_into(key, &mut self.code_buf);
+        self.codes[layer][kv_head].push(&self.code_buf);
     }
 
     /// PQ codes are query-independent: fully prefetchable. Non-overlappable

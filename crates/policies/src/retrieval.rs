@@ -13,8 +13,8 @@
 //!   `r_rep` tokens; whole blocks are selected by representative score — the
 //!   space-continuity assumption the paper shows hurts quality.
 
-use crate::{group_query, PolicyContext, PolicyInit, SelectionPolicy};
-use pqc_tensor::{dot, top_k_indices, Matrix};
+use crate::{group_query_into, PolicyContext, PolicyInit, SelectionPolicy};
+use pqc_tensor::{dot, top_k_indices, Matrix, TopK};
 
 /// No compression at all: every middle token is always selected (the
 /// paper's "Full" column). The engine treats the budget as unlimited.
@@ -32,8 +32,9 @@ impl SelectionPolicy for FullAttentionPolicy {
         self.middle_len = init.middle_len();
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        (0..ctx.middle_len).collect()
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..ctx.middle_len);
     }
 
     fn on_evict(&mut self, _layer: usize, _kv_head: usize, _key: &[f32], middle_idx: usize) {
@@ -52,6 +53,9 @@ impl SelectionPolicy for FullAttentionPolicy {
 pub struct OraclePolicy {
     /// `[layer][kv_head]` middle keys, grown by `on_evict`.
     keys: Vec<Vec<Matrix>>,
+    q_buf: Vec<f32>,
+    scores: Vec<f32>,
+    topk: TopK,
 }
 
 impl SelectionPolicy for OraclePolicy {
@@ -63,15 +67,15 @@ impl SelectionPolicy for OraclePolicy {
         self.keys = init.middle_keys.clone();
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        let q = group_query(ctx.queries);
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        group_query_into(ctx.queries, &mut self.q_buf);
         let keys = &self.keys[ctx.layer][ctx.kv_head];
         let n = keys.rows().min(ctx.middle_len);
-        let mut scores = Vec::with_capacity(n);
+        self.scores.clear();
         for i in 0..n {
-            scores.push(dot(&q, keys.row(i)));
+            self.scores.push(dot(&self.q_buf, keys.row(i)));
         }
-        top_k_indices(&scores, ctx.budget)
+        self.topk.select_into(&self.scores, ctx.budget, out);
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
@@ -95,13 +99,26 @@ pub struct SparqPolicy {
     /// at d_h = 128).
     pub r: usize,
     keys: Vec<Vec<Matrix>>,
+    q_buf: Vec<f32>,
+    mags: Vec<f32>,
+    dims: Vec<usize>,
+    scores: Vec<f32>,
+    topk: TopK,
 }
 
 impl SparqPolicy {
     /// SPARQ with `r` fetched dimensions.
     pub fn new(r: usize) -> Self {
         assert!(r >= 1, "SPARQ needs at least one dimension");
-        Self { r, keys: Vec::new() }
+        Self {
+            r,
+            keys: Vec::new(),
+            q_buf: Vec::new(),
+            mags: Vec::new(),
+            dims: Vec::new(),
+            scores: Vec::new(),
+            topk: TopK::new(),
+        }
     }
 
     /// The `r` for a communication fraction `f = r / d_h` (at least 1).
@@ -120,23 +137,25 @@ impl SelectionPolicy for SparqPolicy {
         self.keys = init.middle_keys.clone();
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        let q = group_query(ctx.queries);
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        group_query_into(ctx.queries, &mut self.q_buf);
+        let q = &self.q_buf;
         // Top-r dimensions by |q|.
-        let mags: Vec<f32> = q.iter().map(|v| v.abs()).collect();
-        let dims = top_k_indices(&mags, self.r.min(q.len()));
+        self.mags.clear();
+        self.mags.extend(q.iter().map(|v| v.abs()));
+        self.topk.select_into(&self.mags, self.r.min(q.len()), &mut self.dims);
         let keys = &self.keys[ctx.layer][ctx.kv_head];
         let n = keys.rows().min(ctx.middle_len);
-        let mut scores = Vec::with_capacity(n);
+        self.scores.clear();
         for i in 0..n {
             let row = keys.row(i);
             let mut s = 0.0f32;
-            for &d in &dims {
+            for &d in &self.dims {
                 s += q[d] * row[d];
             }
-            scores.push(s);
+            self.scores.push(s);
         }
-        top_k_indices(&scores, ctx.budget)
+        self.topk.select_into(&self.scores, ctx.budget, out);
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
@@ -162,6 +181,10 @@ pub struct InfLlmPolicy {
     keys: Vec<Vec<Matrix>>,
     /// Representative indices per `[layer][kv_head][block]`.
     reps: Vec<Vec<Vec<Vec<usize>>>>,
+    q_buf: Vec<f32>,
+    block_scores: Vec<f32>,
+    order: Vec<usize>,
+    topk: TopK,
 }
 
 impl InfLlmPolicy {
@@ -169,7 +192,16 @@ impl InfLlmPolicy {
     /// representatives for 1/128 and 1/64 comm budgets).
     pub fn new(block_size: usize, reps_per_block: usize) -> Self {
         assert!(block_size >= 1 && reps_per_block >= 1);
-        Self { block_size, reps_per_block, keys: Vec::new(), reps: Vec::new() }
+        Self {
+            block_size,
+            reps_per_block,
+            keys: Vec::new(),
+            reps: Vec::new(),
+            q_buf: Vec::new(),
+            block_scores: Vec::new(),
+            order: Vec::new(),
+            topk: TopK::new(),
+        }
     }
 
     /// Representatives of one block: the `r` tokens with the largest key L2
@@ -219,40 +251,40 @@ impl SelectionPolicy for InfLlmPolicy {
         }
     }
 
-    fn select(&mut self, ctx: &PolicyContext<'_>) -> Vec<usize> {
-        let q = group_query(ctx.queries);
+    fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        group_query_into(ctx.queries, &mut self.q_buf);
+        let q = &self.q_buf;
         let keys = &self.keys[ctx.layer][ctx.kv_head];
         let reps = &self.reps[ctx.layer][ctx.kv_head];
         let n = keys.rows().min(ctx.middle_len);
         if n == 0 || ctx.budget == 0 {
-            return Vec::new();
+            return;
         }
         // Score blocks by mean representative inner product.
         let nb = n.div_ceil(self.block_size);
-        let mut block_scores = Vec::with_capacity(nb);
+        self.block_scores.clear();
         for rep_ids in reps.iter().take(nb) {
-            let valid: Vec<&usize> = rep_ids.iter().filter(|&&i| i < n).collect();
-            if valid.is_empty() {
-                block_scores.push(f32::NEG_INFINITY);
-                continue;
+            let mut s = 0.0f32;
+            let mut valid = 0usize;
+            for &i in rep_ids.iter().filter(|&&i| i < n) {
+                s += dot(q, keys.row(i));
+                valid += 1;
             }
-            let s: f32 = valid.iter().map(|&&i| dot(&q, keys.row(i))).sum();
-            block_scores.push(s / valid.len() as f32);
+            self.block_scores.push(if valid == 0 { f32::NEG_INFINITY } else { s / valid as f32 });
         }
         // Select whole blocks until the token budget is exhausted.
-        let order = top_k_indices(&block_scores, nb);
-        let mut out = Vec::with_capacity(ctx.budget);
-        for b in order {
+        self.topk.select_into(&self.block_scores, nb, &mut self.order);
+        for &b in &self.order {
             let lo = b * self.block_size;
             let hi = ((b + 1) * self.block_size).min(n);
             for i in lo..hi {
                 if out.len() >= ctx.budget {
-                    return out;
+                    return;
                 }
                 out.push(i);
             }
         }
-        out
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {

@@ -7,11 +7,11 @@
 //! of O(s·dh) for exact scores.
 
 use crate::codebook::{PqCodebook, PqCodes};
-use pqc_tensor::{dot, top_k_indices, Matrix};
+use pqc_tensor::{dot, top_k_indices, Matrix, TopK};
 
 /// Pre-computed per-query lookup table: `table[j][c]` is the inner product of
 /// query sub-vector `j` with centroid `c` of sub-space `j`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AdcTable {
     m: usize,
     k_c: usize,
@@ -21,20 +21,30 @@ pub struct AdcTable {
 impl AdcTable {
     /// Build the table for one query vector.
     pub fn build(book: &PqCodebook, query: &[f32]) -> Self {
+        let mut t = Self::default();
+        t.rebuild(book, query);
+        t
+    }
+
+    /// Rebuild in place for a new query, reusing the table buffer — the
+    /// per-decode-step path allocates nothing after warm-up.
+    pub fn rebuild(&mut self, book: &PqCodebook, query: &[f32]) {
         assert_eq!(query.len(), book.dh(), "query dimension mismatch");
         let m = book.config().m;
         let dm = book.dm();
         let k_c = book.centroids(0).rows();
-        let mut table = Vec::with_capacity(m * k_c);
+        self.m = m;
+        self.k_c = k_c;
+        self.table.clear();
+        self.table.reserve(m * k_c);
         for j in 0..m {
             let sub = &query[j * dm..(j + 1) * dm];
             let cents = book.centroids(j);
             debug_assert_eq!(cents.rows(), k_c);
             for c in 0..k_c {
-                table.push(dot(sub, cents.row(c)));
+                self.table.push(dot(sub, cents.row(c)));
             }
         }
-        Self { m, k_c, table }
     }
 
     /// Table entry for sub-space `j`, centroid `c`.
@@ -54,23 +64,179 @@ impl AdcTable {
         s
     }
 
-    /// Approximate inner products for all encoded tokens.
-    pub fn score_all(&self, codes: &PqCodes) -> Vec<f32> {
-        let n = codes.len();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            out.push(self.score_token(codes.token(i)));
+    /// Fused ADC scan: approximate inner products for all encoded tokens,
+    /// written into `out` (cleared first).
+    ///
+    /// Walks one contiguous SoA code column per sub-space, accumulating into
+    /// `out` — the 2^b-entry LUT row stays in L1 for the whole column and no
+    /// per-token slice is materialised. Accumulation order per token matches
+    /// [`Self::score_token`] (sub-space 0 first), so results are
+    /// bit-identical to the scalar path.
+    pub fn scores_into(&self, codes: &PqCodes, out: &mut Vec<f32>) {
+        self.scores_prefix_into(codes, codes.len(), out);
+    }
+
+    /// [`Self::scores_into`] limited to the first `n` encoded tokens — the
+    /// engine bounds retrieval by the live middle length, so the scan never
+    /// touches the excess tail.
+    pub fn scores_prefix_into(&self, codes: &PqCodes, n: usize, out: &mut Vec<f32>) {
+        assert_eq!(codes.m(), self.m, "sub-space count mismatch");
+        let n = n.min(codes.len());
+        out.clear();
+        if n == 0 || self.m == 0 {
+            out.resize(n, 0.0);
+            return;
         }
+        // One bounds proof per column: every code in column `j` is
+        // ≤ max_code(j), so the per-element LUT lookups below cannot go out
+        // of bounds and can skip the per-access check.
+        for j in 0..self.m {
+            assert!(
+                (codes.max_code(j) as usize) < self.k_c,
+                "code column {j} exceeds table width {}",
+                self.k_c
+            );
+        }
+        let lut = |j: usize| &self.table[j * self.k_c..(j + 1) * self.k_c];
+        let col = |j: usize| &codes.column(j)[..n];
+        // First pass *writes* (no zero-fill, no read-modify-write): one
+        // column alone, or the first two columns fused.
+        let mut j = if self.m == 1 {
+            let r0 = lut(0);
+            let c0 = col(0);
+            // SAFETY: codes bounded by the max_code assertions above.
+            out.extend(c0.iter().map(|&a| unsafe { *r0.get_unchecked(a as usize) }));
+            1
+        } else {
+            let (r0, r1) = (lut(0), lut(1));
+            let (c0, c1) = (col(0), col(1));
+            // Two sequential adds keep f32 association identical to
+            // `score_token` (bit-identical scores).
+            // SAFETY: codes bounded by the max_code assertions above.
+            out.extend(c0.iter().zip(c1.iter()).map(|(&a, &b)| unsafe {
+                let t = *r0.get_unchecked(a as usize);
+                t + *r1.get_unchecked(b as usize)
+            }));
+            2
+        };
+        // Remaining columns accumulate pairwise: half the passes over `out`,
+        // still sequential adds per token for bit-identical association.
+        while j + 1 < self.m {
+            let (r0, r1) = (lut(j), lut(j + 1));
+            let (c0, c1) = (col(j), col(j + 1));
+            for ((s, &a), &b) in out.iter_mut().zip(c0.iter()).zip(c1.iter()) {
+                // SAFETY: codes bounded by the max_code assertions above.
+                unsafe {
+                    *s += *r0.get_unchecked(a as usize);
+                    *s += *r1.get_unchecked(b as usize);
+                }
+            }
+            j += 2;
+        }
+        if j < self.m {
+            let r0 = lut(j);
+            let c0 = col(j);
+            for (s, &a) in out.iter_mut().zip(c0.iter()) {
+                // SAFETY: codes bounded by the max_code assertions above.
+                *s += unsafe { *r0.get_unchecked(a as usize) };
+            }
+        }
+    }
+
+    /// Approximate inner products for all encoded tokens (allocating
+    /// convenience wrapper around [`Self::scores_into`]).
+    pub fn score_all(&self, codes: &PqCodes) -> Vec<f32> {
+        let mut out = Vec::with_capacity(codes.len());
+        self.scores_into(codes, &mut out);
         out
+    }
+
+    /// ADC scores of an arbitrary candidate subset (`ids` index into
+    /// `codes`), written into `out` (cleared first) in `ids` order. Used by
+    /// IVF probing: still sub-space-major so each LUT row stays hot.
+    pub fn score_subset_into(&self, codes: &PqCodes, ids: &[usize], out: &mut Vec<f32>) {
+        assert_eq!(codes.m(), self.m, "sub-space count mismatch");
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        for j in 0..self.m {
+            let row = &self.table[j * self.k_c..(j + 1) * self.k_c];
+            let col = codes.column(j);
+            assert!(
+                ids.is_empty() || (codes.max_code(j) as usize) < self.k_c,
+                "code column {j} exceeds table width {}",
+                self.k_c
+            );
+            for (s, &i) in out.iter_mut().zip(ids.iter()) {
+                // SAFETY: `col[i] <= max_code(j) < k_c`, checked above
+                // (`col[i]` itself stays bounds-checked: `ids` is arbitrary).
+                *s += unsafe { *row.get_unchecked(col[i] as usize) };
+            }
+        }
+    }
+}
+
+/// Reusable decode-step retrieval state: ADC table, score buffer, and top-k
+/// heap. After the first call every step of `pq_top_k`-equivalent work —
+/// table build, fused scan, selection — runs with zero heap allocations.
+#[derive(Debug, Default, Clone)]
+pub struct PqRetriever {
+    table: AdcTable,
+    scores: Vec<f32>,
+    topk: TopK,
+}
+
+impl PqRetriever {
+    /// A retriever with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate top-k: builds the ADC table for `query`, runs the fused
+    /// scan over `codes`, and writes the indices of the `k` best scores
+    /// (descending) into `out`. Identical results to [`pq_top_k`].
+    pub fn top_k_into(
+        &mut self,
+        book: &PqCodebook,
+        codes: &PqCodes,
+        query: &[f32],
+        k: usize,
+        out: &mut Vec<usize>,
+    ) {
+        self.table.rebuild(book, query);
+        self.table.scores_into(codes, &mut self.scores);
+        self.topk.select_into(&self.scores, k, out);
+    }
+
+    /// Like [`Self::top_k_into`] but scanning only the first `n` tokens of
+    /// `codes` — the engine bounds selection by the live middle length.
+    pub fn top_k_prefix_into(
+        &mut self,
+        book: &PqCodebook,
+        codes: &PqCodes,
+        query: &[f32],
+        n: usize,
+        k: usize,
+        out: &mut Vec<usize>,
+    ) {
+        self.table.rebuild(book, query);
+        self.table.scores_prefix_into(codes, n, &mut self.scores);
+        self.topk.select_into(&self.scores, k, out);
+    }
+
+    /// Capacities of the internal scratch buffers `(table, scores, heap)` —
+    /// exposed so tests can assert steady-state allocation stability.
+    pub fn scratch_capacities(&self) -> (usize, usize, usize) {
+        (self.table.table.capacity(), self.scores.capacity(), self.topk.scratch_capacity())
     }
 }
 
 /// Approximate top-k retrieval: score every encoded token with ADC and return
-/// the indices of the `k` best, descending.
+/// the indices of the `k` best, descending. Allocating convenience wrapper
+/// around [`PqRetriever`]; steady-state callers should hold a retriever.
 pub fn pq_top_k(book: &PqCodebook, codes: &PqCodes, query: &[f32], k: usize) -> Vec<usize> {
-    let table = AdcTable::build(book, query);
-    let scores = table.score_all(codes);
-    top_k_indices(&scores, k)
+    let mut out = Vec::new();
+    PqRetriever::new().top_k_into(book, codes, query, k, &mut out);
+    out
 }
 
 /// Exact top-k over raw keys, for Oracle comparisons and recall measurement.
@@ -103,8 +269,8 @@ mod tests {
         let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
         let table = AdcTable::build(&book, &q);
         for i in 0..codes.len() {
-            let approx = table.score_token(codes.token(i));
-            let rec = book.reconstruct(codes.token(i));
+            let approx = table.score_token(&codes.token(i));
+            let rec = book.reconstruct(&codes.token(i));
             let exact_on_rec = dot(&q, &rec);
             assert!(
                 (approx - exact_on_rec).abs() < 1e-4,
@@ -127,11 +293,11 @@ mod tests {
         let mut abs_err = 0.0f64;
         let mut abs_exact = 0.0f64;
         for i in 0..codes.len() {
-            let approx = table.score_token(codes.token(i)) as f64;
+            let approx = table.score_token(&codes.token(i)) as f64;
             let exact = dot(&q, keys.row(i)) as f64;
             let err = (approx - exact).abs();
             // Cauchy–Schwarz: |ADC - exact| = |<q, rec - k>| <= ||q||·||rec - k||.
-            let rec = book.reconstruct(codes.token(i));
+            let rec = book.reconstruct(&codes.token(i));
             let bound = q_norm * (pqc_tensor::squared_l2(&rec, keys.row(i)) as f64).sqrt();
             assert!(err <= bound + 1e-3, "token {i}: err {err:.4} exceeds bound {bound:.4}");
             abs_err += err;

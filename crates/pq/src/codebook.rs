@@ -7,7 +7,7 @@
 //! ADC machinery in [`crate::adc`].
 
 use crate::kmeans::{kmeans, KMeansConfig};
-use pqc_tensor::{squared_l2, Matrix};
+use pqc_tensor::Matrix;
 
 /// PQ hyper-parameters: `m` partitions × `2^b` centroids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,52 +50,95 @@ impl PqConfig {
     }
 }
 
-/// PQ codes for a sequence of tokens: row-major `(len, m)` of `u16`.
+/// PQ codes for a sequence of tokens, stored **subspace-major** (SoA): one
+/// contiguous column of `u16` codes per sub-space.
 ///
-/// `u16` accommodates every configuration the paper sweeps (`m·b ≤ 16`,
-/// so `b ≤ 16`).
+/// The ADC scan ([`crate::adc::AdcTable::scores_into`]) walks each column
+/// sequentially while its 2^b-entry LUT row stays in L1 — the layout is what
+/// makes the fused scan fast. `u16` accommodates every configuration the
+/// paper sweeps (`m·b ≤ 16`, so `b ≤ 16`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PqCodes {
-    m: usize,
-    codes: Vec<u16>,
+    len: usize,
+    /// `cols[j][i]` = code of token `i` in sub-space `j`.
+    cols: Vec<Vec<u16>>,
+    /// Running per-column maximum code; lets the ADC scan validate bounds
+    /// once per column instead of once per element.
+    max_code: Vec<u16>,
 }
 
 impl PqCodes {
     /// An empty code table for `m` sub-spaces.
     pub fn new(m: usize) -> Self {
-        Self { m, codes: Vec::new() }
+        assert!(m > 0, "PqCodes needs at least one sub-space");
+        Self { len: 0, cols: vec![Vec::new(); m], max_code: vec![0; m] }
+    }
+
+    /// Build directly from per-sub-space columns (all equal length).
+    pub fn from_columns(cols: Vec<Vec<u16>>) -> Self {
+        assert!(!cols.is_empty(), "PqCodes needs at least one sub-space");
+        let len = cols[0].len();
+        assert!(cols.iter().all(|c| c.len() == len), "ragged code columns");
+        let max_code = cols.iter().map(|c| c.iter().copied().max().unwrap_or(0)).collect();
+        Self { len, cols, max_code }
     }
 
     /// Number of encoded tokens.
     pub fn len(&self) -> usize {
-        self.codes.len() / self.m
+        self.len
     }
 
     /// Whether no tokens are encoded.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.len == 0
     }
 
     /// Sub-space count.
     pub fn m(&self) -> usize {
-        self.m
+        self.cols.len()
     }
 
-    /// Codes of token `i` (one per sub-space).
-    pub fn token(&self, i: usize) -> &[u16] {
-        &self.codes[i * self.m..(i + 1) * self.m]
+    /// Codes of token `i` (one per sub-space) — a small gather across the
+    /// columns, kept for compatibility with token-at-a-time callers
+    /// (reconstruction, tests). Hot paths should use [`Self::column`].
+    pub fn token(&self, i: usize) -> Vec<u16> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Code of token `i` in sub-space `j`.
+    #[inline]
+    pub fn code(&self, i: usize, j: usize) -> u16 {
+        self.cols[j][i]
+    }
+
+    /// The contiguous code column of sub-space `j` (one entry per token).
+    #[inline]
+    pub fn column(&self, j: usize) -> &[u16] {
+        &self.cols[j]
+    }
+
+    /// Largest code present in sub-space `j` (0 when empty); an upper bound
+    /// the ADC scan checks once per column before its unchecked LUT walk.
+    #[inline]
+    pub fn max_code(&self, j: usize) -> u16 {
+        self.max_code[j]
     }
 
     /// Append one token's codes.
     pub fn push(&mut self, token_codes: &[u16]) {
-        assert_eq!(token_codes.len(), self.m);
-        self.codes.extend_from_slice(token_codes);
+        assert_eq!(token_codes.len(), self.cols.len());
+        for ((col, mx), &c) in self.cols.iter_mut().zip(self.max_code.iter_mut()).zip(token_codes)
+        {
+            col.push(c);
+            *mx = (*mx).max(c);
+        }
+        self.len += 1;
     }
 
     /// Raw storage in *bits* at `b` bits per code (what actually crosses
     /// PCIe; in-memory we hold u16 for simplicity).
     pub fn wire_bits(&self, b: u32) -> usize {
-        self.codes.len() * b as usize
+        self.len * self.cols.len() * b as usize
     }
 }
 
@@ -113,7 +156,7 @@ impl PqCodes {
 /// // Codes cost m·b = 12 bits/token vs 32·16 = 512 bits of FP16 keys.
 /// assert!(cfg.comm_ratio(32) < 0.03);
 /// // Reconstruction approximates the original key.
-/// let approx = book.reconstruct(codes.token(0));
+/// let approx = book.reconstruct(&codes.token(0));
 /// assert_eq!(approx.len(), 32);
 /// ```
 #[derive(Debug, Clone)]
@@ -125,6 +168,10 @@ pub struct PqCodebook {
     dm: usize,
     /// One `(k_c, dm)` centroid matrix per sub-space.
     centroids: Vec<Matrix>,
+    /// `‖centroid‖²` per sub-space per centroid, cached at train time so the
+    /// eviction-path nearest-centroid assignment runs the batched
+    /// `‖c‖² − 2·x·c` formulation without recomputing norms.
+    cent_norms: Vec<Vec<f32>>,
     /// K-Means iterations actually run, per sub-space (diagnostics).
     iters_run: Vec<usize>,
     /// Total clustering inertia (diagnostics).
@@ -170,24 +217,24 @@ impl PqCodebook {
         }
 
         let mut centroids = Vec::with_capacity(cfg.m);
+        let mut cent_norms = Vec::with_capacity(cfg.m);
         let mut iters_run = Vec::with_capacity(cfg.m);
         let mut inertia = 0.0;
-        let mut codes = PqCodes::new(cfg.m);
-        let mut per_token: Vec<Vec<u16>> = vec![vec![0u16; cfg.m]; s];
-        for (j, res) in results.into_iter().enumerate() {
+        let mut cols = Vec::with_capacity(cfg.m);
+        for res in results {
             let res = res.expect("kmeans result missing");
-            for (i, &a) in res.assignments.iter().enumerate() {
-                per_token[i][j] = a as u16;
-            }
+            // Each sub-space's assignments become one SoA code column as-is.
+            cols.push(res.assignments.iter().map(|&a| a as u16).collect());
             inertia += res.inertia;
             iters_run.push(res.iters_run);
+            let mut norms = Vec::new();
+            pqc_tensor::row_sq_norms_into(&res.centroids, &mut norms);
+            cent_norms.push(norms);
             centroids.push(res.centroids);
         }
-        for t in &per_token {
-            codes.push(t);
-        }
+        let codes = PqCodes::from_columns(cols);
 
-        (Self { cfg, dh, dm, centroids, iters_run, inertia }, codes)
+        (Self { cfg, dh, dm, centroids, cent_norms, iters_run, inertia }, codes)
     }
 
     /// The configuration this codebook was trained with.
@@ -224,23 +271,24 @@ impl PqCodebook {
     /// sub-space). This is the decode-phase path for tokens evicted from the
     /// local window (Algorithm 2, line 4).
     pub fn assign(&self, key: &[f32]) -> Vec<u16> {
-        assert_eq!(key.len(), self.dh);
         let mut out = Vec::with_capacity(self.cfg.m);
+        self.assign_into(key, &mut out);
+        out
+    }
+
+    /// [`Self::assign`] into a caller-owned buffer (cleared first), using the
+    /// cached centroid norms so the per-sub-space argmin is a batched
+    /// `‖c‖² − 2·x·c` scan over unrolled dot products. Decode-loop eviction
+    /// encoding allocates nothing after warm-up.
+    pub fn assign_into(&self, key: &[f32], out: &mut Vec<u16>) {
+        assert_eq!(key.len(), self.dh);
+        out.clear();
         for j in 0..self.cfg.m {
             let sub = &key[j * self.dm..(j + 1) * self.dm];
-            let cents = &self.centroids[j];
-            let mut best = 0u16;
-            let mut best_d = f32::INFINITY;
-            for c in 0..cents.rows() {
-                let d = squared_l2(sub, cents.row(c));
-                if d < best_d {
-                    best_d = d;
-                    best = c as u16;
-                }
-            }
-            out.push(best);
+            let (best, _) =
+                pqc_tensor::nearest_centroid_cached(sub, &self.centroids[j], &self.cent_norms[j]);
+            out.push(best as u16);
         }
-        out
     }
 
     /// Reconstruct the approximate key vector of a token from its codes.
@@ -274,7 +322,7 @@ fn subspace_view(keys: &Matrix, j: usize, dm: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pqc_tensor::Rng64;
+    use pqc_tensor::{squared_l2, Rng64};
 
     fn random_keys(s: usize, dh: usize, seed: u64) -> Matrix {
         let mut rng = Rng64::new(seed);
@@ -332,7 +380,7 @@ mod tests {
         let cfg = PqConfig { m: 2, b: 3, max_iters: 8, seed: 2 };
         let (_, codes) = PqCodebook::train(&keys, cfg);
         for i in 0..codes.len() {
-            for &c in codes.token(i) {
+            for c in codes.token(i) {
                 assert!(c < 8, "code {c} out of range for b=3");
             }
         }
@@ -346,7 +394,7 @@ mod tests {
         let mut err_assigned = 0.0f64;
         let mut err_fixed = 0.0f64;
         for i in 0..keys.rows() {
-            let rec = book.reconstruct(codes.token(i));
+            let rec = book.reconstruct(&codes.token(i));
             err_assigned += squared_l2(keys.row(i), &rec) as f64;
             // Compare against always using centroid 0 in every sub-space.
             let fixed = book.reconstruct(&[0u16; 4]);
@@ -368,7 +416,7 @@ mod tests {
         let (book, codes) = PqCodebook::train(&keys, cfg);
         for i in 0..keys.rows() {
             let re = book.assign(keys.row(i));
-            let trained_rec = book.reconstruct(codes.token(i));
+            let trained_rec = book.reconstruct(&codes.token(i));
             let re_rec = book.reconstruct(&re);
             let d_train = squared_l2(keys.row(i), &trained_rec);
             let d_re = squared_l2(keys.row(i), &re_rec);

@@ -12,7 +12,7 @@
 use crate::adc::AdcTable;
 use crate::codebook::{PqCodebook, PqCodes};
 use crate::kmeans::{kmeans, KMeansConfig};
-use pqc_tensor::{dot, squared_l2, top_k_indices, Matrix};
+use pqc_tensor::{dot, nearest_centroid_cached, row_sq_norms_into, top_k_indices, Matrix};
 
 /// IVF configuration.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +54,9 @@ pub struct IvfIndex {
     cfg: IvfConfig,
     /// `(n_list, dh)` coarse centroids.
     coarse: Matrix,
+    /// `‖centroid‖²` per coarse cell, cached so append-time routing runs the
+    /// batched `‖c‖² − 2·x·c` argmin.
+    coarse_norms: Vec<f32>,
     /// Token ids per cell.
     lists: Vec<Vec<usize>>,
 }
@@ -71,7 +74,9 @@ impl IvfIndex {
         for (i, &a) in res.assignments.iter().enumerate() {
             lists[a as usize].push(i);
         }
-        Self { cfg, coarse: res.centroids, lists }
+        let mut coarse_norms = Vec::new();
+        row_sq_norms_into(&res.centroids, &mut coarse_norms);
+        Self { cfg, coarse: res.centroids, coarse_norms, lists }
     }
 
     /// Number of coarse cells actually built.
@@ -81,15 +86,7 @@ impl IvfIndex {
 
     /// Append a new token (assigned to its nearest coarse cell).
     pub fn append(&mut self, token_id: usize, key: &[f32]) {
-        let mut best = 0;
-        let mut best_d = f32::INFINITY;
-        for c in 0..self.coarse.rows() {
-            let d = squared_l2(key, self.coarse.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+        let (best, _) = nearest_centroid_cached(key, &self.coarse, &self.coarse_norms);
         self.lists[best].push(token_id);
     }
 
@@ -119,8 +116,8 @@ impl IvfIndex {
             return Vec::new();
         }
         let table = AdcTable::build(book, query);
-        let scores: Vec<f32> =
-            candidates.iter().map(|&i| table.score_token(codes.token(i))).collect();
+        let mut scores = Vec::with_capacity(candidates.len());
+        table.score_subset_into(codes, &candidates, &mut scores);
         top_k_indices(&scores, k).into_iter().map(|j| candidates[j]).collect()
     }
 

@@ -6,7 +6,7 @@
 //! compute — so `fit` takes an explicit `max_iters` and reports how many
 //! iterations actually ran and the final inertia.
 
-use pqc_tensor::{squared_l2, Matrix, Rng64};
+use pqc_tensor::{squared_l2, AssignScratch, Matrix, Rng64};
 
 /// Outcome of a K-Means fit.
 #[derive(Debug, Clone)]
@@ -72,25 +72,16 @@ fn seed_centroids(data: &Matrix, k: usize, rng: &mut Rng64) -> Matrix {
     centroids
 }
 
-/// Assign every row to its nearest centroid. Returns total inertia.
-fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> f64 {
-    let k = centroids.rows();
-    let mut inertia = 0.0f64;
-    for i in 0..data.rows() {
-        let row = data.row(i);
-        let mut best = 0u32;
-        let mut best_d = f32::INFINITY;
-        for c in 0..k {
-            let d = squared_l2(row, centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c as u32;
-            }
-        }
-        assignments[i] = best;
-        inertia += best_d as f64;
-    }
-    inertia
+/// Assign every row to its nearest centroid using the blocked
+/// `‖x‖² − 2·X·Cᵀ + ‖c‖²` kernel; scratch is reused across Lloyd
+/// iterations. Returns total inertia.
+fn assign(
+    data: &Matrix,
+    centroids: &Matrix,
+    assignments: &mut [u32],
+    scratch: &mut AssignScratch,
+) -> f64 {
+    scratch.assign(data, centroids, assignments)
 }
 
 /// Recompute centroids as the mean of their members; repair empty clusters by
@@ -115,27 +106,31 @@ fn update(data: &Matrix, assignments: &[u32], k: usize) -> Matrix {
         }
     }
     // Repair empties: steal the point with the largest distance to its
-    // (non-empty) centroid. Deterministic: scan in order.
-    for c in 0..k {
-        if counts[c] == 0 {
-            let mut far_i = 0;
-            let mut far_d = -1.0f32;
-            for i in 0..data.rows() {
-                let a = assignments[i] as usize;
-                if counts[a] <= 1 {
-                    continue; // don't empty another cluster
-                }
-                let dist = squared_l2(data.row(i), centroids.row(a));
-                if dist > far_d {
-                    far_d = dist;
-                    far_i = i;
-                }
+    // (non-empty) centroid. Neither the non-empty centroids nor the
+    // eligibility mask change during the repair pass, so the farthest
+    // eligible point is computed once (one O(n·d) sweep) instead of being
+    // rescanned per empty cluster.
+    if counts.contains(&0) {
+        let mut far_i = 0;
+        let mut far_d = -1.0f32;
+        for i in 0..data.rows() {
+            let a = assignments[i] as usize;
+            if counts[a] <= 1 {
+                continue; // don't empty another cluster
             }
-            centroids.copy_row_from(c, data.row(far_i));
-            counts[c] = 1;
+            let dist = squared_l2(data.row(i), centroids.row(a));
+            if dist > far_d {
+                far_d = dist;
+                far_i = i;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                centroids.copy_row_from(c, data.row(far_i));
+                counts[c] = 1;
+            }
         }
     }
-    let _ = d;
     centroids
 }
 
@@ -151,12 +146,15 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig) -> KMeansResult {
 
     let mut centroids = seed_centroids(data, k, &mut rng);
     let mut assignments = vec![0u32; n];
-    let mut inertia = assign(data, &centroids, &mut assignments);
+    // One scratch for every assignment pass of this fit: the blocked GEMM
+    // panel and centroid norms are allocated once and reused per iteration.
+    let mut scratch = AssignScratch::new();
+    let mut inertia = assign(data, &centroids, &mut assignments, &mut scratch);
     let mut iters_run = 0;
 
     for _ in 0..cfg.max_iters {
         centroids = update(data, &assignments, k);
-        let new_inertia = assign(data, &centroids, &mut assignments);
+        let new_inertia = assign(data, &centroids, &mut assignments, &mut scratch);
         iters_run += 1;
         let improved = inertia - new_inertia;
         let done = improved <= cfg.tol * inertia.max(1e-12);

@@ -11,13 +11,15 @@
 // (row/column/cluster indices); iterator rewrites obscure the kernels.
 #![allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
 
+pub mod batch;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
 pub mod stats;
 pub mod topk;
 
-pub use matrix::{axpy, dot, squared_l2, Matrix};
+pub use batch::{nearest_centroid_cached, AssignScratch};
+pub use matrix::{axpy, dot, row_sq_norms_into, squared_l2, Matrix};
 pub use ops::{argmax, cosine, l2_norm, log_sum_exp, softmax_inplace, StreamingSoftmax};
 pub use rng::Rng64;
-pub use topk::{argsort_desc, top_k_indices, topk_recall};
+pub use topk::{argsort_desc, top_k_indices, topk_recall, TopK};

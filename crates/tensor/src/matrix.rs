@@ -142,18 +142,30 @@ impl Matrix {
         Matrix::from_vec(self.rows + other.rows, self.cols, data)
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose — blocked over `TRANSPOSE_TILE`-square tiles so both
+    /// the read and write sides stay within a few cache lines per tile.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        const TILE: usize = 32;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(cols, rows);
+        for rb in (0..rows).step_by(TILE) {
+            let r_hi = (rb + TILE).min(rows);
+            for cb in (0..cols).step_by(TILE) {
+                let c_hi = (cb + TILE).min(cols);
+                for r in rb..r_hi {
+                    for c in cb..c_hi {
+                        out.data[c * rows + r] = self.data[r * cols + c];
+                    }
+                }
             }
         }
         out
     }
 
-    /// `self @ other` — cache-friendly ikj loop order.
+    /// `self @ other` — cache-friendly ikj loop order. The inner loop runs
+    /// straight-line over contiguous rows; no per-element branching (a
+    /// `skip-if-zero` shortcut would silently turn `0·NaN` / `0·∞` into `0`,
+    /// which is a wrong result, not an optimisation).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner-dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
@@ -162,9 +174,6 @@ impl Matrix {
             let arow = &self.data[i * k..(i + 1) * k];
             let orow = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let brow = &other.data[p * n..(p + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
@@ -177,17 +186,25 @@ impl Matrix {
     /// `self @ other.T` — avoids materialising the transpose; inner loops are
     /// contiguous dot products, which is the hot shape for Q·Kᵀ.
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other.T` written into a caller-owned output matrix (shape
+    /// `(self.rows, other.rows)`), so steady-state callers allocate nothing.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transb dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_transb output shape mismatch");
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];
-                out.data[i * n + j] = dot(arow, brow);
+                *o = dot(arow, brow);
             }
         }
-        out
     }
 
     /// Elementwise in-place addition.
@@ -228,45 +245,78 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices (manually unrolled 4-wide so LLVM
-/// vectorises it reliably).
+/// Dot product of two equal-length slices (manually unrolled 8-wide with
+/// independent accumulators so LLVM vectorises it into FMA lanes reliably).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = a.len() / 8;
+    let mut acc = [0.0f32; 8];
     for i in 0..chunks {
-        let j = i * 4;
-        s0 += a[j] * b[j];
-        s1 += a[j + 1] * b[j + 1];
-        s2 += a[j + 2] * b[j + 2];
-        s3 += a[j + 3] * b[j + 3];
+        let j = i * 8;
+        let av = &a[j..j + 8];
+        let bv = &b[j..j + 8];
+        for l in 0..8 {
+            acc[l] += av[l] * bv[l];
+        }
     }
-    let mut s = s0 + s1 + s2 + s3;
-    for j in chunks * 4..a.len() {
+    let mut s = (acc[0] + acc[4]) + (acc[1] + acc[5]) + (acc[2] + acc[6]) + (acc[3] + acc[7]);
+    for j in chunks * 8..a.len() {
         s += a[j] * b[j];
     }
     s
 }
 
-/// Squared Euclidean distance between two equal-length slices.
+/// Squared Euclidean distance between two equal-length slices (unrolled
+/// 8-wide like [`dot`] — this is the K-Means assignment inner loop).
 #[inline]
 pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        let d = x - y;
+    let chunks = a.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for i in 0..chunks {
+        let j = i * 8;
+        let av = &a[j..j + 8];
+        let bv = &b[j..j + 8];
+        for l in 0..8 {
+            let d = av[l] - bv[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut s = (acc[0] + acc[4]) + (acc[1] + acc[5]) + (acc[2] + acc[6]) + (acc[3] + acc[7]);
+    for j in chunks * 8..a.len() {
+        let d = a[j] - b[j];
         s += d * d;
     }
     s
 }
 
-/// `a + t*(b-a)` written into `out` (used by K-Means centroid updates).
+/// `out += alpha * x` (used by attention weighted sums and K-Means centroid
+/// updates), unrolled 8-wide.
 #[inline]
 pub fn axpy(out: &mut [f32], x: &[f32], alpha: f32) {
     debug_assert_eq!(out.len(), x.len());
-    for (o, v) in out.iter_mut().zip(x.iter()) {
-        *o += alpha * v;
+    let chunks = out.len() / 8;
+    for i in 0..chunks {
+        let j = i * 8;
+        let ov = &mut out[j..j + 8];
+        let xv = &x[j..j + 8];
+        for l in 0..8 {
+            ov[l] += alpha * xv[l];
+        }
+    }
+    for j in chunks * 8..out.len() {
+        out[j] += alpha * x[j];
+    }
+}
+
+/// Squared L2 norm of every row of `m`, appended into `out` (cleared first).
+pub fn row_sq_norms_into(m: &Matrix, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(m.rows());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        out.push(dot(row, row));
     }
 }
 
@@ -302,6 +352,17 @@ mod tests {
         let via_t = a.matmul(&b.transpose());
         let direct = a.matmul_transb(&b);
         assert!(via_t.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero() {
+        // IEEE: 0·NaN = NaN and 0·∞ = NaN. A skip-if-zero shortcut in the
+        // inner loop would silently produce 0 instead.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 1, &[f32::NAN, 2.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+        let c = m(2, 1, &[f32::INFINITY, 2.0]);
+        assert!(a.matmul(&c).get(0, 0).is_nan());
     }
 
     #[test]

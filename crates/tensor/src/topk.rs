@@ -6,7 +6,6 @@
 //! achieves in practice for the sizes here — plus a full argsort for tests.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A `(score, index)` pair ordered by score then by index (descending index
 /// breaks ties so results are deterministic).
@@ -43,31 +42,102 @@ impl PartialOrd for Entry {
     }
 }
 
+/// Reusable top-k selector: a hand-rolled binary min-heap over an owned
+/// buffer, so steady-state decode loops (one selection per layer/head per
+/// step) perform zero heap allocations after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct TopK {
+    heap: Vec<Entry>,
+}
+
+impl TopK {
+    /// An empty selector; its buffer grows to `k` on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the internal heap buffer (for allocation-stability tests).
+    pub fn scratch_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Indices of the `k` largest scores written into `out` (cleared first),
+    /// in descending score order with ties broken toward the smaller index —
+    /// identical results to [`top_k_indices`].
+    pub fn select_into(&mut self, scores: &[f32], k: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let k = k.min(scores.len());
+        if k == 0 {
+            return;
+        }
+        let heap = &mut self.heap;
+        heap.clear();
+        heap.reserve(k);
+        // Min-heap of the current best k: the smallest retained entry sits at
+        // the root and is displaced by any larger incoming entry.
+        for (index, &score) in scores.iter().take(k).enumerate() {
+            heap.push(Entry { score, index });
+            // Sift up.
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if heap[i] < heap[parent] {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Fast-path threshold: a primitive `<` against the root's score
+        // rejects almost every element without building an `Entry` or
+        // running the total-order comparison. NaN fails `<` and falls to the
+        // slow path, which handles it via `Entry`'s total order.
+        let mut threshold = heap[0].score;
+        for (index, &score) in scores.iter().enumerate().skip(k) {
+            if score < threshold {
+                continue;
+            }
+            let e = Entry { score, index };
+            if e > heap[0] {
+                heap[0] = e;
+                // Sift down.
+                let mut i = 0;
+                loop {
+                    let l = 2 * i + 1;
+                    let r = l + 1;
+                    let mut smallest = i;
+                    if l < k && heap[l] < heap[smallest] {
+                        smallest = l;
+                    }
+                    if r < k && heap[r] < heap[smallest] {
+                        smallest = r;
+                    }
+                    if smallest == i {
+                        break;
+                    }
+                    heap.swap(i, smallest);
+                    i = smallest;
+                }
+                threshold = heap[0].score;
+            }
+        }
+        // `Entry`'s ordering is total, so the unstable (allocation-free) sort
+        // is deterministic.
+        heap.sort_unstable_by(|a, b| b.cmp(a));
+        out.extend(heap.iter().map(|e| e.index));
+    }
+}
+
 /// Indices of the `k` largest scores, in descending score order.
 ///
 /// If `k >= scores.len()` every index is returned (still sorted by score).
-/// Ties are broken toward the smaller index.
+/// Ties are broken toward the smaller index. Allocating convenience wrapper
+/// around [`TopK::select_into`].
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let k = k.min(scores.len());
-    if k == 0 {
-        return Vec::new();
-    }
-    // Min-heap of the current best k (std BinaryHeap is a max-heap, so wrap
-    // with Reverse semantics via manual comparison: keep the *smallest* of
-    // the retained set at the top by pushing inverted entries).
-    let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
-    for (index, &score) in scores.iter().enumerate() {
-        let e = Entry { score, index };
-        if heap.len() < k {
-            heap.push(std::cmp::Reverse(e));
-        } else if e > heap.peek().expect("non-empty").0 {
-            heap.pop();
-            heap.push(std::cmp::Reverse(e));
-        }
-    }
-    let mut out: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
-    out.sort_by(|a, b| b.cmp(a));
-    out.into_iter().map(|e| e.index).collect()
+    let mut out = Vec::new();
+    TopK::new().select_into(scores, k, &mut out);
+    out
 }
 
 /// Indices that would sort `scores` descending (stable for equal scores).
@@ -125,6 +195,21 @@ mod tests {
             let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
             assert_eq!(fast, slow);
         }
+    }
+
+    #[test]
+    fn select_into_reuses_buffers() {
+        let mut rng = Rng64::new(91);
+        let scores: Vec<f32> = (0..4096).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let mut topk = TopK::new();
+        let mut out = Vec::new();
+        topk.select_into(&scores, 128, &mut out);
+        let caps = (topk.scratch_capacity(), out.capacity());
+        for _ in 0..50 {
+            topk.select_into(&scores, 128, &mut out);
+            assert_eq!(out, top_k_indices(&scores, 128));
+        }
+        assert_eq!(caps, (topk.scratch_capacity(), out.capacity()));
     }
 
     #[test]

@@ -8,7 +8,8 @@ use pqcache::cache::{top_blocks, BlockCache, EvictionPolicy};
 use pqcache::llm::{attend_selected, causal_attention, PrefillPattern};
 use pqcache::pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig};
 use pqcache::tensor::{
-    argsort_desc, dot, softmax_inplace, top_k_indices, Matrix, Rng64, StreamingSoftmax,
+    argsort_desc, dot, softmax_inplace, squared_l2, top_k_indices, AssignScratch, Matrix, Rng64,
+    StreamingSoftmax,
 };
 
 fn matrix_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -91,8 +92,8 @@ proptest! {
         let (book, codes) = PqCodebook::train(&m, PqConfig { m: 2, b: 3, max_iters: 5, seed: 5 });
         let table = AdcTable::build(&book, &q);
         for i in 0..codes.len() {
-            let approx = table.score_token(codes.token(i));
-            let rec = book.reconstruct(codes.token(i));
+            let approx = table.score_token(&codes.token(i));
+            let rec = book.reconstruct(&codes.token(i));
             let exact = dot(&q, &rec);
             prop_assert!((approx - exact).abs() < 1e-3, "token {i}: {approx} vs {exact}");
         }
@@ -102,10 +103,65 @@ proptest! {
     fn pq_codes_in_range(m in matrix_strategy(64, 8), b in 1u32..6) {
         let (_, codes) = PqCodebook::train(&m, PqConfig { m: 4, b, max_iters: 3, seed: 7 });
         for i in 0..codes.len() {
-            for &c in codes.token(i) {
+            for c in codes.token(i) {
                 prop_assert!((c as usize) < (1usize << b));
             }
         }
+    }
+
+    #[test]
+    fn soa_scan_equals_scalar_score_token(
+        m in matrix_strategy(96, 8),
+        q in proptest::collection::vec(-2.0f32..2.0, 8),
+        subspaces in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+    ) {
+        // Tentpole invariant: the fused SoA column scan must reproduce the
+        // per-token scalar summation bit-for-bit (same f32 association).
+        let (book, codes) =
+            PqCodebook::train(&m, PqConfig { m: subspaces, b: 3, max_iters: 4, seed: 9 });
+        let table = AdcTable::build(&book, &q);
+        let fused = table.score_all(&codes);
+        prop_assert_eq!(fused.len(), codes.len());
+        for i in 0..codes.len() {
+            let scalar = table.score_token(&codes.token(i));
+            prop_assert_eq!(fused[i].to_bits(), scalar.to_bits(), "token {}", i);
+        }
+    }
+
+    #[test]
+    fn batched_assign_equals_naive_nearest_centroid(
+        data in matrix_strategy(80, 8),
+        k in 1usize..12,
+    ) {
+        let mut rng = Rng64::new(17);
+        let centroids = Matrix::randn(k, 8, 1.0, &mut rng);
+        let mut scratch = AssignScratch::new();
+        let mut got = vec![0u32; data.rows()];
+        let inertia = scratch.assign(&data, &centroids, &mut got);
+        let mut naive_inertia = 0.0f64;
+        for i in 0..data.rows() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = squared_l2(data.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            naive_inertia += best_d as f64;
+            // The batched argmin may only differ from the naive scan within
+            // expansion rounding: the chosen centroid must be as close.
+            let got_d = squared_l2(data.row(i), centroids.row(got[i] as usize));
+            prop_assert!(
+                got_d <= best_d + 1e-4,
+                "row {}: batched {} (d={}) vs naive {} (d={})", i, got[i], got_d, best, best_d
+            );
+        }
+        prop_assert!(
+            (inertia - naive_inertia).abs() <= 1e-3 * naive_inertia.max(1.0),
+            "inertia {} vs naive {}", inertia, naive_inertia
+        );
     }
 
     #[test]
