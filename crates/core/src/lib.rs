@@ -12,4 +12,4 @@ pub mod session;
 
 pub use config::{CacheConfig, SessionConfig};
 pub use latency::{KmeansIters, LatencyMethod, LatencyModel, PhaseReport};
-pub use session::{SelectiveSession, SessionStart};
+pub use session::{SelectiveSession, SessionResources, SessionScratch, SessionStart};

@@ -13,9 +13,9 @@
 
 use crate::config::SessionConfig;
 use pqc_cache::{top_blocks, BlockCache};
-use pqc_llm::{DecodeOutput, KvSource, Model, PrefillOptions, PrefillOutput};
+use pqc_llm::{DecodeOutput, DecodeScratch, KvSource, Model, PrefillOptions, PrefillOutput};
 use pqc_memhier::{HostKvStore, TransferStats};
-use pqc_policies::{PolicyContext, PolicyInit, SelectionPolicy};
+use pqc_policies::{PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
 use pqc_tensor::Matrix;
 use std::collections::VecDeque;
 
@@ -51,10 +51,36 @@ pub struct SelectiveSession<'m> {
     /// Selected middle indices (absolute token ids) of the last step,
     /// `[layer][kv_head]` — used by retrieval-accuracy instrumentation.
     last_selected: Vec<Vec<Vec<usize>>>,
-    /// Reusable selection buffer handed to `SelectionPolicy::select_into`
-    /// each step (taken/restored around the call to satisfy the borrow
-    /// checker without reallocating).
+    /// Reusable selection buffer handed to the policy each step
+    /// (taken/restored around the call to satisfy the borrow checker
+    /// without reallocating).
     sel_scratch: Vec<usize>,
+    /// Reusable policy scratch (retriever, group-query buffer). Swapped out
+    /// for a worker-owned scratch by [`SelectiveSession::step_with_scratch`]
+    /// so concurrent sessions on one shard share a single set of buffers.
+    policy_scratch: PolicyScratch,
+}
+
+/// Per-worker scratch reused across every session a shard steps: the policy
+/// retrieval buffers, the selection index buffer, and the model's attention
+/// buffers. Splitting these out of the session is what lets the serving
+/// layer run N sessions with one set of hot-path buffers; every field is
+/// fully overwritten per step, so sharing never changes results.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    /// Policy-side retrieval scratch (ADC table, scores, heap, group query).
+    pub policy: PolicyScratch,
+    /// Selected-index buffer.
+    pub selection: Vec<usize>,
+    /// Model attention buffers.
+    pub decode: DecodeScratch,
+}
+
+impl SessionScratch {
+    /// Empty scratch; buffers warm up on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Outcome of session construction: the session plus the prefill output
@@ -64,6 +90,32 @@ pub struct SessionStart<'m> {
     pub session: SelectiveSession<'m>,
     /// First-token logits from prefill.
     pub logits: Vec<f32>,
+}
+
+/// Externally supplied backing storage for a session: its host-tier KV
+/// namespace and its GPU block cache.
+///
+/// Single-session callers never see this (construction builds private
+/// defaults); the serving layer vends one per admitted session — a fresh
+/// [`pqc_memhier::KvTier`] namespace plus a [`BlockCache`] drawing on the
+/// engine-wide [`pqc_cache::CacheBudget`].
+#[derive(Debug)]
+pub struct SessionResources {
+    /// Host-tier middle store (one namespace; must be empty).
+    pub store: HostKvStore,
+    /// GPU block cache (must be empty).
+    pub cache: BlockCache,
+}
+
+impl SessionResources {
+    /// The defaults a standalone session would build for itself.
+    pub fn standalone(model: &Model, cfg: &SessionConfig) -> Self {
+        let mcfg = model.config();
+        Self {
+            store: HostKvStore::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim),
+            cache: BlockCache::new(cfg.cache.capacity_tokens, cfg.cache.block_size, cfg.cache.policy()),
+        }
+    }
 }
 
 impl<'m> SelectiveSession<'m> {
@@ -85,26 +137,47 @@ impl<'m> SelectiveSession<'m> {
             "prompt ({s} tokens) must exceed n_init + n_local ({})",
             cfg.n_init + cfg.n_local
         );
-        let prefill = model.prefill(
-            tokens,
-            &PrefillOptions {
-                capture_window: Some(cfg.obs_window.min(s)),
-                ..Default::default()
-            },
-        );
-        Self::from_prefill(model, &mut policy, cfg, &prefill).into_start(policy, prefill.logits)
+        let prefill = model.prefill(tokens, &Self::prefill_options(&cfg, s));
+        let resources = SessionResources::standalone(model, &cfg);
+        Self::from_prefill(model, &mut policy, cfg, &prefill, resources)
+            .into_start(policy, prefill.logits)
+    }
+
+    /// The prefill options a session constructed via [`SelectiveSession::start`]
+    /// uses for a prompt of `prompt_len` tokens — exposed so external
+    /// drivers (the serve engine) prefill identically.
+    pub fn prefill_options(cfg: &SessionConfig, prompt_len: usize) -> PrefillOptions {
+        PrefillOptions {
+            capture_window: Some(cfg.obs_window.min(prompt_len)),
+            ..Default::default()
+        }
     }
 
     /// Construct from an existing prefill output (lets callers reuse one
     /// prefill across several sessions — the benchmark suite does this).
     pub fn start_from_prefill(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
     ) -> SessionStart<'m> {
+        let resources = SessionResources::standalone(model, &cfg);
+        Self::start_from_prefill_in(model, policy, cfg, prefill, resources)
+    }
+
+    /// [`SelectiveSession::start_from_prefill`] with externally owned
+    /// backing storage — the serving-layer entry point: the store is a
+    /// [`pqc_memhier::KvTier`] namespace and the cache draws on a shared
+    /// [`pqc_cache::CacheBudget`].
+    pub fn start_from_prefill_in(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+        resources: SessionResources,
+    ) -> SessionStart<'m> {
         cfg.validate();
-        Self::from_prefill(model, &mut policy, cfg, prefill)
+        Self::from_prefill(model, &mut policy, cfg, prefill, resources)
             .into_start(policy, prefill.logits.clone())
     }
 
@@ -113,6 +186,7 @@ impl<'m> SelectiveSession<'m> {
         policy: &mut Box<dyn SelectionPolicy>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
+        resources: SessionResources,
     ) -> SessionParts<'m> {
         let mcfg = *model.config();
         let s = prefill.kv[0].len();
@@ -121,7 +195,9 @@ impl<'m> SelectiveSession<'m> {
         let mid_hi = s - cfg.n_local;
         let middle_len = mid_hi - mid_lo;
 
-        let mut store = HostKvStore::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let SessionResources { mut store, cache } = resources;
+        assert!(store.is_empty(), "session store namespace must start empty");
+        assert!(cache.is_empty(), "session cache must start empty");
         let mut init_k = Vec::with_capacity(mcfg.n_layers);
         let mut init_v = Vec::with_capacity(mcfg.n_layers);
         let mut local = Vec::with_capacity(mcfg.n_layers);
@@ -193,7 +269,7 @@ impl<'m> SelectiveSession<'m> {
             init_v,
             local,
             store,
-            cache: BlockCache::new(cfg.cache.capacity_tokens, cfg.cache.block_size, cfg.cache.policy()),
+            cache,
             pos: s,
             n_layers: mcfg.n_layers,
             n_kv_heads: mcfg.n_kv_heads,
@@ -207,6 +283,26 @@ impl<'m> SelectiveSession<'m> {
         self.steps += 1;
         let model = self.model;
         model.decode_step(token, pos, self)
+    }
+
+    /// One decode step through worker-owned scratch — the serving hot path.
+    ///
+    /// The shard's [`SessionScratch`] is swapped into the session for the
+    /// duration of the step (policy retrieval buffers, selection buffer)
+    /// and the model runs with the shared attention buffers, so N
+    /// concurrent sessions reuse one set of hot-path allocations.
+    /// Bit-identical to [`SelectiveSession::decode`].
+    pub fn step_with_scratch(&mut self, token: u32, scratch: &mut SessionScratch) -> DecodeOutput {
+        std::mem::swap(&mut self.sel_scratch, &mut scratch.selection);
+        std::mem::swap(&mut self.policy_scratch, &mut scratch.policy);
+        let pos = self.pos;
+        self.pos += 1;
+        self.steps += 1;
+        let model = self.model;
+        let out = model.decode_step_with_scratch(token, pos, self, &mut scratch.decode);
+        std::mem::swap(&mut self.sel_scratch, &mut scratch.selection);
+        std::mem::swap(&mut self.policy_scratch, &mut scratch.policy);
+        out
     }
 
     /// Greedy generation: feeds the argmax of `first_logits`, then each
@@ -255,6 +351,12 @@ impl<'m> SelectiveSession<'m> {
     /// Absolute token ids selected at the last step for `(layer, kv_head)`.
     pub fn last_selected(&self, layer: usize, kv_head: usize) -> &[usize] {
         &self.last_selected[layer][kv_head]
+    }
+
+    /// A clone of every `(layer, kv_head)`'s last-step selection — used by
+    /// the serve engine's equivalence tracing.
+    pub fn selected_snapshot(&self) -> Vec<Vec<Vec<usize>>> {
+        self.last_selected.clone()
     }
 
     /// Current middle-region budget per step.
@@ -351,6 +453,7 @@ impl<'m> SessionParts<'m> {
                 policy_comm_bytes: 0,
                 last_selected,
                 sel_scratch: Vec::new(),
+                policy_scratch: PolicyScratch::new(),
             },
             logits,
         }
@@ -363,8 +466,9 @@ impl KvSource for SelectiveSession<'_> {
         window.push_back((key.to_vec(), value.to_vec()));
         if window.len() > self.cfg.n_local {
             let (ek, ev) = window.pop_front().expect("non-empty window");
-            let middle_idx = self.store.len(layer, kv_head);
-            self.store.append_token(layer, kv_head, &ek, &ev);
+            // The append's returned offset is namespace-local — correct even
+            // when several sessions interleave appends into one KvTier.
+            let middle_idx = self.store.append_token(layer, kv_head, &ek, &ev);
             if self.policy_ready {
                 self.policy.on_evict(layer, kv_head, &ek, middle_idx);
             } else if layer == self.init_k.len() - 1 && kv_head == self.init_k[0].len() - 1 {
@@ -381,7 +485,7 @@ impl KvSource for SelectiveSession<'_> {
         sel_rel.clear();
         if self.policy_ready && budget > 0 {
             let ctx = PolicyContext { layer, kv_head, queries, budget, middle_len };
-            self.policy.select_into(&ctx, &mut sel_rel);
+            self.policy.select_with_scratch(&ctx, &mut self.policy_scratch, &mut sel_rel);
             sel_rel.retain(|&i| i < middle_len);
         }
 
@@ -581,6 +685,78 @@ mod tests {
         // Selections remain within bounds after the refresh.
         let sel = session.last_selected(0, 0);
         assert!(sel.iter().all(|&i| i >= 2));
+    }
+
+    #[test]
+    fn step_with_scratch_interleaved_is_bit_identical() {
+        // Two sessions stepped through ONE worker scratch, interleaved, must
+        // match the plain decode path bit-for-bit — the core property the
+        // serve engine's equivalence battery rests on.
+        let model = Model::new(LlmConfig::tiny());
+        let mk = |seed| {
+            let toks = prompt(80, seed);
+            SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), cfg(), &toks)
+        };
+        let (ra, rb) = (mk(31), mk(32));
+        let (sa, sb) = (mk(31), mk(32));
+        let mut plain = [ra.session, rb.session];
+        let mut shared = [sa.session, sb.session];
+        let mut scratch = SessionScratch::new();
+        let mut next = [pqc_tensor::argmax(&ra.logits) as u32, pqc_tensor::argmax(&rb.logits) as u32];
+        for step in 0..6 {
+            for i in 0..2 {
+                let p = plain[i].decode(next[i]);
+                let s = shared[i].step_with_scratch(next[i], &mut scratch);
+                assert_eq!(p.logits, s.logits, "session {i} step {step}");
+                assert_eq!(
+                    plain[i].selected_snapshot(),
+                    shared[i].selected_snapshot(),
+                    "session {i} step {step} selections"
+                );
+                next[i] = p.greedy();
+            }
+        }
+        for i in 0..2 {
+            assert_eq!(plain[i].transfer_stats(), shared[i].transfer_stats());
+        }
+    }
+
+    #[test]
+    fn session_in_external_resources_matches_standalone() {
+        // A session backed by a KvTier namespace + budgeted cache decodes
+        // identically to a standalone one.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 33);
+        let c = cfg();
+        let plain = SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), c, &toks);
+        let mut plain_s = plain.session;
+        let plain_out = plain_s.generate(&plain.logits, 6);
+
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let budget = pqc_cache::CacheBudget::for_tokens(c.cache.capacity_tokens, c.cache.block_size);
+        let resources = SessionResources {
+            store: tier.new_namespace(),
+            cache: pqc_cache::BlockCache::with_budget(
+                c.cache.capacity_tokens,
+                c.cache.block_size,
+                c.cache.policy(),
+                budget,
+            ),
+        };
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let start = SelectiveSession::start_from_prefill_in(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            resources,
+        );
+        let mut tiered = start.session;
+        let tiered_out = tiered.generate(&start.logits, 6);
+        assert_eq!(plain_out, tiered_out);
+        assert_eq!(plain_s.transfer_stats(), tiered.transfer_stats());
+        assert_eq!(tier.aggregate_stats(), tiered.transfer_stats());
     }
 
     #[test]

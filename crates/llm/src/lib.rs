@@ -25,6 +25,7 @@ pub use attention::{
 };
 pub use config::LlmConfig;
 pub use model::{
-    slice_head, DecodeOutput, FullKvSource, KvSource, LayerKv, Model, PrefillOptions, PrefillOutput,
+    slice_head, DecodeOutput, DecodeScratch, FullKvSource, KvSource, LayerKv, Model,
+    PrefillOptions, PrefillOutput,
 };
 pub use weights::{rms_norm, ModelWeights};

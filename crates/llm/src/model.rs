@@ -96,6 +96,35 @@ pub struct DecodeOutput {
     pub hidden: Vec<f32>,
 }
 
+/// Reusable attention buffers for [`Model::decode_step_with_scratch`].
+///
+/// One instance per worker thread serves any number of sessions: the serving
+/// layer's continuous batching hands the same scratch to every session it
+/// steps, so steady-state decode performs no per-session attention
+/// allocations. Buffer contents never carry state between calls — every
+/// field is overwritten before use, which is what makes scratch sharing
+/// bit-transparent.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Per-token attention scores over the gathered keys.
+    attn_scores: Vec<f32>,
+    /// One head's attention output (`d_h`).
+    attn_out: Vec<f32>,
+}
+
+impl DecodeScratch {
+    /// Empty scratch; buffers grow on first use and then stay warm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current buffer capacities `(scores, out)` — exposed so tests can
+    /// assert steady-state allocation stability across sessions.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.attn_scores.capacity(), self.attn_out.capacity())
+    }
+}
+
 impl DecodeOutput {
     /// Greedy argmax token.
     pub fn greedy(&self) -> u32 {
@@ -269,16 +298,32 @@ impl Model {
     }
 
     /// One decode step for `token` at absolute position `pos`, attending
-    /// through `source`.
+    /// through `source`. Allocates fresh attention scratch; hot loops should
+    /// use [`Model::decode_step_with_scratch`].
     pub fn decode_step(&self, token: u32, pos: usize, source: &mut dyn KvSource) -> DecodeOutput {
+        let mut scratch = DecodeScratch::new();
+        self.decode_step_with_scratch(token, pos, source, &mut scratch)
+    }
+
+    /// [`Model::decode_step`] with caller-owned attention buffers, the
+    /// serving hot path: one [`DecodeScratch`] per worker is reused across
+    /// every session stepped on that worker. Bit-identical to
+    /// [`Model::decode_step`].
+    pub fn decode_step_with_scratch(
+        &self,
+        token: u32,
+        pos: usize,
+        source: &mut dyn KvSource,
+        scratch: &mut DecodeScratch,
+    ) -> DecodeOutput {
         let cfg = &self.cfg;
         let dh = cfg.head_dim;
         let group = cfg.group_size();
         assert!((token as usize) < cfg.vocab_size, "token {token} out of vocab");
         let mut x: Vec<f32> = self.weights.embedding.row(token as usize).to_vec();
-        // Attention scratch shared across layers/heads within this step.
-        let mut attn_scores: Vec<f32> = Vec::new();
-        let mut attn_out: Vec<f32> = Vec::new();
+        // Attention scratch shared across layers/heads within this step (and
+        // across sessions, when the caller reuses `scratch`).
+        let DecodeScratch { attn_scores, attn_out } = scratch;
 
         for l in 0..cfg.n_layers {
             let w = &self.weights.layers[l];
@@ -307,14 +352,8 @@ impl Model {
                 let (keys, values) = source.gather(l, kvh, &queries);
                 for g in 0..group {
                     let h = kvh * group + g;
-                    attend_selected_into(
-                        queries.row(g),
-                        &keys,
-                        &values,
-                        &mut attn_scores,
-                        &mut attn_out,
-                    );
-                    concat[h * dh..(h + 1) * dh].copy_from_slice(&attn_out);
+                    attend_selected_into(queries.row(g), &keys, &values, attn_scores, attn_out);
+                    concat[h * dh..(h + 1) * dh].copy_from_slice(attn_out);
                 }
             }
 
@@ -480,6 +519,34 @@ mod tests {
         let _ = model.decode_step(3, 8, &mut src);
         assert_eq!(src.len(0), 9);
         assert_eq!(src.len(1), 9);
+    }
+
+    #[test]
+    fn decode_with_shared_scratch_is_bit_identical() {
+        // One DecodeScratch serving two interleaved "sessions" must produce
+        // the same bits as fresh-scratch decode_step — the property the
+        // serve engine's per-shard scratch reuse rests on.
+        let model = Model::new(LlmConfig::tiny());
+        let pre_a = model.prefill(&toks(12, 10), &PrefillOptions::default());
+        let pre_b = model.prefill(&toks(12, 11), &PrefillOptions::default());
+        let mut fresh_a = FullKvSource::from_prefill(&pre_a);
+        let mut fresh_b = FullKvSource::from_prefill(&pre_b);
+        let mut shared_a = FullKvSource::from_prefill(&pre_a);
+        let mut shared_b = FullKvSource::from_prefill(&pre_b);
+        let mut scratch = DecodeScratch::new();
+        for (step, pos) in (12..16).enumerate() {
+            let t = (step * 31 % 200) as u32;
+            let ra = model.decode_step(t, pos, &mut fresh_a);
+            let rb = model.decode_step(t, pos, &mut fresh_b);
+            // Interleave both sessions through one scratch.
+            let sa = model.decode_step_with_scratch(t, pos, &mut shared_a, &mut scratch);
+            let sb = model.decode_step_with_scratch(t, pos, &mut shared_b, &mut scratch);
+            assert_eq!(ra.logits, sa.logits, "session a step {step}");
+            assert_eq!(rb.logits, sb.logits, "session b step {step}");
+            assert_eq!(ra.hidden, sa.hidden);
+        }
+        let (c_scores, c_out) = scratch.capacities();
+        assert!(c_scores > 0 && c_out > 0);
     }
 
     #[test]

@@ -5,9 +5,17 @@
 //! matrices and meters every byte that crosses the simulated PCIe link, so
 //! efficiency experiments can compare methods by *data moved*, the
 //! fair-comparison axis of §4.1.3.
+//!
+//! For multi-session serving, a [`KvTier`] vends per-session **namespaces**:
+//! each namespace is a [`HostKvStore`] with its own token-offset space (two
+//! sessions interleaving appends never perturb each other's middle indices)
+//! whose transfers are additionally metered into one shared aggregate, so
+//! engine-level accounting equals the sum of per-session stats by
+//! construction.
 
 use parking_lot::Mutex;
 use pqc_tensor::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Bytes-per-element used for wire accounting (FP16, as the paper serves).
@@ -26,6 +34,102 @@ pub struct TransferStats {
     pub h2d_ops: u64,
 }
 
+impl std::ops::AddAssign for TransferStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.d2h_bytes += rhs.d2h_bytes;
+        self.h2d_bytes += rhs.h2d_bytes;
+        self.d2h_ops += rhs.d2h_ops;
+        self.h2d_ops += rhs.h2d_ops;
+    }
+}
+
+impl std::ops::Add for TransferStats {
+    type Output = TransferStats;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for TransferStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |acc, s| acc + s)
+    }
+}
+
+/// Identifier of one namespace within a [`KvTier`]. Offsets (middle-token
+/// indices) are scoped to a namespace, never global across the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NamespaceId(pub u64);
+
+/// A shared host-memory tier serving many concurrent sessions.
+///
+/// `new_namespace` hands out a [`HostKvStore`] bound to a fresh
+/// [`NamespaceId`]; every namespace meters its traffic both into its own
+/// [`TransferStats`] and into the tier-wide aggregate, which
+/// [`KvTier::aggregate_stats`] snapshots.
+///
+/// ```
+/// use pqc_memhier::KvTier;
+///
+/// let tier = KvTier::new(2, 2, 8);
+/// let mut a = tier.new_namespace();
+/// let mut b = tier.new_namespace();
+/// a.append_token(0, 0, &[0.0; 8], &[0.0; 8]);
+/// b.append_token(0, 0, &[1.0; 8], &[1.0; 8]);
+/// // Offsets are per-namespace: both sessions' first middle token is 0.
+/// assert_eq!(a.len(0, 0), 1);
+/// assert_eq!(b.len(0, 0), 1);
+/// assert_eq!(tier.aggregate_stats(), a.stats() + b.stats());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvTier {
+    n_layers: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+    aggregate: Arc<Mutex<TransferStats>>,
+    next_ns: Arc<AtomicU64>,
+}
+
+impl KvTier {
+    /// A tier for the given model geometry, with no namespaces yet.
+    pub fn new(n_layers: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        Self {
+            n_layers,
+            n_kv_heads,
+            head_dim,
+            aggregate: Arc::new(Mutex::new(TransferStats::default())),
+            next_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Create a fresh, empty namespace (e.g. one per admitted session).
+    /// Namespace ids are unique across clones of this tier handle.
+    pub fn new_namespace(&self) -> HostKvStore {
+        let ns = NamespaceId(self.next_ns.fetch_add(1, Ordering::Relaxed));
+        let mut store = HostKvStore::new(self.n_layers, self.n_kv_heads, self.head_dim);
+        store.namespace = ns;
+        store.aggregate = Some(Arc::clone(&self.aggregate));
+        store
+    }
+
+    /// Namespaces created so far.
+    pub fn namespaces_created(&self) -> u64 {
+        self.next_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the tier-wide aggregate transfer statistics (the sum of
+    /// every namespace's stats, including namespaces already dropped).
+    pub fn aggregate_stats(&self) -> TransferStats {
+        *self.aggregate.lock()
+    }
+
+    /// Zero the aggregate counters (per-namespace stats are unaffected).
+    pub fn reset_aggregate_stats(&self) {
+        *self.aggregate.lock() = TransferStats::default();
+    }
+}
+
 /// Key and value rows for one (layer, kv-head) pair.
 #[derive(Debug, Clone)]
 struct HeadKv {
@@ -34,13 +138,21 @@ struct HeadKv {
 }
 
 /// CPU-resident KVCache for a whole model: `n_layers × n_kv_heads` slots.
+///
+/// Standalone stores (from [`HostKvStore::new`]) are their own namespace 0
+/// with no aggregate; stores vended by [`KvTier::new_namespace`] carry a
+/// unique [`NamespaceId`] and mirror their metering into the tier aggregate.
+/// Token offsets returned by [`HostKvStore::append_token`] are always
+/// namespace-local.
 #[derive(Debug, Clone)]
 pub struct HostKvStore {
     n_layers: usize,
     n_kv_heads: usize,
     head_dim: usize,
+    namespace: NamespaceId,
     slots: Vec<Option<HeadKv>>,
     stats: Arc<Mutex<TransferStats>>,
+    aggregate: Option<Arc<Mutex<TransferStats>>>,
 }
 
 impl HostKvStore {
@@ -50,9 +162,16 @@ impl HostKvStore {
             n_layers,
             n_kv_heads,
             head_dim,
+            namespace: NamespaceId(0),
             slots: vec![None; n_layers * n_kv_heads],
             stats: Arc::new(Mutex::new(TransferStats::default())),
+            aggregate: None,
         }
+    }
+
+    /// The namespace this store is bound to (0 for standalone stores).
+    pub fn namespace(&self) -> NamespaceId {
+        self.namespace
     }
 
     fn slot_index(&self, layer: usize, head: usize) -> usize {
@@ -61,23 +180,35 @@ impl HostKvStore {
         layer * self.n_kv_heads + head
     }
 
+    /// Meter a transfer into the namespace stats and, when tier-bound, the
+    /// shared aggregate.
+    fn meter(&self, f: impl Fn(&mut TransferStats)) {
+        f(&mut self.stats.lock());
+        if let Some(agg) = &self.aggregate {
+            f(&mut agg.lock());
+        }
+    }
+
     /// Offload the full prefill K/V of one (layer, head): Step ❶.
     /// Overwrites any prior content for the slot.
     pub fn offload(&mut self, layer: usize, head: usize, keys: Matrix, values: Matrix) {
         assert_eq!(keys.shape(), values.shape(), "K/V shape mismatch");
         assert_eq!(keys.cols(), self.head_dim, "head_dim mismatch");
         let bytes = (2 * keys.rows() * keys.cols() * WIRE_BYTES_PER_ELEM) as u64;
-        {
-            let mut st = self.stats.lock();
+        self.meter(|st| {
             st.d2h_bytes += bytes;
             st.d2h_ops += 1;
-        }
+        });
         let idx = self.slot_index(layer, head);
         self.slots[idx] = Some(HeadKv { keys, values });
     }
 
-    /// Append a single evicted token's K/V row (Algorithm 2, line 5).
-    pub fn append_token(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) {
+    /// Append a single evicted token's K/V row (Algorithm 2, line 5) and
+    /// return its **namespace-local** offset — the middle index callers must
+    /// use for later fetches. Sessions must not derive this offset from any
+    /// tier-global count: with several sessions interleaving appends, only
+    /// the per-namespace offset is stable.
+    pub fn append_token(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) -> usize {
         assert_eq!(key.len(), self.head_dim);
         assert_eq!(value.len(), self.head_dim);
         let idx = self.slot_index(layer, head);
@@ -85,13 +216,17 @@ impl HostKvStore {
             keys: Matrix::zeros(0, self.head_dim),
             values: Matrix::zeros(0, self.head_dim),
         });
+        let offset = slot.keys.rows();
         let k1 = Matrix::from_vec(1, self.head_dim, key.to_vec());
         let v1 = Matrix::from_vec(1, self.head_dim, value.to_vec());
         slot.keys = slot.keys.vstack(&k1);
         slot.values = slot.values.vstack(&v1);
-        let mut st = self.stats.lock();
-        st.d2h_bytes += (2 * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
-        st.d2h_ops += 1;
+        let bytes = (2 * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
+        self.meter(|st| {
+            st.d2h_bytes += bytes;
+            st.d2h_ops += 1;
+        });
+        offset
     }
 
     /// Fetch the K/V rows of the given token indices: Step ❺. Meters H2D
@@ -101,9 +236,11 @@ impl HostKvStore {
         let slot = self.slots[idx].as_ref().expect("fetch from empty slot");
         let keys = slot.keys.gather_rows(token_ids);
         let values = slot.values.gather_rows(token_ids);
-        let mut st = self.stats.lock();
-        st.h2d_bytes += (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
-        st.h2d_ops += 1;
+        let bytes = (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
+        self.meter(|st| {
+            st.h2d_bytes += bytes;
+            st.h2d_ops += 1;
+        });
         (keys, values)
     }
 
@@ -194,7 +331,8 @@ mod tests {
         let (mut store, _, _) = store_with_data(10, 4);
         let key = [1.0f32, 2.0, 3.0, 4.0];
         let val = [9.0f32, 8.0, 7.0, 6.0];
-        store.append_token(0, 0, &key, &val);
+        let off = store.append_token(0, 0, &key, &val);
+        assert_eq!(off, 10);
         assert_eq!(store.len(0, 0), 11);
         let (fk, fv) = store.fetch(0, 0, &[10]);
         assert_eq!(fk.row(0), &key);
@@ -204,8 +342,77 @@ mod tests {
     #[test]
     fn append_into_empty_slot_allowed() {
         let mut store = HostKvStore::new(1, 1, 4);
-        store.append_token(0, 0, &[1.0; 4], &[2.0; 4]);
+        assert_eq!(store.append_token(0, 0, &[1.0; 4], &[2.0; 4]), 0);
         assert_eq!(store.len(0, 0), 1);
+    }
+
+    #[test]
+    fn interleaved_namespace_appends_keep_offsets_local() {
+        // Regression for the serving refactor: token offsets must be
+        // per-namespace, not globally monotone across the tier. Interleave
+        // appends from two "sessions" and check each namespace's offsets run
+        // 0, 1, 2, ... independently and round-trip to its own rows.
+        let tier = KvTier::new(1, 1, 4);
+        let mut a = tier.new_namespace();
+        let mut b = tier.new_namespace();
+        assert_ne!(a.namespace(), b.namespace());
+        for i in 0..6 {
+            let ka = [i as f32; 4];
+            let kb = [-(i as f32) - 1.0; 4];
+            // a then b within the same "tick" — the interleaving that broke
+            // a global-offset scheme (b's first append would have seen 1).
+            assert_eq!(a.append_token(0, 0, &ka, &ka), i);
+            assert_eq!(b.append_token(0, 0, &kb, &kb), i);
+        }
+        assert_eq!(a.len(0, 0), 6);
+        assert_eq!(b.len(0, 0), 6);
+        let (ka, _) = a.fetch(0, 0, &[3]);
+        let (kb, _) = b.fetch(0, 0, &[3]);
+        assert_eq!(ka.row(0), &[3.0; 4]);
+        assert_eq!(kb.row(0), &[-4.0; 4]);
+    }
+
+    #[test]
+    fn tier_aggregate_is_sum_of_namespace_stats() {
+        let tier = KvTier::new(2, 1, 4);
+        let mut rng = Rng64::new(3);
+        let mut stores: Vec<HostKvStore> = (0..3).map(|_| tier.new_namespace()).collect();
+        for (i, st) in stores.iter_mut().enumerate() {
+            let rows = 4 + i;
+            st.offload(0, 0, Matrix::randn(rows, 4, 1.0, &mut rng), Matrix::randn(rows, 4, 1.0, &mut rng));
+            st.append_token(1, 0, &[0.0; 4], &[0.0; 4]);
+            let _ = st.fetch(0, 0, &[0, 1]);
+        }
+        let sum: TransferStats = stores.iter().map(|s| s.stats()).sum();
+        assert_eq!(tier.aggregate_stats(), sum);
+        assert!(sum.d2h_bytes > 0 && sum.h2d_bytes > 0);
+        assert_eq!(tier.namespaces_created(), 3);
+    }
+
+    #[test]
+    fn aggregate_survives_namespace_drop() {
+        let tier = KvTier::new(1, 1, 4);
+        let mut a = tier.new_namespace();
+        a.append_token(0, 0, &[1.0; 4], &[1.0; 4]);
+        let before = tier.aggregate_stats();
+        drop(a);
+        assert_eq!(tier.aggregate_stats(), before);
+        // Per-namespace reset leaves the aggregate alone; aggregate reset
+        // leaves namespaces alone.
+        let b = tier.new_namespace();
+        tier.reset_aggregate_stats();
+        assert_eq!(tier.aggregate_stats(), TransferStats::default());
+        assert_eq!(b.stats(), TransferStats::default());
+    }
+
+    #[test]
+    fn transfer_stats_sum_and_add() {
+        let a = TransferStats { d2h_bytes: 1, h2d_bytes: 2, d2h_ops: 3, h2d_ops: 4 };
+        let b = TransferStats { d2h_bytes: 10, h2d_bytes: 20, d2h_ops: 30, h2d_ops: 40 };
+        let s: TransferStats = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+        assert_eq!(s.d2h_bytes, 11);
+        assert_eq!(s.h2d_ops, 44);
     }
 
     #[test]

@@ -15,5 +15,5 @@ pub mod sim;
 
 pub use costmodel::{CostModel, ModelShape};
 pub use decomp::{labels, Decomposition};
-pub use kvstore::{HostKvStore, TransferStats, WIRE_BYTES_PER_ELEM};
+pub use kvstore::{HostKvStore, KvTier, NamespaceId, TransferStats, WIRE_BYTES_PER_ELEM};
 pub use sim::{Event, OpRecord, Resource, SimEngine};

@@ -24,11 +24,42 @@ pub mod dropping;
 pub mod pqcache;
 pub mod retrieval;
 
+use pqc_pq::PqRetriever;
 use pqc_tensor::Matrix;
 
 pub use dropping::{H2oPolicy, PyramidKvPolicy, SnapKvPolicy, StreamingLlmPolicy};
 pub use pqcache::{PqCachePolicy, PqCachePolicyConfig};
 pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy};
+
+/// Reusable per-step selection scratch, owned by the *caller* rather than
+/// the policy.
+///
+/// A single-session engine keeps one of these per session; the serving
+/// layer keeps one per worker thread and hands it to every session it
+/// steps, so N concurrent sessions cost one set of retrieval buffers
+/// instead of N. Contents are rebuilt from scratch on every call — sharing
+/// is bit-transparent.
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    /// ADC table + fused-scan score buffer + top-k heap.
+    pub retriever: PqRetriever,
+    /// Combined GQA group query.
+    pub q_buf: Vec<f32>,
+}
+
+impl PolicyScratch {
+    /// Empty scratch; buffers grow on first use and then stay warm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacities `(table, scores, heap, q_buf)` of the scratch buffers —
+    /// exposed so tests can assert zero-allocation steady state.
+    pub fn capacities(&self) -> (usize, usize, usize, usize) {
+        let (t, s, h) = self.retriever.scratch_capacities();
+        (t, s, h, self.q_buf.capacity())
+    }
+}
 
 /// Everything a policy may consume at initialisation time, derived from the
 /// prefill pass. Indices are in *middle coordinates*: 0 is the first middle
@@ -100,6 +131,22 @@ pub trait SelectionPolicy {
         let mut out = Vec::new();
         self.select_into(ctx, &mut out);
         out
+    }
+
+    /// [`Self::select_into`] with caller-owned scratch — the multi-session
+    /// hot path. Policies whose per-step scratch can live outside the
+    /// policy (PQCache's retriever) override this so one scratch serves
+    /// every session on a worker; the default ignores `scratch` and uses
+    /// internal buffers. Must select the exact same indices as
+    /// [`Self::select_into`] for the same context.
+    fn select_with_scratch(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        scratch: &mut PolicyScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let _ = scratch;
+        self.select_into(ctx, out);
     }
 
     /// A token evicted from the local window becomes middle token

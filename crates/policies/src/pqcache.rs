@@ -7,8 +7,8 @@
 //! through its codes (Steps ❸-❹). Tokens evicted from the local window are
 //! assigned codes by nearest centroid (Algorithm 2, line 4).
 
-use crate::{group_query_into, PolicyContext, PolicyInit, SelectionPolicy};
-use pqc_pq::{PqCodebook, PqCodes, PqConfig, PqRetriever};
+use crate::{group_query_into, PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
+use pqc_pq::{PqCodebook, PqCodes, PqConfig};
 
 /// PQCache policy hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -38,12 +38,11 @@ pub struct PqCachePolicy {
     books: Vec<Vec<PqCodebook>>,
     /// `[layer][kv_head]` per-token codes (grow with evictions).
     codes: Vec<Vec<PqCodes>>,
-    /// Reusable decode-step retrieval scratch (ADC table, fused-scan score
-    /// buffer, top-k heap): one per policy, shared across layers/heads, so
-    /// steady-state selection performs zero heap allocations.
-    retriever: PqRetriever,
-    /// Reusable group-query buffer.
-    q_buf: Vec<f32>,
+    /// Fallback decode-step retrieval scratch (ADC table, fused-scan score
+    /// buffer, top-k heap, group query) used by `select_into`; callers on
+    /// the multi-session hot path hand in a shared [`PolicyScratch`] via
+    /// `select_with_scratch` instead, so N sessions cost one scratch.
+    scratch: PolicyScratch,
     /// Reusable eviction-encoding buffer.
     code_buf: Vec<u16>,
 }
@@ -55,8 +54,7 @@ impl PqCachePolicy {
             cfg,
             books: Vec::new(),
             codes: Vec::new(),
-            retriever: PqRetriever::new(),
-            q_buf: Vec::new(),
+            scratch: PolicyScratch::new(),
             code_buf: Vec::new(),
         }
     }
@@ -65,8 +63,8 @@ impl PqCachePolicy {
     /// heap, group query, eviction codes) — exposed so tests can assert
     /// zero-allocation steady state across decode steps.
     pub fn scratch_capacities(&self) -> (usize, usize, usize, usize, usize) {
-        let (t, s, h) = self.retriever.scratch_capacities();
-        (t, s, h, self.q_buf.capacity(), self.code_buf.capacity())
+        let (t, s, h, q) = self.scratch.capacities();
+        (t, s, h, q, self.code_buf.capacity())
     }
 
     /// Total construction inertia across all codebooks (diagnostics for the
@@ -129,6 +127,19 @@ impl SelectionPolicy for PqCachePolicy {
     }
 
     fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
+        // Route through the scratch path with the internal fallback scratch
+        // (taken/restored so the borrow checker sees disjoint state).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.select_with_scratch(ctx, &mut scratch, out);
+        self.scratch = scratch;
+    }
+
+    fn select_with_scratch(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        scratch: &mut PolicyScratch,
+        out: &mut Vec<usize>,
+    ) {
         out.clear();
         let book = &self.books[ctx.layer][ctx.kv_head];
         let codes = &self.codes[ctx.layer][ctx.kv_head];
@@ -136,10 +147,10 @@ impl SelectionPolicy for PqCachePolicy {
         if n == 0 || ctx.budget == 0 {
             return;
         }
-        group_query_into(ctx.queries, &mut self.q_buf);
+        group_query_into(ctx.queries, &mut scratch.q_buf);
         // Steps ❸-❹-❺ fused: ADC table build, SoA column scan, top-k — all
-        // through the reusable retriever scratch.
-        self.retriever.top_k_prefix_into(book, codes, &self.q_buf, n, ctx.budget, out);
+        // through the caller's reusable retriever scratch.
+        scratch.retriever.top_k_prefix_into(book, codes, &scratch.q_buf, n, ctx.budget, out);
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
@@ -252,6 +263,32 @@ mod tests {
         let p = PqCachePolicy::new(cfg(2, 6, 5));
         let ratio = p.pq_config().comm_ratio(128);
         assert!(ratio <= 1.0 / 128.0 + 1e-12, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shared_scratch_selects_identically() {
+        // One PolicyScratch shared by two policies (as the serve engine
+        // shares one per worker) must reproduce each policy's internal-
+        // scratch selection exactly.
+        let init_a = synthetic_init(1, 1, 200, 16, &[], 21);
+        let init_b = synthetic_init(1, 1, 170, 16, &[], 22);
+        let mut pa = PqCachePolicy::new(cfg(2, 6, 10));
+        let mut pb = PqCachePolicy::new(cfg(2, 6, 10));
+        pa.init(&init_a);
+        pb.init(&init_b);
+        let mut shared = crate::PolicyScratch::new();
+        let mut rng = Rng64::new(23);
+        for _ in 0..6 {
+            let q = Matrix::randn(2, 16, 1.0, &mut rng);
+            for (p, mid) in [(&mut pa, 200usize), (&mut pb, 170)] {
+                let ctx =
+                    PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 17, middle_len: mid };
+                let internal = p.select(&ctx);
+                let mut ext = Vec::new();
+                p.select_with_scratch(&ctx, &mut shared, &mut ext);
+                assert_eq!(internal, ext);
+            }
+        }
     }
 
     #[test]

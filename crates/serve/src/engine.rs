@@ -1,0 +1,555 @@
+//! The sharded serve engine: continuous batching over `SelectiveSession`s.
+//!
+//! `ServeEngine::run` owns the whole lifecycle of a request batch:
+//!
+//! 1. requests are admitted through a [`BoundedQueue`] (back-pressure);
+//! 2. each of `shards` worker threads pulls requests, prefills them, and
+//!    binds the session to a fresh [`KvTier`] namespace and a
+//!    [`BlockCache`] drawing on the engine-wide [`CacheBudget`];
+//! 3. every scheduler tick steps each ready session once through the
+//!    shard's single [`SessionScratch`] (continuous batching: sessions at
+//!    different depths coexist in one tick loop, finished sessions retire
+//!    and free their slot for the next queued request);
+//! 4. completions carry per-session stats; the report adds the tier-wide
+//!    aggregate, queue high-water, and per-shard busy time.
+//!
+//! Scheduling never changes results: a token decoded here is bit-identical
+//! to the same session run alone through `SelectiveSession::decode`
+//! (locked down by `tests/serve_equivalence.rs`).
+
+use crate::queue::BoundedQueue;
+use pqc_cache::{BlockCache, CacheBudget, CacheStats};
+use pqc_core::{SelectiveSession, SessionConfig, SessionResources, SessionScratch};
+use pqc_llm::Model;
+use pqc_memhier::{KvTier, TransferStats};
+use pqc_policies::SelectionPolicy;
+use std::time::{Duration, Instant};
+
+/// How requests map onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardAssignment {
+    /// One shared queue; whichever worker has a free slot first takes the
+    /// request. Work-conserving — the right default for live traffic.
+    #[default]
+    FirstFree,
+    /// Request `i` goes to shard `i mod shards` through per-shard queues.
+    /// Deterministic placement and balance independent of OS scheduling —
+    /// what benchmarks and placement-sensitive tests want (on a host with
+    /// fewer cores than shards, first-free lets one timesliced worker
+    /// drain the queue while the rest starve, which skews per-shard load).
+    RoundRobin,
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one shard of the session pool.
+    pub shards: usize,
+    /// Continuous-batching width: sessions decoded per shard per tick.
+    pub max_active_per_shard: usize,
+    /// Admission-queue bound across all shards (back-pressure on the
+    /// producer). Round-robin splits it evenly over the per-shard queues,
+    /// so it must be ≥ `shards` in that mode.
+    pub queue_capacity: usize,
+    /// Request→shard placement.
+    pub assignment: ShardAssignment,
+    /// Per-session engine configuration (segmentation, budgets, cache).
+    pub session: SessionConfig,
+    /// Sessions' worth of GPU cache backing the global [`CacheBudget`];
+    /// `None` sizes it for the peak concurrency (`shards ×
+    /// max_active_per_shard`), which reproduces standalone cache behaviour
+    /// exactly. Smaller values exercise cross-session cache pressure.
+    pub cache_budget_sessions: Option<usize>,
+    /// Record per-step logits and selected-token sets in each completion
+    /// (the equivalence battery's evidence; costs memory).
+    pub record_trace: bool,
+    /// Parallelise prefill across kv heads inside a worker. Off by default:
+    /// shard workers are the parallelism axis, and nesting head threads
+    /// under every worker oversubscribes the host.
+    pub prefill_parallel: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            max_active_per_shard: 4,
+            queue_capacity: 16,
+            assignment: ShardAssignment::FirstFree,
+            session: SessionConfig::default(),
+            cache_budget_sessions: None,
+            record_trace: false,
+            prefill_parallel: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate; panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.max_active_per_shard > 0, "need at least one session slot per shard");
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        if self.assignment == ShardAssignment::RoundRobin {
+            assert!(
+                self.queue_capacity >= self.shards,
+                "round-robin needs queue capacity >= shards (one slot per shard queue)"
+            );
+        }
+        self.session.validate();
+    }
+
+    /// Peak concurrent sessions the engine will run.
+    pub fn peak_sessions(&self) -> usize {
+        self.shards * self.max_active_per_shard
+    }
+}
+
+/// One admission: a prompt plus how many tokens to decode greedily.
+pub struct ServeRequest {
+    /// Caller-chosen id, echoed in the completion (must be unique).
+    pub id: u64,
+    /// Prompt tokens (must satisfy the session's segmentation minimum).
+    pub tokens: Vec<u32>,
+    /// Greedy decode steps to run after prefill.
+    pub decode_steps: usize,
+    /// Selection policy instance for this session.
+    pub policy: Box<dyn SelectionPolicy + Send>,
+}
+
+/// Per-step evidence captured when [`ServeConfig::record_trace`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrace {
+    /// The step's classifier logits.
+    pub logits: Vec<f32>,
+    /// Selected middle tokens (absolute ids), `[layer][kv_head]`.
+    pub selected: Vec<Vec<Vec<usize>>>,
+}
+
+/// A finished request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request id.
+    pub id: u64,
+    /// Shard (worker) that served the session.
+    pub shard: usize,
+    /// Greedy-decoded tokens, `decode_steps` of them.
+    pub generated: Vec<u32>,
+    /// This session's host-transfer stats (its KvTier namespace).
+    pub transfer: TransferStats,
+    /// This session's GPU block-cache stats.
+    pub cache: CacheStats,
+    /// Per-step trace (empty unless [`ServeConfig::record_trace`]).
+    pub trace: Vec<StepTrace>,
+}
+
+/// Per-shard scheduling statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+    /// Sessions admitted on this shard.
+    pub admitted: u64,
+    /// Wall time spent prefilling + decoding (excludes queue waits).
+    /// Caveat: on a host with fewer cores than shards this includes time
+    /// preempted by sibling workers — use a per-shard single-thread run
+    /// (as `benches/serve_throughput.rs` does) to model one-core-per-shard
+    /// occupancy.
+    pub busy: Duration,
+}
+
+/// Everything `ServeEngine::run` produces.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Completions, sorted by request id.
+    pub completions: Vec<Completion>,
+    /// Tier-wide transfer aggregate (equals the sum of per-completion
+    /// transfer stats — asserted by the equivalence battery).
+    pub aggregate_transfer: TransferStats,
+    /// Highest queue occupancy observed (≤ the configured bound).
+    pub queue_high_water: usize,
+    /// Per-shard scheduling stats.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Total decoded tokens across completions.
+    pub fn tokens_decoded(&self) -> u64 {
+        self.completions.iter().map(|c| c.generated.len() as u64).sum()
+    }
+
+    /// The completion for a request id, if present.
+    pub fn completion(&self, id: u64) -> Option<&Completion> {
+        self.completions.iter().find(|c| c.id == id)
+    }
+
+    /// The busiest shard's occupied time — the modelled wall-clock of the
+    /// run on a host with one core per shard (shards share nothing on the
+    /// decode path, so their busy intervals overlap there).
+    pub fn max_shard_busy(&self) -> Duration {
+        self.shards.iter().map(|s| s.busy).max().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// An in-flight session on a shard.
+struct Active<'m> {
+    id: u64,
+    session: SelectiveSession<'m>,
+    next: u32,
+    remaining: usize,
+    generated: Vec<u32>,
+    trace: Vec<StepTrace>,
+}
+
+struct ShardOutput {
+    completions: Vec<Completion>,
+    stats: ShardStats,
+}
+
+/// The sharded multi-session serving engine. Stateless: each [`Self::run`]
+/// call owns its workers, tier, and budget for the duration of the batch.
+pub struct ServeEngine;
+
+impl ServeEngine {
+    /// Serve `requests` to completion and return the report.
+    ///
+    /// Blocks until every admitted request has finished. Request→shard
+    /// assignment is first-free-worker (work conserving), which is safe
+    /// because results are scheduling-independent.
+    pub fn run(model: &Model, cfg: &ServeConfig, requests: Vec<ServeRequest>) -> ServeReport {
+        cfg.validate();
+        let mcfg = model.config();
+        let tier = KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let budget_sessions = cfg.cache_budget_sessions.unwrap_or_else(|| cfg.peak_sessions());
+        let budget = CacheBudget::for_tokens(
+            cfg.session.cache.capacity_tokens * budget_sessions,
+            cfg.session.cache.block_size,
+        );
+        // FirstFree: one shared queue. RoundRobin: one queue per shard,
+        // splitting the global bound exactly (first `remainder` shards get
+        // the extra slot, so per-shard capacities sum to queue_capacity).
+        let queues: Vec<BoundedQueue<ServeRequest>> = match cfg.assignment {
+            ShardAssignment::FirstFree => vec![BoundedQueue::new(cfg.queue_capacity)],
+            ShardAssignment::RoundRobin => (0..cfg.shards)
+                .map(|i| {
+                    let base = cfg.queue_capacity / cfg.shards;
+                    BoundedQueue::new(base + usize::from(i < cfg.queue_capacity % cfg.shards))
+                })
+                .collect(),
+        };
+        let start = Instant::now();
+
+        let (mut completions, shard_stats) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.shards)
+                .map(|shard| {
+                    let queue = &queues[shard % queues.len()];
+                    let tier = tier.clone();
+                    let budget = budget.clone();
+                    scope.spawn(move || Self::worker(model, cfg, shard, queue, tier, budget))
+                })
+                .collect();
+
+            // The caller's thread is the producer: bounded pushes are the
+            // admission back-pressure.
+            for (i, req) in requests.into_iter().enumerate() {
+                if queues[i % queues.len()].push(req).is_err() {
+                    unreachable!("queue closed while producing");
+                }
+            }
+            for q in &queues {
+                q.close();
+            }
+
+            let mut completions = Vec::new();
+            let mut shard_stats = Vec::with_capacity(cfg.shards);
+            for h in handles {
+                let out = h.join().expect("shard worker panicked");
+                completions.extend(out.completions);
+                shard_stats.push(out.stats);
+            }
+            (completions, shard_stats)
+        });
+
+        completions.sort_by_key(|c| c.id);
+        ServeReport {
+            completions,
+            aggregate_transfer: tier.aggregate_stats(),
+            // Sum of per-queue high waters: an upper bound on peak global
+            // occupancy, itself bounded by the configured capacity.
+            queue_high_water: queues.iter().map(BoundedQueue::high_water).sum(),
+            shards: shard_stats,
+            wall: start.elapsed(),
+        }
+    }
+
+    fn worker<'m>(
+        model: &'m Model,
+        cfg: &ServeConfig,
+        shard: usize,
+        queue: &BoundedQueue<ServeRequest>,
+        tier: KvTier,
+        budget: CacheBudget,
+    ) -> ShardOutput {
+        let mut scratch = SessionScratch::new();
+        let mut active: Vec<Active<'m>> = Vec::new();
+        let mut completions = Vec::new();
+        let mut stats = ShardStats::default();
+
+        loop {
+            // Admission: fill free slots. Block only when idle — a shard
+            // with live sessions keeps decoding while the queue is empty.
+            while active.len() < cfg.max_active_per_shard {
+                let req = if active.is_empty() {
+                    match queue.pop_wait() {
+                        Some(r) => r,
+                        None => {
+                            return ShardOutput { completions, stats };
+                        }
+                    }
+                } else {
+                    match queue.try_pop() {
+                        Some(r) => r,
+                        None => break,
+                    }
+                };
+                let t0 = Instant::now();
+                active.push(Self::admit(model, cfg, req, &tier, &budget));
+                stats.busy += t0.elapsed();
+                stats.admitted += 1;
+            }
+            Self::retire(&mut active, &mut completions, shard);
+            if active.is_empty() {
+                continue;
+            }
+
+            // One scheduler tick: each ready session decodes one token
+            // through the shard's shared scratch.
+            stats.ticks += 1;
+            let t0 = Instant::now();
+            for a in active.iter_mut() {
+                let token = a.next;
+                let dec = a.session.step_with_scratch(token, &mut scratch);
+                a.generated.push(token);
+                if cfg.record_trace {
+                    a.trace.push(StepTrace {
+                        logits: dec.logits.clone(),
+                        selected: a.session.selected_snapshot(),
+                    });
+                }
+                a.next = dec.greedy();
+                a.remaining -= 1;
+            }
+            stats.busy += t0.elapsed();
+            Self::retire(&mut active, &mut completions, shard);
+        }
+    }
+
+    fn admit<'m>(
+        model: &'m Model,
+        cfg: &ServeConfig,
+        req: ServeRequest,
+        tier: &KvTier,
+        budget: &CacheBudget,
+    ) -> Active<'m> {
+        let mut opts = SelectiveSession::prefill_options(&cfg.session, req.tokens.len());
+        opts.parallel = cfg.prefill_parallel;
+        let prefill = model.prefill(&req.tokens, &opts);
+        let resources = SessionResources {
+            store: tier.new_namespace(),
+            cache: BlockCache::with_budget(
+                cfg.session.cache.capacity_tokens,
+                cfg.session.cache.block_size,
+                cfg.session.cache.policy(),
+                budget.clone(),
+            ),
+        };
+        let start = SelectiveSession::start_from_prefill_in(
+            model,
+            req.policy,
+            cfg.session,
+            &prefill,
+            resources,
+        );
+        Active {
+            id: req.id,
+            session: start.session,
+            next: pqc_tensor::argmax(&start.logits) as u32,
+            remaining: req.decode_steps,
+            generated: Vec::with_capacity(req.decode_steps),
+            trace: Vec::new(),
+        }
+    }
+
+    fn retire(active: &mut Vec<Active<'_>>, completions: &mut Vec<Completion>, shard: usize) {
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].remaining == 0 {
+                let a = active.swap_remove(i);
+                completions.push(Completion {
+                    id: a.id,
+                    shard,
+                    generated: a.generated,
+                    transfer: a.session.transfer_stats(),
+                    cache: a.session.cache_stats(),
+                    trace: a.trace,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqc_llm::LlmConfig;
+    use pqc_policies::PqCachePolicy;
+
+    fn session_cfg() -> SessionConfig {
+        SessionConfig {
+            n_init: 2,
+            n_local: 8,
+            token_ratio: 0.25,
+            comm_fraction: 1.0 / 16.0,
+            obs_window: 8,
+            cache: pqc_core::CacheConfig {
+                capacity_tokens: 64,
+                block_size: 8,
+                lfu: true,
+                k_cache_blocks: 4,
+            },
+        }
+    }
+
+    fn prompt(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = pqc_tensor::Rng64::new(seed);
+        (0..n).map(|_| rng.below(200) as u32).collect()
+    }
+
+    fn requests(n: usize) -> Vec<ServeRequest> {
+        (0..n)
+            .map(|i| ServeRequest {
+                id: i as u64,
+                tokens: prompt(48 + 8 * (i % 3), 100 + i as u64),
+                decode_steps: 4 + i % 3,
+                policy: Box::new(PqCachePolicy::default()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_all_requests_to_completion() {
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 2,
+            max_active_per_shard: 2,
+            queue_capacity: 3,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let report = ServeEngine::run(&model, &cfg, requests(7));
+        assert_eq!(report.completions.len(), 7);
+        for (i, c) in report.completions.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+            assert_eq!(c.generated.len(), 4 + i % 3);
+            assert!(c.shard < 2);
+        }
+        assert!(report.queue_high_water <= 3);
+        let sum: TransferStats = report.completions.iter().map(|c| c.transfer).sum();
+        assert_eq!(report.aggregate_transfer, sum);
+        assert_eq!(report.tokens_decoded(), (0..7).map(|i| 4 + (i % 3) as u64).sum());
+    }
+
+    #[test]
+    fn zero_step_request_completes_without_decoding() {
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 2,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let reqs = vec![ServeRequest {
+            id: 9,
+            tokens: prompt(48, 5),
+            decode_steps: 0,
+            policy: Box::new(PqCachePolicy::default()),
+        }];
+        let report = ServeEngine::run(&model, &cfg, reqs);
+        assert_eq!(report.completions.len(), 1);
+        assert!(report.completions[0].generated.is_empty());
+        // Prefill offload is still metered.
+        assert!(report.completions[0].transfer.d2h_bytes > 0);
+    }
+
+    #[test]
+    fn single_shard_report_is_deterministic() {
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 4,
+            queue_capacity: 8,
+            session: session_cfg(),
+            record_trace: true,
+            ..Default::default()
+        };
+        let a = ServeEngine::run(&model, &cfg, requests(5));
+        let b = ServeEngine::run(&model, &cfg, requests(5));
+        for (ca, cb) in a.completions.iter().zip(b.completions.iter()) {
+            assert_eq!(ca.generated, cb.generated);
+            assert_eq!(ca.trace, cb.trace);
+            assert_eq!(ca.transfer, cb.transfer);
+        }
+    }
+
+    #[test]
+    fn round_robin_places_deterministically() {
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 2,
+            max_active_per_shard: 2,
+            queue_capacity: 4,
+            assignment: ShardAssignment::RoundRobin,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let report = ServeEngine::run(&model, &cfg, requests(6));
+        assert_eq!(report.completions.len(), 6);
+        for c in &report.completions {
+            assert_eq!(c.shard, (c.id % 2) as usize, "request {} misplaced", c.id);
+        }
+        // Balanced placement ⇒ both shards admitted equally.
+        assert!(report.shards.iter().all(|s| s.admitted == 3));
+        // And results match the first-free schedule bit-for-bit.
+        let ff = ServeEngine::run(
+            &model,
+            &ServeConfig { assignment: ShardAssignment::FirstFree, ..cfg },
+            requests(6),
+        );
+        for (a, b) in report.completions.iter().zip(ff.completions.iter()) {
+            assert_eq!(a.generated, b.generated);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ServeConfig { shards: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity >= shards")]
+    fn round_robin_needs_queue_slots() {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 2,
+            assignment: ShardAssignment::RoundRobin,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,35 @@
+//! # pqc-serve
+//!
+//! Multi-session serving layer over the PQCache engine.
+//!
+//! The paper's decode loop (Algorithm 2, `pqc_core::SelectiveSession`) is
+//! per-request; production traffic is many concurrent sessions sharing the
+//! host KV tier, the GPU cache budget, and the CPU cores. [`ServeEngine`]
+//! closes that gap with **sharding** (one worker thread per shard of the
+//! session pool) and **continuous batching** (each scheduler tick drives
+//! one decode step per ready session, admitting queued requests as slots
+//! free), while reusing one set of hot-path buffers per shard
+//! (`SessionScratch`) instead of per session.
+//!
+//! Shared resources are explicitly multi-tenant:
+//! - the host KV tier is a [`pqc_memhier::KvTier`]: one namespace per
+//!   session (offsets are namespace-local) with engine-wide aggregate
+//!   transfer accounting;
+//! - GPU cache capacity is a [`pqc_cache::CacheBudget`] shared by every
+//!   session's shard-local [`pqc_cache::BlockCache`].
+//!
+//! Scheduling is provably behaviour-neutral: `tests/serve_equivalence.rs`
+//! asserts bit-identical logits and selected-token sets against the
+//! sequential engine at 1, 2, and 4 shards, and `tests/serve_stress.rs`
+//! churns 64 sessions through 4 workers under the queue bound.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+
+pub use engine::{
+    Completion, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment, ShardStats,
+    StepTrace,
+};
+pub use queue::BoundedQueue;

@@ -1,0 +1,174 @@
+//! Bounded multi-producer multi-consumer admission queue.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (matching the workspace's
+//! crossbeam-free threading style). The bound is the serving layer's
+//! back-pressure: a producer pushing into a full queue blocks until a
+//! worker drains a slot, so request bursts never balloon memory. The queue
+//! records its high-water mark so tests can assert the bound held.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// A bounded FIFO shared between the admission side and shard workers.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` queued items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(State { items: VecDeque::new(), closed: false, high_water: 0 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue, blocking while the queue is at capacity. Returns the item
+    /// back if the queue was closed before a slot freed up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                st.high_water = st.high_water.max(st.items.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("queue wait");
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        let item = st.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeue, blocking until an item arrives. Returns `None` only when
+    /// the queue is closed *and* drained — the worker shutdown signal.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue wait");
+        }
+    }
+
+    /// Close the queue: already-queued items still drain, new pushes fail,
+    /// and blocked poppers wake up.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Maximum queue length ever observed (≤ capacity by construction).
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.high_water(), 5);
+        for i in 0..5 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), None);
+        assert_eq!(q.push(2), Err(2));
+    }
+
+    #[test]
+    fn bound_blocks_producer_until_consumed() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(0u32).unwrap();
+        q.push(1).unwrap();
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer below pops.
+            qp.push(2).unwrap();
+            qp.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = q.pop_wait() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(q.high_water() <= 2);
+    }
+
+    #[test]
+    fn many_consumers_each_item_once() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop_wait() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..50u32 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> =
+            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,204 @@
+//! Multi-tenant serving traces: the request streams a `ServeEngine` eats.
+//!
+//! Models the traffic shape the ROADMAP's production north-star implies:
+//! requests **arrive over time** (Poisson process — exponential
+//! inter-arrival gaps), with a **mixture of prompt lengths** (chat-sized
+//! through long-document) drawn from the existing task generators, and
+//! **session churn** (decode lengths vary several-fold, so short sessions
+//! retire while long ones are mid-flight and admission back-fills the
+//! freed slots).
+//!
+//! `arrival_tick` is abstract time: it fixes the arrival *order* and burst
+//! structure. The current drivers (`tests/serve_stress.rs`, the serve
+//! bench) feed requests in that order through the engine's bounded queue —
+//! back-pressure, not wall-clock, paces admission — while the ticks remain
+//! available to a time-accurate replay driver.
+//!
+//! The generator is purely deterministic in its seed: the same
+//! [`TraceConfig`] always yields the same trace, which is what lets the
+//! concurrency test battery drive the serve engine with reproducible
+//! traffic.
+
+use crate::gen::{aggregation, needle, qa, QuestionPosition, VocabLayout, Workload};
+use pqc_tensor::Rng64;
+
+/// Configuration of a multi-tenant trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub sessions: usize,
+    /// Mean arrivals per tick of the Poisson process (λ).
+    pub arrival_rate: f64,
+    /// Prompt-length tiers sampled per request (short / medium / long).
+    /// Values must satisfy the generators' minima (≥ 64).
+    pub prompt_lens: [usize; 3],
+    /// Mixture weights over the tiers (need not be normalised).
+    pub prompt_mix: [f64; 3],
+    /// Decode-step range `[min, max]` sampled uniformly per request —
+    /// spreading this range is what produces churn under the engine.
+    pub decode_steps: (usize, usize),
+    /// Vocabulary layout shared with the model.
+    pub layout: VocabLayout,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 32,
+            arrival_rate: 0.5,
+            prompt_lens: [96, 192, 384],
+            prompt_mix: [0.5, 0.3, 0.2],
+            decode_steps: (4, 24),
+            layout: VocabLayout::for_vocab(256),
+            seed: 0x7EA5,
+        }
+    }
+}
+
+/// One request of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceRequest {
+    /// Sequential request id (also the arrival order).
+    pub id: u64,
+    /// Arrival time in abstract ticks (non-decreasing across the trace).
+    pub arrival_tick: u64,
+    /// The prompt and its ground truth (task family varies per request).
+    pub workload: Workload,
+    /// Greedy decode steps this session runs before completing.
+    pub decode_steps: usize,
+}
+
+/// A generated request stream, ordered by arrival.
+#[derive(Debug, Clone)]
+pub struct TenantTrace {
+    /// Requests in arrival order.
+    pub requests: Vec<TraceRequest>,
+}
+
+impl TenantTrace {
+    /// Total decode steps over the whole trace.
+    pub fn total_decode_steps(&self) -> usize {
+        self.requests.iter().map(|r| r.decode_steps).sum()
+    }
+
+    /// Mean inter-arrival gap in ticks (0 for traces shorter than 2).
+    pub fn mean_interarrival(&self) -> f64 {
+        if self.requests.len() < 2 {
+            return 0.0;
+        }
+        let span = self.requests.last().expect("non-empty").arrival_tick
+            - self.requests[0].arrival_tick;
+        span as f64 / (self.requests.len() - 1) as f64
+    }
+}
+
+/// Generate a Poisson-arrival, mixed-length, churn-heavy request stream.
+pub fn multi_tenant_trace(cfg: &TraceConfig) -> TenantTrace {
+    assert!(cfg.sessions > 0, "need at least one session");
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(cfg.decode_steps.0 <= cfg.decode_steps.1, "decode range inverted");
+    assert!(cfg.prompt_mix.iter().sum::<f64>() > 0.0, "mixture weights all zero");
+    let mut rng = Rng64::new(cfg.seed);
+    let mix: Vec<f64> = cfg.prompt_mix.to_vec();
+    let mut tick = 0u64;
+    let mut requests = Vec::with_capacity(cfg.sessions);
+    for id in 0..cfg.sessions as u64 {
+        // Exponential inter-arrival gap: -ln(1-u)/λ, rounded to whole
+        // ticks (gaps under half a tick coalesce into a burst).
+        let u = rng.uniform();
+        let gap = (-(1.0 - u).ln() / cfg.arrival_rate).round() as u64;
+        tick += gap;
+        let tier = rng.weighted(&mix);
+        let s = cfg.prompt_lens[tier];
+        // Rotate task families so one trace exercises needle retrieval,
+        // QA-style probing, and aggregation pressure concurrently.
+        let wseed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id);
+        let workload = match id % 3 {
+            0 => needle(s.max(64), 0.25 + 0.5 * rng.uniform(), &cfg.layout, wseed),
+            1 => qa(s.max(64), 2, QuestionPosition::End, &cfg.layout, wseed),
+            _ => aggregation(s.max(64), 4, &cfg.layout, wseed),
+        };
+        let (lo, hi) = cfg.decode_steps;
+        let decode_steps = lo + rng.below(hi - lo + 1);
+        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps });
+    }
+    TenantTrace { requests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig { sessions: 200, ..Default::default() }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = multi_tenant_trace(&cfg());
+        let b = multi_tenant_trace(&cfg());
+        assert_eq!(a.requests.len(), 200);
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.arrival_tick, y.arrival_tick);
+            assert_eq!(x.workload.tokens, y.workload.tokens);
+            assert_eq!(x.decode_steps, y.decode_steps);
+        }
+        let c = multi_tenant_trace(&TraceConfig { seed: 999, ..cfg() });
+        assert_ne!(
+            a.requests[0].workload.tokens, c.requests[0].workload.tokens,
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_poisson_ish() {
+        // With λ = 0.5 the mean gap is 2 ticks; a 200-sample mean should
+        // land well within [1, 3].
+        let t = multi_tenant_trace(&cfg());
+        let ticks: Vec<u64> = t.requests.iter().map(|r| r.arrival_tick).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "arrivals must be ordered");
+        let mean = t.mean_interarrival();
+        assert!((1.0..3.0).contains(&mean), "mean gap {mean}");
+        // A Poisson process has bursts: some consecutive requests share a
+        // tick, others are far apart.
+        assert!(ticks.windows(2).any(|w| w[0] == w[1]), "no bursts generated");
+        assert!(ticks.windows(2).any(|w| w[1] - w[0] >= 4), "no quiet gaps generated");
+    }
+
+    #[test]
+    fn prompt_mixture_spans_tiers_and_families() {
+        let t = multi_tenant_trace(&cfg());
+        let mut by_len = [0usize; 3];
+        let mut names = std::collections::HashSet::new();
+        for r in &t.requests {
+            let s = r.workload.tokens.len();
+            let tier = [96, 192, 384].iter().position(|&l| l == s).expect("unknown prompt len");
+            by_len[tier] += 1;
+            names.insert(r.workload.name);
+        }
+        assert!(by_len.iter().all(|&c| c > 10), "tiers unused: {by_len:?}");
+        assert!(by_len[0] > by_len[2], "mixture weights ignored: {by_len:?}");
+        assert!(names.len() >= 3, "task families missing: {names:?}");
+    }
+
+    #[test]
+    fn decode_steps_spread_for_churn() {
+        let t = multi_tenant_trace(&cfg());
+        let min = t.requests.iter().map(|r| r.decode_steps).min().unwrap();
+        let max = t.requests.iter().map(|r| r.decode_steps).max().unwrap();
+        assert!(min >= 4 && max <= 24);
+        assert!(max >= min + 10, "decode lengths too uniform for churn: {min}..{max}");
+        assert_eq!(
+            t.total_decode_steps(),
+            t.requests.iter().map(|r| r.decode_steps).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_rejected() {
+        let _ = multi_tenant_trace(&TraceConfig { arrival_rate: 0.0, ..Default::default() });
+    }
+}

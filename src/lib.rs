@@ -42,6 +42,10 @@ pub use pqc_policies as policies;
 /// The PQCache engine (re-export of `pqc-core`).
 pub use pqc_core as core;
 
+/// Multi-session serving layer: sharded `ServeEngine` with continuous
+/// batching (re-export of `pqc-serve`).
+pub use pqc_serve as serve;
+
 /// Synthetic workloads and the evaluation harness (re-export of
 /// `pqc-workloads`).
 pub use pqc_workloads as workloads;

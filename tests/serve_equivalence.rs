@@ -1,0 +1,167 @@
+//! Serve-vs-sequential equivalence battery.
+//!
+//! The serve engine's contract: **scheduling must never change results**.
+//! A token decoded under continuous batching — sessions interleaved on a
+//! shard, scratch shared across sessions, stores namespaced in one KvTier,
+//! caches drawing on one budget — must be bit-identical to the same
+//! session run alone through `SelectiveSession::decode`.
+//!
+//! Fixed-seed sessions run through `ServeEngine` at 1, 2, and 4 shards and
+//! sequentially; every step's logits and selected-token sets are compared
+//! exactly, and the tier aggregate must equal the sum of per-session
+//! stats.
+
+use pqcache::core::{CacheConfig, SelectiveSession, SessionConfig};
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::memhier::TransferStats;
+use pqcache::policies::{PqCachePolicy, SelectionPolicy, StreamingLlmPolicy};
+use pqcache::serve::{Completion, ServeConfig, ServeEngine, ServeRequest};
+use pqcache::tensor::{argmax, Rng64};
+
+const N_SESSIONS: usize = 6;
+const DECODE_STEPS: usize = 8;
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        n_init: 2,
+        n_local: 8,
+        token_ratio: 0.25,
+        comm_fraction: 1.0 / 16.0,
+        obs_window: 8,
+        cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+    }
+}
+
+fn prompt(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.below(200) as u32).collect()
+}
+
+fn fixture_prompts() -> Vec<Vec<u32>> {
+    // Mixed lengths so sessions evict at different rates (more interleaving
+    // stress than a uniform fleet).
+    (0..N_SESSIONS).map(|i| prompt(48 + 16 * (i % 3), 0xF1 + i as u64)).collect()
+}
+
+fn make_policy(i: usize) -> Box<dyn SelectionPolicy + Send> {
+    // Mix retrieval and dropping policies across the fleet.
+    if i % 3 == 2 {
+        Box::new(StreamingLlmPolicy)
+    } else {
+        Box::new(PqCachePolicy::default())
+    }
+}
+
+/// Per-step reference trajectory of one session under the sequential engine.
+struct SequentialRun {
+    generated: Vec<u32>,
+    logits: Vec<Vec<f32>>,
+    selected: Vec<Vec<Vec<Vec<usize>>>>,
+    transfer: TransferStats,
+}
+
+fn sequential_reference(model: &Model) -> Vec<SequentialRun> {
+    fixture_prompts()
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| {
+            let start = SelectiveSession::start(model, make_policy(i), session_cfg(), toks);
+            let mut session = start.session;
+            let mut next = argmax(&start.logits) as u32;
+            let mut generated = Vec::new();
+            let mut logits = Vec::new();
+            let mut selected = Vec::new();
+            for _ in 0..DECODE_STEPS {
+                generated.push(next);
+                let dec = session.decode(next);
+                logits.push(dec.logits.clone());
+                selected.push(session.selected_snapshot());
+                next = dec.greedy();
+            }
+            SequentialRun { generated, logits, selected, transfer: session.transfer_stats() }
+        })
+        .collect()
+}
+
+fn serve_fleet(model: &Model, shards: usize) -> Vec<Completion> {
+    let cfg = ServeConfig {
+        shards,
+        max_active_per_shard: N_SESSIONS.div_ceil(shards),
+        queue_capacity: 4,
+        session: session_cfg(),
+        record_trace: true,
+        ..Default::default()
+    };
+    let requests: Vec<ServeRequest> = fixture_prompts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, tokens)| ServeRequest {
+            id: i as u64,
+            tokens,
+            decode_steps: DECODE_STEPS,
+            policy: make_policy(i),
+        })
+        .collect();
+    let report = ServeEngine::run(model, &cfg, requests);
+    assert_eq!(report.completions.len(), N_SESSIONS);
+
+    // Aggregate accounting: the tier-wide meter must equal the sum of
+    // per-session (per-namespace) stats — nothing double- or un-counted.
+    let sum: TransferStats = report.completions.iter().map(|c| c.transfer).sum();
+    assert_eq!(report.aggregate_transfer, sum, "{shards}-shard aggregate mismatch");
+    report.completions
+}
+
+fn assert_bit_identical(reference: &[SequentialRun], completions: &[Completion], shards: usize) {
+    for (i, (seq, com)) in reference.iter().zip(completions.iter()).enumerate() {
+        assert_eq!(com.id, i as u64);
+        assert_eq!(seq.generated, com.generated, "session {i} tokens under {shards} shards");
+        assert_eq!(com.trace.len(), DECODE_STEPS);
+        for (step, tr) in com.trace.iter().enumerate() {
+            assert_eq!(
+                seq.logits[step], tr.logits,
+                "session {i} step {step} logits diverged under {shards} shards"
+            );
+            assert_eq!(
+                seq.selected[step], tr.selected,
+                "session {i} step {step} selected sets diverged under {shards} shards"
+            );
+        }
+        assert_eq!(seq.transfer, com.transfer, "session {i} transfer stats under {shards} shards");
+    }
+}
+
+#[test]
+fn serve_matches_sequential_one_shard() {
+    let model = Model::new(LlmConfig::tiny());
+    let reference = sequential_reference(&model);
+    assert_bit_identical(&reference, &serve_fleet(&model, 1), 1);
+}
+
+#[test]
+fn serve_matches_sequential_two_shards() {
+    let model = Model::new(LlmConfig::tiny());
+    let reference = sequential_reference(&model);
+    assert_bit_identical(&reference, &serve_fleet(&model, 2), 2);
+}
+
+#[test]
+fn serve_matches_sequential_four_shards() {
+    let model = Model::new(LlmConfig::tiny());
+    let reference = sequential_reference(&model);
+    assert_bit_identical(&reference, &serve_fleet(&model, 4), 4);
+}
+
+#[test]
+fn shard_count_does_not_change_stats() {
+    // Transfer stats are per-session deterministic, so they must agree
+    // *across* shard counts too, not just with the sequential engine.
+    let model = Model::new(LlmConfig::tiny());
+    let one = serve_fleet(&model, 1);
+    let four = serve_fleet(&model, 4);
+    for (a, b) in one.iter().zip(four.iter()) {
+        assert_eq!(a.transfer, b.transfer);
+        assert_eq!(a.cache.token_lookups, b.cache.token_lookups);
+        assert_eq!(a.cache.token_hits, b.cache.token_hits);
+    }
+}

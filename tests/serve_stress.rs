@@ -1,0 +1,169 @@
+//! Serve-engine concurrency stress: churn, back-pressure, liveness.
+//!
+//! 64 short sessions stream through 4 worker threads with deliberately
+//! tight knobs: a small admission queue (back-pressure engages), few
+//! session slots per shard (sessions finish and new ones are admitted
+//! mid-run — churn), a squeezed global cache budget (cross-session cache
+//! pressure), and mixed decode lengths from the Poisson trace generator.
+//!
+//! Asserted: the run finishes within a wall-clock bound (no deadlock
+//! between queue, budget, and workers), the queue never exceeds its bound,
+//! and every admitted request completes with exactly the requested token
+//! count.
+
+use pqcache::core::{CacheConfig, SessionConfig};
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::memhier::TransferStats;
+use pqcache::policies::PqCachePolicy;
+use pqcache::serve::{ServeConfig, ServeEngine, ServeReport, ServeRequest};
+use pqcache::workloads::{multi_tenant_trace, TraceConfig, VocabLayout};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const SESSIONS: usize = 64;
+const SHARDS: usize = 4;
+/// Generous liveness bound — the run takes a few seconds; a deadlock hangs
+/// forever. Loose enough for slow shared CI runners.
+const WALL_LIMIT: Duration = Duration::from_secs(240);
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        n_init: 2,
+        n_local: 8,
+        token_ratio: 0.25,
+        comm_fraction: 1.0 / 16.0,
+        obs_window: 8,
+        cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+    }
+}
+
+/// The one stress trace (deterministic): both the served requests and the
+/// expected token counts derive from this, so they cannot drift apart.
+fn stress_trace() -> pqcache::workloads::TenantTrace {
+    multi_tenant_trace(&TraceConfig {
+        sessions: SESSIONS,
+        arrival_rate: 1.5,
+        prompt_lens: [64, 80, 96],
+        prompt_mix: [0.6, 0.3, 0.1],
+        decode_steps: (2, 12),
+        layout: VocabLayout::for_vocab(256),
+        seed: 0x57E5,
+    })
+}
+
+fn stress_requests() -> Vec<ServeRequest> {
+    stress_trace()
+        .requests
+        .into_iter()
+        .map(|r| ServeRequest {
+            id: r.id,
+            tokens: r.workload.tokens,
+            decode_steps: r.decode_steps,
+            policy: Box::new(PqCachePolicy::default()),
+        })
+        .collect()
+}
+
+fn expected_steps() -> Vec<usize> {
+    stress_trace().requests.iter().map(|r| r.decode_steps).collect()
+}
+
+/// Run the engine on a watchdog thread; a deadlock fails the test at the
+/// wall-clock bound instead of hanging CI forever.
+fn run_with_watchdog(cfg: ServeConfig, requests: Vec<ServeRequest>) -> ServeReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let model = Model::new(LlmConfig::tiny());
+        let report = ServeEngine::run(&model, &cfg, requests);
+        let _ = tx.send(report);
+    });
+    match rx.recv_timeout(WALL_LIMIT) {
+        Ok(report) => report,
+        Err(_) => panic!("serve engine did not finish within {WALL_LIMIT:?}: deadlock or livelock"),
+    }
+}
+
+#[test]
+fn churn_under_four_workers_completes_everything() {
+    let cfg = ServeConfig {
+        shards: SHARDS,
+        // 2 slots/shard over 64 requests: ~8 admission waves per shard.
+        max_active_per_shard: 2,
+        // Tight queue: the producer is throttled most of the run.
+        queue_capacity: 6,
+        session: session_cfg(),
+        // Squeeze the global cache to half the peak fleet's appetite so
+        // shards contend for budget while sessions churn.
+        cache_budget_sessions: Some(SHARDS),
+        ..Default::default()
+    };
+    let report = run_with_watchdog(cfg, stress_requests());
+
+    // Liveness: bounded wall-clock (watchdog) and all work retired.
+    assert!(report.wall < WALL_LIMIT);
+    assert_eq!(report.completions.len(), SESSIONS, "requests lost");
+
+    // The queue honoured its bound.
+    assert!(
+        report.queue_high_water <= 6,
+        "queue exceeded its bound: {}",
+        report.queue_high_water
+    );
+
+    // Every admitted request produced exactly the requested token count.
+    let expected = expected_steps();
+    for c in &report.completions {
+        assert_eq!(
+            c.generated.len(),
+            expected[c.id as usize],
+            "request {} wrong token count",
+            c.id
+        );
+        assert!(c.shard < SHARDS);
+        assert!(c.transfer.d2h_bytes > 0, "request {} never offloaded", c.id);
+    }
+
+    // Churn actually happened: every shard admitted several waves.
+    let total_admitted: u64 = report.shards.iter().map(|s| s.admitted).sum();
+    assert_eq!(total_admitted, SESSIONS as u64);
+    for (i, s) in report.shards.iter().enumerate() {
+        assert!(s.admitted > 2, "shard {i} admitted only {} sessions — no churn", s.admitted);
+        assert!(s.ticks > 0);
+    }
+
+    // Aggregate accounting holds under churn too.
+    let sum: TransferStats = report.completions.iter().map(|c| c.transfer).sum();
+    assert_eq!(report.aggregate_transfer, sum);
+}
+
+#[test]
+fn stress_results_are_scheduling_independent() {
+    // Two runs with different shard counts and queue pressure must produce
+    // the same tokens for every request (the equivalence property, held
+    // under full stress rather than fixture fixtures).
+    let mk = |shards: usize, queue: usize| {
+        let cfg = ServeConfig {
+            shards,
+            max_active_per_shard: 2,
+            queue_capacity: queue,
+            session: session_cfg(),
+            cache_budget_sessions: Some(shards),
+            ..Default::default()
+        };
+        run_with_watchdog(cfg, stress_requests())
+    };
+    let a = mk(SHARDS, 6);
+    let b = mk(2, 3);
+    assert_eq!(a.completions.len(), b.completions.len());
+    for (ca, cb) in a.completions.iter().zip(b.completions.iter()) {
+        assert_eq!(ca.id, cb.id);
+        assert_eq!(ca.generated, cb.generated, "request {} diverged across schedules", ca.id);
+        // The offload stream (prefill + one eviction per step) is a pure
+        // function of the session, so it must agree across schedules. The
+        // fetch side may not: these two runs contend for *differently
+        // sized* cache budgets, so hit patterns — and therefore metered
+        // H2D bytes, but never logits — legitimately differ.
+        assert_eq!(ca.transfer.d2h_bytes, cb.transfer.d2h_bytes);
+        assert_eq!(ca.transfer.d2h_ops, cb.transfer.d2h_ops);
+    }
+}
