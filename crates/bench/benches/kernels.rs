@@ -8,11 +8,19 @@
 //! - `adc_scan`: token-major scalar scan vs the fused SoA column scan, at
 //!   the paper's two operating points (m=2/b=6 LongBench, m=4/b=8
 //!   InfiniteBench) over s = 65 536 tokens.
-//! - `top_k`: `BinaryHeap`-per-call selection vs the reusable `TopK` heap.
+//! - `top_k`: `BinaryHeap`-per-call selection (the true seed kernel) vs the
+//!   O(n) sample-threshold selector. (The PR 2 reading of this row, 0.963×,
+//!   was an honest no-contest: PR 2's `TopK` was the *same* threshold-
+//!   fast-path min-heap as the seed modulo allocation reuse, so the row
+//!   measured noise. The selector algorithm itself is new in PR 4.)
+//! - `score_select_fused`: the unfused seed pipeline (scalar scan into a
+//!   full score vector, then heap select) vs the fused blocked
+//!   score-and-select with threshold pruning (`score_and_select_into`).
 //! - `kmeans_assign`: per-row per-centroid `squared_l2` loop vs the blocked
 //!   `‖x‖² − 2·X·Cᵀ + ‖c‖²` kernel.
 //! - `matmul_transb`: 4-wide-unrolled dot (seed) vs the 8-wide FMA kernel.
-//! - `causal_attention`: seed row-wise kernel vs the current one.
+//! - `causal_attention`: seed two-pass row-wise kernel vs the blocked
+//!   single-pass online-softmax tile (AVX2-dispatched).
 //!
 //! Results are printed as a table and written to `BENCH_kernels.json` at the
 //! workspace root (override with `BENCH_KERNELS_OUT=<path>`). Pass `--quick`
@@ -335,6 +343,52 @@ fn bench_top_k(cfg: &Config, rows: &mut Vec<BenchRow>) {
     });
 }
 
+fn bench_score_select_fused(cfg: &Config, rows: &mut Vec<BenchRow>) {
+    // The decode-step retrieval composite (paper Algorithm 2 line 14): ADC
+    // scan + top-k. Seed side materialises the full score vector and heaps
+    // it; the fused side streams CODE_BLOCK-token score blocks straight
+    // into the selector, pruning blocks against the running k-th-best
+    // threshold.
+    let s = if cfg.quick { 8_192 } else { 65_536 };
+    let k = 1024;
+    let (m, b) = (2usize, 6u32);
+    let fx = adc_fixture(s, m, b, 64, 0xF5ED);
+    let mut topk = TopK::new();
+    let (mut block_buf, mut fused) = (Vec::new(), Vec::new());
+    let base_scores = seed_adc_scan(&fx.table_flat, fx.k_c, fx.m, &fx.codes_rowmajor);
+    fx.table.score_and_select_into(&fx.codes_soa, s, k, &mut topk, &mut block_buf, &mut fused);
+    assert_eq!(fused, seed_top_k(&base_scores, k), "fused selection diverged");
+
+    let iters = if cfg.quick { 8 } else { 32 };
+    let baseline_ns = time_ns(cfg, iters, || {
+        let scores = seed_adc_scan(
+            black_box(&fx.table_flat),
+            fx.k_c,
+            fx.m,
+            black_box(&fx.codes_rowmajor),
+        );
+        black_box(seed_top_k(&scores, k));
+    });
+    let new_ns = time_ns(cfg, iters, || {
+        fx.table.score_and_select_into(
+            black_box(&fx.codes_soa),
+            s,
+            k,
+            &mut topk,
+            &mut block_buf,
+            &mut fused,
+        );
+        black_box(&fused);
+    });
+    rows.push(BenchRow {
+        name: "score_select_fused".into(),
+        params: format!("s={s}, m={m}, b={b}, k={k}"),
+        baseline_ns,
+        new_ns,
+        items: s,
+    });
+}
+
 fn bench_kmeans_assign(cfg: &Config, rows: &mut Vec<BenchRow>) {
     let n = if cfg.quick { 2_048 } else { 8_192 };
     let (k, d) = (64, 32);
@@ -429,6 +483,20 @@ fn bench_causal_attention(cfg: &Config, rows: &mut Vec<BenchRow>) {
 // Output
 // ---------------------------------------------------------------------------
 
+/// Speedup floors, keyed by result-name prefix — the single source of
+/// truth for the perf gate: enforced in-binary below (non-zero exit in
+/// full mode) and written into the JSON so CI's gate step reads the same
+/// values instead of keeping a copy.
+const GATE_FLOORS: &[(&str, f64)] = &[
+    // PR 2 floors, tightened by PR 4: the fused-select work must not
+    // regress the scan below 4.5×.
+    ("adc_scan", 4.5),
+    ("kmeans_assign", 2.0),
+    // PR 4 gates: the O(n) selector and the online-softmax attention.
+    ("top_k", 2.0),
+    ("causal_attention", 1.5),
+];
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -443,6 +511,14 @@ fn write_json(path: &std::path::Path, mode: &str, rows: &[BenchRow]) {
     out.push_str("  \"suite\": \"kernels\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"unix_time_s\": {unix_s},\n"));
+    out.push_str("  \"gate_floors\": {");
+    for (i, (prefix, floor)) in GATE_FLOORS.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{prefix}\": {floor:.1}{}",
+            if i + 1 == GATE_FLOORS.len() { "" } else { ", " }
+        ));
+    }
+    out.push_str("},\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -471,6 +547,7 @@ fn main() {
     let mut rows = Vec::new();
     bench_adc_scan(&cfg, &mut rows);
     bench_top_k(&cfg, &mut rows);
+    bench_score_select_fused(&cfg, &mut rows);
     bench_kmeans_assign(&cfg, &mut rows);
     bench_matmul_transb(&cfg, &mut rows);
     bench_causal_attention(&cfg, &mut rows);
@@ -495,7 +572,7 @@ fn main() {
     // quick mode the tiny fixtures and shared-runner noise make ratios
     // unstable, so CI only records the JSON and warns.
     let mut gate_failed = false;
-    for (prefix, need) in [("adc_scan", 3.0f64), ("kmeans_assign", 2.0)] {
+    for &(prefix, need) in GATE_FLOORS {
         for r in rows.iter().filter(|r| r.name.starts_with(prefix)) {
             let got = r.speedup();
             if got < need {

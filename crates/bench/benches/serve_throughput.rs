@@ -201,11 +201,26 @@ fn write_json(path: &std::path::Path, mode: &str, cores: usize, rows: &[Row]) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let max_shards = rows.iter().map(|r| r.shards).max().unwrap_or(0);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"suite\": \"serve_throughput\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    // `host_cores` comes from std::thread::available_parallelism at run
+    // time; the two annotation fields make the wall column self-describing
+    // instead of leaving its interpretation to the reader.
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"wall_expresses_parallelism\": {},\n",
+        cores >= max_shards
+    ));
+    if cores < max_shards {
+        out.push_str(&format!(
+            "  \"wall_note\": \"{cores}-core host cannot express {max_shards}-shard \
+             parallelism: wall_speedup ≈ 1x is expected here (shards time-slice the \
+             cores); modeled_speedup is the hardware-independent metric\",\n"
+        ));
+    }
     out.push_str(&format!("  \"unix_time_s\": {unix_s},\n"));
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -1,8 +1,33 @@
-//! Attention kernels: causal prefill attention (O(s) memory, row-wise
-//! softmax), selective decode attention, sparse-pattern masking, and score
-//! capture for the policies that learn from prefill attention (H2O, SnapKV).
+//! Attention kernels: causal prefill attention (O(s) memory, blocked
+//! single-pass online softmax), selective decode attention, sparse-pattern
+//! masking, and score capture for the policies that learn from prefill
+//! attention (H2O, SnapKV).
+//!
+//! The hot paths are single-sweep: logits for a block of keys are computed
+//! into an L1-resident buffer, the running row maximum is updated once per
+//! block, the accumulator is rescaled (`acc' = acc·e^{m−m'}`), and the
+//! block's weighted values are folded in — the FlashAttention recurrence,
+//! with no full-length logits buffer and no second softmax pass. Dense
+//! prefill additionally tiles 4 query rows at a time so each key/value row
+//! is loaded once per tile instead of once per row. Score capture needs the
+//! materialised probability rows, so capturing callers take the legacy
+//! two-pass path.
 
-use pqc_tensor::{dot, softmax_inplace, Matrix};
+use pqc_tensor::{axpy, dot, softmax_inplace, Matrix};
+
+/// Key-block width of the online-softmax sweeps: logits for one block
+/// (`KEY_BLOCK` f32s per row) stay in L1, and the accumulator rescale
+/// amortises over the block.
+const KEY_BLOCK: usize = 64;
+
+/// Query rows processed together by the dense prefill tile.
+const ROW_TILE: usize = 4;
+
+/// Below this sequence length the dense prefill uses the same per-row sweep
+/// as masked patterns: tiny tiles don't amortise their bookkeeping, and a
+/// shared code path keeps "Λ-shape that covers everything" bit-identical to
+/// dense on the short fixtures that assert it.
+const TILE_MIN_S: usize = 64;
 
 /// Restricts which keys each prefill query row may attend to.
 ///
@@ -124,29 +149,388 @@ impl ScoreCapture {
     }
 }
 
+/// Running online-softmax state for one query row: the FlashAttention
+/// `(m, l)` pair; the unnormalised accumulator lives in a caller-owned
+/// slice so row tiles can pack several side by side.
+#[derive(Debug, Clone, Copy)]
+struct OnlineState {
+    /// Running maximum logit.
+    m: f32,
+    /// Running normaliser `Σ e^{w − m}`.
+    l: f32,
+}
+
+impl OnlineState {
+    fn new() -> Self {
+        Self { m: f32::NEG_INFINITY, l: 0.0 }
+    }
+
+    /// Raise the running max to `m_new`, rescaling `l` and `acc` by
+    /// `e^{m − m'}`. No-op when the max doesn't move.
+    #[inline]
+    fn raise_max(&mut self, m_new: f32, acc: &mut [f32]) {
+        if m_new > self.m {
+            if self.l > 0.0 {
+                let scale_old = (self.m - m_new).exp();
+                self.l *= scale_old;
+                for a in acc.iter_mut() {
+                    *a *= scale_old;
+                }
+            }
+            self.m = m_new;
+        }
+    }
+
+    /// Normalise `acc` into `out` (`out = acc / l`).
+    #[inline]
+    fn finish(&self, acc: &[f32], out: &mut [f32]) {
+        // NaN `l` is allowed: it propagates NaN to the output, matching the
+        // two-pass softmax on NaN inputs.
+        debug_assert!(self.l > 0.0 || self.l.is_nan(), "online softmax over empty key set");
+        let inv = 1.0 / self.l;
+        for (o, a) in out.iter_mut().zip(acc.iter()) {
+            *o = a * inv;
+        }
+    }
+}
+
+/// Single-pass blocked sweep of one query over the contiguous key range
+/// `[lo, hi)`: per block, compute the logits into `logits_buf`, raise the
+/// running max once, then fold the exponentiated weights and values into
+/// `acc`. Shared by the masked/short prefill rows and the decode kernel so
+/// every contiguous-segment sweep is the same recurrence, bit for bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn online_sweep_segment(
+    query: &[f32],
+    k: &Matrix,
+    v: &Matrix,
+    lo: usize,
+    hi: usize,
+    scale: f32,
+    state: &mut OnlineState,
+    acc: &mut [f32],
+    logits_buf: &mut Vec<f32>,
+) {
+    let mut blk_lo = lo;
+    while blk_lo < hi {
+        let blk_hi = (blk_lo + KEY_BLOCK).min(hi);
+        logits_buf.clear();
+        let mut blk_max = f32::NEG_INFINITY;
+        for j in blk_lo..blk_hi {
+            let w = dot(query, k.row(j)) * scale;
+            blk_max = blk_max.max(w);
+            logits_buf.push(w);
+        }
+        state.raise_max(blk_max, acc);
+        let m = state.m;
+        for (off, &w) in logits_buf.iter().enumerate() {
+            let e = (w - m).exp();
+            state.l += e;
+            axpy(acc, v.row(blk_lo + off), e);
+        }
+        blk_lo = blk_hi;
+    }
+}
+
+/// The two contiguous key segments query row `i` attends to under
+/// `pattern`, merged into one when they touch or overlap (so a Λ-shape that
+/// covers the whole prefix sweeps exactly like dense).
+#[inline]
+fn allowed_segments(pattern: PrefillPattern, i: usize) -> ((usize, usize), (usize, usize)) {
+    match pattern {
+        PrefillPattern::Dense => ((0, i + 1), (0, 0)),
+        PrefillPattern::AShape { init, local } => {
+            let seg1_hi = init.min(i + 1);
+            let seg2_lo = (i + 1).saturating_sub(local);
+            if seg2_lo <= seg1_hi {
+                ((0, i + 1), (0, 0))
+            } else {
+                ((0, seg1_hi), (seg2_lo, i + 1))
+            }
+        }
+    }
+}
+
 /// Causal single-(kv)head prefill attention.
 ///
 /// `q` is `(s, d_h)` for one query head; `k`/`v` are `(s, d_h)` for its kv
-/// head (already RoPE'd). Row-wise: materialise the score vector for query
-/// `i` over keys `0..=i`, softmax, weighted-sum values. Memory O(s), time
-/// O(s²·d_h) — the FlashAttention trade the paper assumes.
+/// head (already RoPE'd). Memory O(s), time O(s²·d_h) — the FlashAttention
+/// trade the paper assumes — via the blocked single-pass online softmax:
+/// no per-row logits vector over the whole prefix, no second softmax sweep.
+/// Dense prefill of long sequences additionally processes [`ROW_TILE`]
+/// query rows per pass so each K/V row is fetched once per tile.
+///
+/// Capturing callers (H2O/SnapKV statistics, Fig. 6 sampling) need the full
+/// probability rows, which the online path never materialises, so they take
+/// the legacy two-pass sweep. Consequently capture is **not bit-transparent**:
+/// capturing and non-capturing prefills of the same prompt agree to float
+/// tolerance, not to the bit (normalise-then-accumulate vs the online
+/// accumulate-then-normalise). Comparisons that require bit-identity must
+/// hold the capture setting fixed — the session layer does (its prefills
+/// always capture).
 pub fn causal_attention(
     q: &Matrix,
     k: &Matrix,
     v: &Matrix,
     pattern: PrefillPattern,
-    mut capture: Option<&mut ScoreCapture>,
+    capture: Option<&mut ScoreCapture>,
 ) -> Matrix {
     let (s, dh) = q.shape();
     assert_eq!(k.shape(), (s, dh));
     assert_eq!(v.shape(), (s, dh));
     let scale = 1.0 / (dh as f32).sqrt();
     let mut out = Matrix::zeros(s, dh);
+
+    if let Some(cap) = capture {
+        causal_attention_capture(q, k, v, pattern, cap, &mut out, scale);
+        return out;
+    }
+
+    if matches!(pattern, PrefillPattern::Dense) && s >= TILE_MIN_S {
+        if use_avx2() {
+            // SAFETY: AVX2 support verified at runtime by `use_avx2`.
+            unsafe { dense_tiled_avx2(q, k, v, &mut out, scale) }
+        } else {
+            dense_tiled_baseline(q, k, v, &mut out, scale);
+        }
+        return out;
+    }
+
+    if use_avx2() {
+        // SAFETY: AVX2 support verified at runtime by `use_avx2`.
+        unsafe { rows_online_avx2(q, k, v, pattern, &mut out, scale) }
+    } else {
+        rows_online_baseline(q, k, v, pattern, &mut out, scale);
+    }
+    out
+}
+
+/// Whether the host supports AVX2 (std caches the CPUID probe). The AVX2
+/// kernel clones below run the *same* IEEE operations in the same order as
+/// the baseline clones — 8-lane mul/add instead of 4-lane, identical lane
+/// split and reduction — so dispatch never changes results, only speed.
+#[inline]
+fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Masked patterns and short sequences: per-row blocked online sweep over
+/// the allowed contiguous segments.
+#[inline(always)]
+fn rows_online_body(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    out: &mut Matrix,
+    scale: f32,
+) {
+    let (s, dh) = q.shape();
+    let mut logits_buf: Vec<f32> = Vec::with_capacity(KEY_BLOCK);
+    let mut acc = vec![0.0f32; dh];
+    for i in 0..s {
+        let qi = q.row(i);
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        let mut state = OnlineState::new();
+        let (seg1, seg2) = allowed_segments(pattern, i);
+        for (lo, hi) in [seg1, seg2] {
+            online_sweep_segment(qi, k, v, lo, hi, scale, &mut state, &mut acc, &mut logits_buf);
+        }
+        // A degenerate pattern (AShape with init = local = 0) can leave a
+        // row with no allowed keys; match the two-pass path's behaviour
+        // (softmax over nothing = zero row) instead of dividing by l = 0.
+        // The zero-row shortcut applies only to the genuinely-empty case —
+        // NaN inputs leave `m` raised (or `l` NaN) and fall through to
+        // `finish`, which propagates NaN exactly like the two-pass path.
+        if state.l != 0.0 || state.m != f32::NEG_INFINITY {
+            state.finish(&acc, out.row_mut(i));
+        }
+    }
+}
+
+#[inline(never)]
+fn rows_online_baseline(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    out: &mut Matrix,
+    scale: f32,
+) {
+    rows_online_body(q, k, v, pattern, out, scale);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rows_online_avx2(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    out: &mut Matrix,
+    scale: f32,
+) {
+    rows_online_body(q, k, v, pattern, out, scale);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn rows_online_avx2(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    out: &mut Matrix,
+    scale: f32,
+) {
+    rows_online_body(q, k, v, pattern, out, scale);
+}
+
+/// Dense prefill fast path: tiles of [`ROW_TILE`] query rows sweep the key
+/// prefix together. Full [`KEY_BLOCK`]-wide key blocks below the tile are
+/// shared (the K and V blocks stay L1-hot across the tile's rows); the
+/// causal staircase inside the tile is finished with per-key updates.
+///
+/// The online-softmax state lives in local arrays and the recurrence is
+/// written out straight-line: routing every key through the abstracted
+/// per-segment helper measurably (≈2×) slows this loop down.
+#[inline(always)]
+fn dense_tiled_body(q: &Matrix, k: &Matrix, v: &Matrix, out: &mut Matrix, scale: f32) {
+    let (s, dh) = q.shape();
+    let mut logits = vec![0.0f32; ROW_TILE * KEY_BLOCK];
+    let mut acc = vec![0.0f32; ROW_TILE * dh];
+    let mut m = [f32::NEG_INFINITY; ROW_TILE];
+    let mut l = [0.0f32; ROW_TILE];
+
+    let mut i0 = 0usize;
+    while i0 < s {
+        let rows = ROW_TILE.min(s - i0);
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        m[..rows].fill(f32::NEG_INFINITY);
+        l[..rows].fill(0.0);
+
+        // Shared full key blocks: every row of the tile attends to all of
+        // `[0, i0)`.
+        let mut blk_lo = 0usize;
+        while blk_lo < i0 {
+            let blk_hi = (blk_lo + KEY_BLOCK).min(i0);
+            let blk_len = blk_hi - blk_lo;
+            // Logit tile: the key block (≤ KEY_BLOCK·d_h floats) is L1-hot,
+            // so each query row sweeps it with its own registers pinned.
+            // (A paired-row `dot2` variant was measured here and lost ~30%:
+            // the doubled accumulator state spills on SSE register budgets.)
+            for r in 0..rows {
+                let qr = q.row(i0 + r);
+                let wrow = &mut logits[r * KEY_BLOCK..r * KEY_BLOCK + blk_len];
+                for (off, j) in (blk_lo..blk_hi).enumerate() {
+                    wrow[off] = dot(qr, k.row(j)) * scale;
+                }
+            }
+            // Per-row max raise + in-place exponentiation of the tile.
+            for r in 0..rows {
+                let w = &mut logits[r * KEY_BLOCK..r * KEY_BLOCK + blk_len];
+                let blk_max = w.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                if blk_max > m[r] {
+                    if l[r] > 0.0 {
+                        let rescale = (m[r] - blk_max).exp();
+                        l[r] *= rescale;
+                        for a in acc[r * dh..(r + 1) * dh].iter_mut() {
+                            *a *= rescale;
+                        }
+                    }
+                    m[r] = blk_max;
+                }
+                let mr = m[r];
+                let mut lr = l[r];
+                for e in w.iter_mut() {
+                    *e = (*e - mr).exp();
+                    lr += *e;
+                }
+                l[r] = lr;
+            }
+            // Value tile: per row, fold the block's weighted values into the
+            // row accumulator (the value block stays L1-hot across rows, the
+            // accumulator stays register/L1-hot across the block).
+            for r in 0..rows {
+                let accr = &mut acc[r * dh..(r + 1) * dh];
+                let wrow = &logits[r * KEY_BLOCK..r * KEY_BLOCK + blk_len];
+                for (off, j) in (blk_lo..blk_hi).enumerate() {
+                    axpy(accr, v.row(j), wrow[off]);
+                }
+            }
+            blk_lo = blk_hi;
+        }
+
+        // Causal staircase: row i0+r additionally attends keys [i0, i0+r],
+        // folded in per key, then the row is normalised out.
+        for r in 0..rows {
+            let i = i0 + r;
+            let qi = q.row(i);
+            let accr = &mut acc[r * dh..(r + 1) * dh];
+            for j in i0..=i {
+                let w = dot(qi, k.row(j)) * scale;
+                if w > m[r] {
+                    if l[r] > 0.0 {
+                        let rescale = (m[r] - w).exp();
+                        l[r] *= rescale;
+                        for a in accr.iter_mut() {
+                            *a *= rescale;
+                        }
+                    }
+                    m[r] = w;
+                }
+                let e = (w - m[r]).exp();
+                l[r] += e;
+                axpy(accr, v.row(j), e);
+            }
+            let inv = 1.0 / l[r];
+            for (o, a) in out.row_mut(i).iter_mut().zip(accr.iter()) {
+                *o = a * inv;
+            }
+        }
+        i0 += rows;
+    }
+}
+
+#[inline(never)]
+fn dense_tiled_baseline(q: &Matrix, k: &Matrix, v: &Matrix, out: &mut Matrix, scale: f32) {
+    dense_tiled_body(q, k, v, out, scale);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dense_tiled_avx2(q: &Matrix, k: &Matrix, v: &Matrix, out: &mut Matrix, scale: f32) {
+    dense_tiled_body(q, k, v, out, scale);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn dense_tiled_avx2(q: &Matrix, k: &Matrix, v: &Matrix, out: &mut Matrix, scale: f32) {
+    dense_tiled_body(q, k, v, out, scale);
+}
+
+/// Legacy two-pass sweep for capturing callers: materialises each row's
+/// probability vector (which the capture consumes) exactly as before.
+#[inline(never)]
+fn causal_attention_capture(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    pattern: PrefillPattern,
+    cap: &mut ScoreCapture,
+    out: &mut Matrix,
+    scale: f32,
+) {
+    let s = q.rows();
     let mut scores: Vec<f32> = Vec::with_capacity(s);
     let mut allowed: Vec<usize> = Vec::with_capacity(s);
-    if let Some(cap) = capture.as_deref_mut() {
-        cap.prepare();
-    }
+    cap.prepare();
 
     for i in 0..s {
         scores.clear();
@@ -161,17 +545,14 @@ pub fn causal_attention(
         softmax_inplace(&mut scores);
         let orow = out.row_mut(i);
         for (&j, &p) in allowed.iter().zip(scores.iter()) {
-            pqc_tensor::axpy(orow, v.row(j), p);
+            axpy(orow, v.row(j), p);
         }
-        if let Some(cap) = capture.as_deref_mut() {
-            if allowed.len() == i + 1 {
-                cap.record(i, &scores, s);
-            } else {
-                cap.record_sparse(i, &allowed, &scores, s);
-            }
+        if allowed.len() == i + 1 {
+            cap.record(i, &scores, s);
+        } else {
+            cap.record_sparse(i, &allowed, &scores, s);
         }
     }
-    out
 }
 
 /// Decode-time attention of a single query vector over an arbitrary set of
@@ -186,6 +567,11 @@ pub fn attend_selected(query: &[f32], keys: &Matrix, values: &Matrix) -> Vec<f32
 /// [`attend_selected`] with caller-owned score and output buffers (both
 /// cleared first) — the decode loop runs one of these per query head per
 /// layer per step, so buffer reuse removes its steady-state allocations.
+///
+/// Single-pass blocked online softmax: `scores` now only ever holds one
+/// [`KEY_BLOCK`]-wide logit block (it no longer scales with the gathered
+/// set), and the softmax + weighted sum complete in the same sweep as the
+/// score computation. Same recurrence as the prefill row path.
 pub fn attend_selected_into(
     query: &[f32],
     keys: &Matrix,
@@ -199,17 +585,74 @@ pub fn attend_selected_into(
     let n = keys.rows();
     assert!(n > 0, "attend_selected over empty set");
     let scale = 1.0 / (dh as f32).sqrt();
-    scores.clear();
-    scores.reserve(n);
-    for j in 0..n {
-        scores.push(dot(query, keys.row(j)) * scale);
-    }
-    softmax_inplace(scores);
     out.clear();
     out.resize(dh, 0.0);
-    for (j, &p) in scores.iter().enumerate() {
-        pqc_tensor::axpy(out, values.row(j), p);
+    if use_avx2() {
+        // SAFETY: AVX2 support verified at runtime by `use_avx2`.
+        unsafe { attend_selected_avx2(query, keys, values, n, scale, scores, out.as_mut_slice()) }
+    } else {
+        attend_selected_baseline(query, keys, values, n, scale, scores, out.as_mut_slice());
     }
+}
+
+/// Shared body: `out` doubles as the online accumulator and is normalised
+/// in place at the end.
+#[inline(always)]
+fn attend_selected_body(
+    query: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    n: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    let mut state = OnlineState::new();
+    online_sweep_segment(query, keys, values, 0, n, scale, &mut state, out, scores);
+    let inv = 1.0 / state.l;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+#[inline(never)]
+fn attend_selected_baseline(
+    query: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    n: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    attend_selected_body(query, keys, values, n, scale, scores, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn attend_selected_avx2(
+    query: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    n: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    attend_selected_body(query, keys, values, n, scale, scores, out);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn attend_selected_avx2(
+    query: &[f32],
+    keys: &Matrix,
+    values: &Matrix,
+    n: usize,
+    scale: f32,
+    scores: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    attend_selected_body(query, keys, values, n, scale, scores, out);
 }
 
 /// Exact attention scores (pre-softmax logits) of a query against all keys —

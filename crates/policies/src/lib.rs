@@ -25,7 +25,7 @@ pub mod pqcache;
 pub mod retrieval;
 
 use pqc_pq::PqRetriever;
-use pqc_tensor::Matrix;
+use pqc_tensor::{Matrix, TopK};
 
 pub use dropping::{H2oPolicy, PyramidKvPolicy, SnapKvPolicy, StreamingLlmPolicy};
 pub use pqcache::{PqCachePolicy, PqCachePolicyConfig};
@@ -41,10 +41,16 @@ pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy
 /// is bit-transparent.
 #[derive(Debug, Default)]
 pub struct PolicyScratch {
-    /// ADC table + fused-scan score buffer + top-k heap.
+    /// ADC table + blocked fused-scan score buffer + top-k selector
+    /// (PQCache routes its per-step retrieval through
+    /// `PqRetriever::score_and_select_into` on this).
     pub retriever: PqRetriever,
     /// Combined GQA group query.
     pub q_buf: Vec<f32>,
+    /// Proxy-score buffer shared by the raw-key policies (Oracle, SPARQ).
+    pub scores: Vec<f32>,
+    /// Top-k selector shared by the raw-key policies.
+    pub topk: TopK,
 }
 
 impl PolicyScratch {
@@ -54,10 +60,17 @@ impl PolicyScratch {
     }
 
     /// Capacities `(table, scores, heap, q_buf)` of the scratch buffers —
-    /// exposed so tests can assert zero-allocation steady state.
+    /// exposed so tests can assert zero-allocation steady state. The
+    /// `scores`/`heap` components cover both the retriever's buffers and
+    /// the shared raw-key ones.
     pub fn capacities(&self) -> (usize, usize, usize, usize) {
         let (t, s, h) = self.retriever.scratch_capacities();
-        (t, s, h, self.q_buf.capacity())
+        (
+            t,
+            s + self.scores.capacity(),
+            h + self.topk.scratch_capacity(),
+            self.q_buf.capacity(),
+        )
     }
 }
 

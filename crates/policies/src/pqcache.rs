@@ -148,9 +148,12 @@ impl SelectionPolicy for PqCachePolicy {
             return;
         }
         group_query_into(ctx.queries, &mut scratch.q_buf);
-        // Steps ❸-❹-❺ fused: ADC table build, SoA column scan, top-k — all
-        // through the caller's reusable retriever scratch.
-        scratch.retriever.top_k_prefix_into(book, codes, &scratch.q_buf, n, ctx.budget, out);
+        // Steps ❸-❹-❺ fused: ADC table build, blocked SoA column scan
+        // streaming straight into the selector (blocks that cannot beat the
+        // running k-th-best threshold are skipped without materialising
+        // scores) — all through the caller's reusable retriever scratch.
+        // Bit-identical to the unfused scan + select pipeline.
+        scratch.retriever.score_and_select_into(book, codes, &scratch.q_buf, n, ctx.budget, out);
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {

@@ -13,7 +13,7 @@
 //!   `r_rep` tokens; whole blocks are selected by representative score — the
 //!   space-continuity assumption the paper shows hurts quality.
 
-use crate::{group_query_into, PolicyContext, PolicyInit, SelectionPolicy};
+use crate::{group_query_into, PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
 use pqc_tensor::{dot, top_k_indices, Matrix, TopK};
 
 /// No compression at all: every middle token is always selected (the
@@ -48,6 +48,27 @@ impl SelectionPolicy for FullAttentionPolicy {
     }
 }
 
+/// Exact inner-product scoring + selection over the first `n` middle keys,
+/// through whichever query/score/selector buffers the caller owns — the
+/// single body behind both `OraclePolicy` selection paths (internal buffers
+/// and shared [`PolicyScratch`]), so they cannot drift apart.
+fn oracle_select_via(
+    keys: &Matrix,
+    ctx: &PolicyContext<'_>,
+    q_buf: &mut Vec<f32>,
+    scores: &mut Vec<f32>,
+    topk: &mut TopK,
+    out: &mut Vec<usize>,
+) {
+    group_query_into(ctx.queries, q_buf);
+    let n = keys.rows().min(ctx.middle_len);
+    scores.clear();
+    for i in 0..n {
+        scores.push(dot(q_buf, keys.row(i)));
+    }
+    topk.select_into(scores, ctx.budget, out);
+}
+
 /// Exact top-k selection over middle keys (the paper's "Ora" column).
 #[derive(Debug, Default)]
 pub struct OraclePolicy {
@@ -68,14 +89,29 @@ impl SelectionPolicy for OraclePolicy {
     }
 
     fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
-        group_query_into(ctx.queries, &mut self.q_buf);
         let keys = &self.keys[ctx.layer][ctx.kv_head];
-        let n = keys.rows().min(ctx.middle_len);
-        self.scores.clear();
-        for i in 0..n {
-            self.scores.push(dot(&self.q_buf, keys.row(i)));
-        }
-        self.topk.select_into(&self.scores, ctx.budget, out);
+        oracle_select_via(keys, ctx, &mut self.q_buf, &mut self.scores, &mut self.topk, out);
+    }
+
+    /// Exact scoring through the caller's shared buffers — on the serving
+    /// hot path N sessions' Oracle baselines cost one set of score/selector
+    /// scratch instead of N. Identical selections to `select_into` (same
+    /// body, different buffers).
+    fn select_with_scratch(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        scratch: &mut PolicyScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let keys = &self.keys[ctx.layer][ctx.kv_head];
+        oracle_select_via(
+            keys,
+            ctx,
+            &mut scratch.q_buf,
+            &mut scratch.scores,
+            &mut scratch.topk,
+            out,
+        );
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
@@ -90,6 +126,43 @@ impl SelectionPolicy for OraclePolicy {
         // full keys, FP16
         (middle_len * self.keys.first().map_or(0, |l| l[0].cols()) * 2) as u64
     }
+}
+
+/// SPARQ proxy scoring + selection: pick the top-`r` absolute query
+/// dimensions, score the first `n` middle keys over those dimensions only,
+/// select — the single body behind both `SparqPolicy` selection paths
+/// (internal buffers and shared [`PolicyScratch`]), so they cannot drift
+/// apart. `mags`/`dims` stay policy-internal (tiny, d_h-sized); the one
+/// selector is used sequentially for the dimension pick and the final
+/// selection.
+#[allow(clippy::too_many_arguments)]
+fn sparq_select_via(
+    keys: &Matrix,
+    r: usize,
+    mags: &mut Vec<f32>,
+    dims: &mut Vec<usize>,
+    ctx: &PolicyContext<'_>,
+    q_buf: &mut Vec<f32>,
+    scores: &mut Vec<f32>,
+    topk: &mut TopK,
+    out: &mut Vec<usize>,
+) {
+    group_query_into(ctx.queries, q_buf);
+    // Top-r dimensions by |q|.
+    mags.clear();
+    mags.extend(q_buf.iter().map(|v| v.abs()));
+    topk.select_into(mags, r.min(q_buf.len()), dims);
+    let n = keys.rows().min(ctx.middle_len);
+    scores.clear();
+    for i in 0..n {
+        let row = keys.row(i);
+        let mut s = 0.0f32;
+        for &d in dims.iter() {
+            s += q_buf[d] * row[d];
+        }
+        scores.push(s);
+    }
+    topk.select_into(scores, ctx.budget, out);
 }
 
 /// SPARQ attention: score via the top-`r` absolute query dimensions.
@@ -138,24 +211,42 @@ impl SelectionPolicy for SparqPolicy {
     }
 
     fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
-        group_query_into(ctx.queries, &mut self.q_buf);
-        let q = &self.q_buf;
-        // Top-r dimensions by |q|.
-        self.mags.clear();
-        self.mags.extend(q.iter().map(|v| v.abs()));
-        self.topk.select_into(&self.mags, self.r.min(q.len()), &mut self.dims);
         let keys = &self.keys[ctx.layer][ctx.kv_head];
-        let n = keys.rows().min(ctx.middle_len);
-        self.scores.clear();
-        for i in 0..n {
-            let row = keys.row(i);
-            let mut s = 0.0f32;
-            for &d in &self.dims {
-                s += q[d] * row[d];
-            }
-            self.scores.push(s);
-        }
-        self.topk.select_into(&self.scores, ctx.budget, out);
+        sparq_select_via(
+            keys,
+            self.r,
+            &mut self.mags,
+            &mut self.dims,
+            ctx,
+            &mut self.q_buf,
+            &mut self.scores,
+            &mut self.topk,
+            out,
+        );
+    }
+
+    /// Sparse-dimension scoring through the caller's shared query/score/
+    /// selector buffers (the per-query dimension pick keeps its small
+    /// internal scratch). Identical selections to `select_into` (same body,
+    /// different buffers).
+    fn select_with_scratch(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        scratch: &mut PolicyScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let keys = &self.keys[ctx.layer][ctx.kv_head];
+        sparq_select_via(
+            keys,
+            self.r,
+            &mut self.mags,
+            &mut self.dims,
+            ctx,
+            &mut scratch.q_buf,
+            &mut scratch.scores,
+            &mut scratch.topk,
+            out,
+        );
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
@@ -460,6 +551,36 @@ mod tests {
         let ctx = PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 3, middle_len: 19 };
         let sel = p.select(&ctx);
         assert!(sel.contains(&18), "{sel:?}");
+    }
+
+    #[test]
+    fn oracle_and_sparq_shared_scratch_select_identically() {
+        // The serve engine hands every session one worker-owned scratch;
+        // the raw-key retrieval baselines must select exactly what their
+        // internal-buffer path selects.
+        let init = synthetic_init(1, 1, 220, 16, &[], 9);
+        let mut oracle = OraclePolicy::default();
+        let mut sparq = SparqPolicy::new(4);
+        oracle.init(&init);
+        sparq.init(&init);
+        let mut shared = PolicyScratch::new();
+        let mut rng = Rng64::new(10);
+        for _ in 0..5 {
+            let q = Matrix::randn(2, 16, 1.0, &mut rng);
+            let mk = |queries| PolicyContext {
+                layer: 0,
+                kv_head: 0,
+                queries,
+                budget: 13,
+                middle_len: 220,
+            };
+            for p in [&mut oracle as &mut dyn SelectionPolicy, &mut sparq] {
+                let internal = p.select(&mk(&q));
+                let mut ext = Vec::new();
+                p.select_with_scratch(&mk(&q), &mut shared, &mut ext);
+                assert_eq!(internal, ext, "{}", p.name());
+            }
+        }
     }
 
     #[test]

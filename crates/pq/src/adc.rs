@@ -6,16 +6,23 @@
 //! `m` table entries addressed by its codes. This is O(2^b·dh + s·m) instead
 //! of O(s·dh) for exact scores.
 
-use crate::codebook::{PqCodebook, PqCodes};
+use crate::codebook::{PqCodebook, PqCodes, CODE_BLOCK};
 use pqc_tensor::{dot, top_k_indices, Matrix, TopK};
 
 /// Pre-computed per-query lookup table: `table[j][c]` is the inner product of
 /// query sub-vector `j` with centroid `c` of sub-space `j`.
+///
+/// Alongside the raw table a **prefix-max** copy is kept (`prefmax[j][c]` =
+/// max of `table[j][0..=c]`): combined with [`PqCodes`]' per-block max-code
+/// tracking it upper-bounds the best achievable score of any token block in
+/// O(m), which is what lets the fused score-and-select scan skip blocks that
+/// cannot beat the running k-th-best threshold.
 #[derive(Debug, Clone, Default)]
 pub struct AdcTable {
     m: usize,
     k_c: usize,
     table: Vec<f32>,
+    prefmax: Vec<f32>,
 }
 
 impl AdcTable {
@@ -37,14 +44,36 @@ impl AdcTable {
         self.k_c = k_c;
         self.table.clear();
         self.table.reserve(m * k_c);
+        self.prefmax.clear();
+        self.prefmax.reserve(m * k_c);
         for j in 0..m {
             let sub = &query[j * dm..(j + 1) * dm];
             let cents = book.centroids(j);
             debug_assert_eq!(cents.rows(), k_c);
+            let mut running = f32::NEG_INFINITY;
             for c in 0..k_c {
-                self.table.push(dot(sub, cents.row(c)));
+                let v = dot(sub, cents.row(c));
+                self.table.push(v);
+                running = running.max(v);
+                self.prefmax.push(running);
             }
         }
+    }
+
+    /// Upper bound on the score of any token in block `blk` of `codes`:
+    /// per column, no code in the block exceeds its tracked block max, so
+    /// the prefix-max table entry at that code bounds the column's
+    /// contribution. Summation mirrors the scan's association (sequential
+    /// adds), and f32 addition is monotone, so the bound dominates every
+    /// in-block score *as computed by the scan*, bit for bit.
+    #[inline]
+    fn block_score_bound(&self, codes: &PqCodes, blk: usize) -> f32 {
+        let mut bound = 0.0f32;
+        for j in 0..self.m {
+            let c = codes.block_max_code(j, blk) as usize;
+            bound += self.prefmax[j * self.k_c + c];
+        }
+        bound
     }
 
     /// Table entry for sub-space `j`, centroid `c`.
@@ -80,25 +109,41 @@ impl AdcTable {
     /// engine bounds retrieval by the live middle length, so the scan never
     /// touches the excess tail.
     pub fn scores_prefix_into(&self, codes: &PqCodes, n: usize, out: &mut Vec<f32>) {
-        assert_eq!(codes.m(), self.m, "sub-space count mismatch");
         let n = n.min(codes.len());
-        out.clear();
-        if n == 0 || self.m == 0 {
-            out.resize(n, 0.0);
-            return;
-        }
-        // One bounds proof per column: every code in column `j` is
-        // ≤ max_code(j), so the per-element LUT lookups below cannot go out
-        // of bounds and can skip the per-access check.
+        self.assert_codes_bounded(codes);
+        self.score_range_into(codes, 0, n, out);
+    }
+
+    /// One bounds proof per column: every code in column `j` is
+    /// ≤ max_code(j), so the per-element LUT lookups in the scans below
+    /// cannot go out of bounds and can skip the per-access check.
+    fn assert_codes_bounded(&self, codes: &PqCodes) {
+        assert_eq!(codes.m(), self.m, "sub-space count mismatch");
         for j in 0..self.m {
             assert!(
-                (codes.max_code(j) as usize) < self.k_c,
+                codes.is_empty() || (codes.max_code(j) as usize) < self.k_c,
                 "code column {j} exceeds table width {}",
                 self.k_c
             );
         }
+    }
+
+    /// Scores of the token range `[lo, hi)`, written into `out` (cleared
+    /// first; `out[i]` scores token `lo + i`). Per-token accumulation order
+    /// is identical to [`Self::score_token`], so any split of a scan into
+    /// ranges is bit-identical to the whole-prefix scan.
+    ///
+    /// Callers must have validated code bounds via
+    /// [`Self::assert_codes_bounded`] (the public entry points do).
+    fn score_range_into(&self, codes: &PqCodes, lo: usize, hi: usize, out: &mut Vec<f32>) {
+        debug_assert!(lo <= hi && hi <= codes.len());
+        out.clear();
+        if lo >= hi || self.m == 0 {
+            out.resize(hi.saturating_sub(lo), 0.0);
+            return;
+        }
         let lut = |j: usize| &self.table[j * self.k_c..(j + 1) * self.k_c];
-        let col = |j: usize| &codes.column(j)[..n];
+        let col = |j: usize| &codes.column(j)[lo..hi];
         // First pass *writes* (no zero-fill, no read-modify-write): one
         // column alone, or the first two columns fused.
         let mut j = if self.m == 1 {
@@ -149,6 +194,68 @@ impl AdcTable {
         let mut out = Vec::with_capacity(codes.len());
         self.scores_into(codes, &mut out);
         out
+    }
+
+    /// Fused score-and-select over the first `n` tokens: stream the paired-
+    /// column ADC scan in [`CODE_BLOCK`]-token blocks straight into a
+    /// [`TopK`] stream, and once a running k-th-best threshold exists, skip
+    /// whole blocks whose upper bound ([`Self::block_score_bound`]) cannot
+    /// beat it — their scores are never materialised. Selected indices land
+    /// in `out` (descending score, ties toward the smaller index).
+    ///
+    /// Returns the number of pruned blocks. The selected set is
+    /// **bit-identical** to the unfused `scores_prefix_into` +
+    /// `TopK::select_into` pipeline: block scoring preserves the scan's
+    /// per-token accumulation order, pruning only discards tokens that
+    /// provably lose to the current k-th best (strictly on score, or on the
+    /// ascending-index tie-break), and every selection path shares the same
+    /// total order.
+    pub fn score_and_select_into(
+        &self,
+        codes: &PqCodes,
+        n: usize,
+        k: usize,
+        topk: &mut TopK,
+        block_scores: &mut Vec<f32>,
+        out: &mut Vec<usize>,
+    ) -> usize {
+        let n = n.min(codes.len());
+        self.assert_codes_bounded(codes);
+        let k = k.min(n);
+        topk.stream_begin(k);
+        if k == 0 {
+            // Nothing can be selected: skip the scan entirely (the batch
+            // selector's k = 0 early-out, streaming edition).
+            topk.stream_finish_into(out);
+            return 0;
+        }
+        let mut pruned = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + CODE_BLOCK).min(n);
+            let blk = lo / CODE_BLOCK;
+            if let Some(threshold) = topk.stream_threshold() {
+                // Strict `<`: the threshold is the exact k-th-best score at
+                // the selector's last compaction, so a block whose bound
+                // falls strictly below it cannot contribute to the final
+                // top-k (boundary ties are retained by the selector and
+                // resolved by total order at finish; NaN bounds fail `<`
+                // and never prune).
+                if self.block_score_bound(codes, blk) < threshold {
+                    pruned += 1;
+                    lo = hi;
+                    continue;
+                }
+            }
+            self.score_range_into(codes, lo, hi, block_scores);
+            // Bulk offer: the threshold reject loop runs tight inside the
+            // selector (~one branch-predictable comparison per token), and
+            // only survivors are appended as candidates.
+            topk.stream_offer_block(block_scores, lo);
+            lo = hi;
+        }
+        topk.stream_finish_into(out);
+        pruned
     }
 
     /// ADC scores of an arbitrary candidate subset (`ids` index into
@@ -223,10 +330,36 @@ impl PqRetriever {
         self.topk.select_into(&self.scores, k, out);
     }
 
+    /// Fused decode-step retrieval (the serving hot path): rebuild the ADC
+    /// table for `query`, then run [`AdcTable::score_and_select_into`] —
+    /// the blocked scan streams straight into the selector, pruning blocks
+    /// against the running k-th-best threshold, and the full score vector
+    /// is never materialised (the score scratch holds one
+    /// [`CODE_BLOCK`]-token block). Returns the number of pruned blocks.
+    /// Bit-identical selected set to [`Self::top_k_prefix_into`].
+    pub fn score_and_select_into(
+        &mut self,
+        book: &PqCodebook,
+        codes: &PqCodes,
+        query: &[f32],
+        n: usize,
+        k: usize,
+        out: &mut Vec<usize>,
+    ) -> usize {
+        self.table.rebuild(book, query);
+        self.table
+            .score_and_select_into(codes, n, k, &mut self.topk, &mut self.scores, out)
+    }
+
     /// Capacities of the internal scratch buffers `(table, scores, heap)` —
-    /// exposed so tests can assert steady-state allocation stability.
+    /// exposed so tests can assert steady-state allocation stability. The
+    /// table component covers both the raw LUT and its prefix-max copy.
     pub fn scratch_capacities(&self) -> (usize, usize, usize) {
-        (self.table.table.capacity(), self.scores.capacity(), self.topk.scratch_capacity())
+        (
+            self.table.table.capacity() + self.table.prefmax.capacity(),
+            self.scores.capacity(),
+            self.topk.scratch_capacity(),
+        )
     }
 }
 
@@ -367,5 +500,62 @@ mod tests {
         let (_, book, codes) = setup(256, 32, 4, 6, 61);
         let q = vec![0.1f32; 32];
         assert_eq!(pq_top_k(&book, &codes, &q, 10), pq_top_k(&book, &codes, &q, 10));
+    }
+
+    #[test]
+    fn fused_select_matches_unfused_across_blocks() {
+        // Fixture larger than CODE_BLOCK so the fused scan spans several
+        // blocks (and can prune): results must equal the unfused
+        // scan+select pipeline exactly, for every (n, k) shape.
+        let (_, book, codes) = setup(crate::CODE_BLOCK * 2 + 137, 16, 2, 4, 71);
+        let mut rng = Rng64::new(72);
+        let mut retriever = PqRetriever::new();
+        for trial in 0..8 {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            for &(n, k) in &[
+                (codes.len(), 16usize),
+                (codes.len(), 0),
+                (codes.len(), codes.len()),
+                (crate::CODE_BLOCK + 9, 5),
+                (3, 8),
+                (0, 4),
+            ] {
+                let mut unfused = Vec::new();
+                retriever.top_k_prefix_into(&book, &codes, &q, n, k, &mut unfused);
+                let mut fused = Vec::new();
+                let _ = retriever.score_and_select_into(&book, &codes, &q, n, k, &mut fused);
+                assert_eq!(unfused, fused, "trial {trial}, n={n}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_select_prunes_cold_blocks() {
+        // Construct codes whose later blocks can only reference centroid 0,
+        // and a table where centroid 0 scores lowest: with k small, the
+        // running threshold must exceed those blocks' bound and prune them.
+        let s = crate::CODE_BLOCK * 3;
+        let mut rng = Rng64::new(73);
+        let keys = Matrix::randn(256, 8, 1.0, &mut rng);
+        let (book, _) = PqCodebook::train(&keys, PqConfig { m: 1, b: 4, max_iters: 10, seed: 3 });
+        let q: Vec<f32> = (0..8).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let table = AdcTable::build(&book, &q);
+        let k_c = book.centroids(0).rows();
+        // Centroid with the smallest table entry hosts the cold blocks.
+        let cold = (0..k_c).min_by(|&a, &b| {
+            table.entry(0, a).partial_cmp(&table.entry(0, b)).unwrap()
+        }).unwrap() as u16;
+        let col: Vec<u16> = (0..s)
+            .map(|i| if i < crate::CODE_BLOCK { (i % k_c) as u16 } else { cold })
+            .collect();
+        let codes = PqCodes::from_columns(vec![col]);
+        let mut topk = TopK::new();
+        let (mut buf, mut fused) = (Vec::new(), Vec::new());
+        let pruned = table.score_and_select_into(&codes, s, 4, &mut topk, &mut buf, &mut fused);
+        assert_eq!(pruned, 2, "both cold blocks should be skipped");
+        // And pruning must not have changed the answer.
+        let mut scores = Vec::new();
+        table.scores_into(&codes, &mut scores);
+        assert_eq!(fused, top_k_indices(&scores, 4));
     }
 }

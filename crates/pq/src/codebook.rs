@@ -50,6 +50,12 @@ impl PqConfig {
     }
 }
 
+/// Token-block granularity of the per-block max-code tracking (and of the
+/// fused score-and-select scan that prunes against it). 512 × f32 block
+/// scores stay comfortably in L1 while the per-block bound check amortises
+/// to ~`m/512` comparisons per token.
+pub const CODE_BLOCK: usize = 512;
+
 /// PQ codes for a sequence of tokens, stored **subspace-major** (SoA): one
 /// contiguous column of `u16` codes per sub-space.
 ///
@@ -57,6 +63,12 @@ impl PqConfig {
 /// sequentially while its 2^b-entry LUT row stays in L1 — the layout is what
 /// makes the fused scan fast. `u16` accommodates every configuration the
 /// paper sweeps (`m·b ≤ 16`, so `b ≤ 16`).
+///
+/// Alongside the running per-column maximum (one bounds proof per scan),
+/// each column tracks its maximum code per [`CODE_BLOCK`]-token block; the
+/// fused score-and-select scan combines these with a prefix-max over the
+/// ADC table to upper-bound a block's best possible score and skip blocks
+/// that cannot beat the running k-th-best threshold.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PqCodes {
     len: usize,
@@ -65,13 +77,21 @@ pub struct PqCodes {
     /// Running per-column maximum code; lets the ADC scan validate bounds
     /// once per column instead of once per element.
     max_code: Vec<u16>,
+    /// `block_max[j][blk]` = max code of sub-space `j` over tokens
+    /// `[blk*CODE_BLOCK, (blk+1)*CODE_BLOCK)` (last block may be partial).
+    block_max: Vec<Vec<u16>>,
 }
 
 impl PqCodes {
     /// An empty code table for `m` sub-spaces.
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "PqCodes needs at least one sub-space");
-        Self { len: 0, cols: vec![Vec::new(); m], max_code: vec![0; m] }
+        Self {
+            len: 0,
+            cols: vec![Vec::new(); m],
+            max_code: vec![0; m],
+            block_max: vec![Vec::new(); m],
+        }
     }
 
     /// Build directly from per-sub-space columns (all equal length).
@@ -80,7 +100,15 @@ impl PqCodes {
         let len = cols[0].len();
         assert!(cols.iter().all(|c| c.len() == len), "ragged code columns");
         let max_code = cols.iter().map(|c| c.iter().copied().max().unwrap_or(0)).collect();
-        Self { len, cols, max_code }
+        let block_max = cols
+            .iter()
+            .map(|c| {
+                c.chunks(CODE_BLOCK)
+                    .map(|blk| blk.iter().copied().max().unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+        Self { len, cols, max_code, block_max }
     }
 
     /// Number of encoded tokens.
@@ -124,13 +152,37 @@ impl PqCodes {
         self.max_code[j]
     }
 
+    /// Largest code of sub-space `j` within token block `blk` (blocks of
+    /// [`CODE_BLOCK`] tokens; the last block may be partial).
+    #[inline]
+    pub fn block_max_code(&self, j: usize, blk: usize) -> u16 {
+        self.block_max[j][blk]
+    }
+
+    /// Number of [`CODE_BLOCK`]-token blocks currently tracked.
+    pub fn n_blocks(&self) -> usize {
+        self.len.div_ceil(CODE_BLOCK)
+    }
+
     /// Append one token's codes.
     pub fn push(&mut self, token_codes: &[u16]) {
         assert_eq!(token_codes.len(), self.cols.len());
-        for ((col, mx), &c) in self.cols.iter_mut().zip(self.max_code.iter_mut()).zip(token_codes)
+        let new_block = self.len.is_multiple_of(CODE_BLOCK);
+        for (((col, mx), bm), &c) in self
+            .cols
+            .iter_mut()
+            .zip(self.max_code.iter_mut())
+            .zip(self.block_max.iter_mut())
+            .zip(token_codes)
         {
             col.push(c);
             *mx = (*mx).max(c);
+            if new_block {
+                bm.push(c);
+            } else {
+                let last = bm.last_mut().expect("non-empty block index");
+                *last = (*last).max(c);
+            }
         }
         self.len += 1;
     }

@@ -18,6 +18,6 @@ pub mod kmeans;
 
 pub use adaptive::{AdaptiveIterBudget, ClusterSample, ComputeSample};
 pub use adc::{exact_top_k, pq_top_k, AdcTable, PqRetriever};
-pub use codebook::{PqCodebook, PqCodes, PqConfig};
+pub use codebook::{PqCodebook, PqCodes, PqConfig, CODE_BLOCK};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

@@ -1,131 +1,374 @@
 //! Top-k selection.
 //!
 //! Decoding needs "indices of the k largest approximate scores" every step at
-//! every layer/head (Algorithm 2, line 14). We provide a heap-based partial
-//! selection that is O(s log k) — the same asymptotics PyTorch's radix-select
-//! achieves in practice for the sizes here — plus a full argsort for tests.
+//! every layer/head (Algorithm 2, line 14). The workhorse is an **O(n)
+//! two-pass threshold selector**: a strided sample estimates the k-th-score
+//! threshold, one counting pass verifies it, and one collection pass gathers
+//! the (rare) survivors, which a quickselect then trims exactly. When the
+//! estimate misses (degenerate/duplicated distributions, NaN floods, large
+//! k/n), selection falls back to a full quickselect — still O(n), still
+//! exact. A streaming min-heap API serves callers that produce scores
+//! incrementally (the fused ADC scan) and want a running k-th-best threshold
+//! to prune against. Every path returns *bit-identical* results to the
+//! argsort reference: score descending, ties toward the smaller index, NaN
+//! ranked lowest.
 
 use std::cmp::Ordering;
 
-/// A `(score, index)` pair ordered by score then by index (descending index
-/// breaks ties so results are deterministic).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    score: f32,
-    index: usize,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Total order: scores first (NaN sorts lowest), larger index loses
-        // ties so that earlier tokens win deterministically.
-        match self.score.partial_cmp(&other.score) {
-            Some(o) => o.then_with(|| other.index.cmp(&self.index)),
-            None => {
-                if self.score.is_nan() && other.score.is_nan() {
-                    other.index.cmp(&self.index)
-                } else if self.score.is_nan() {
-                    Ordering::Less
-                } else {
-                    Ordering::Greater
-                }
-            }
+/// A `(score, index)` pair packed into one order-preserving `u64` key:
+/// descending `u64` order is exactly "score descending (NaN lowest), ties
+/// toward the smaller index". Selection, compaction, and the final sort all
+/// become single-instruction integer comparisons.
+///
+/// Layout: `rank(score) << 32 | !index`.
+///
+/// - `rank` is the classic monotone f32→u32 bijection (flip all bits of
+///   negatives, set the sign bit of non-negatives), so `rank(a) < rank(b)`
+///   iff `a < b` for all non-NaN floats. `-0.0` is canonicalised to `+0.0`
+///   first so the pair compares *equal* in rank (as `partial_cmp` does) and
+///   falls through to the index tie-break. Every NaN maps to rank 0, below
+///   `-inf` (whose rank is `0x007F_FFFF`), so NaN sorts lowest; no real
+///   score maps to 0 (that preimage is itself a NaN pattern).
+/// - `!index` makes the *smaller* index win ties under descending key
+///   order, for scores and NaNs alike.
+#[inline]
+fn encode_key(score: f32, index: usize) -> u64 {
+    debug_assert!(index <= u32::MAX as usize);
+    let rank = if score.is_nan() {
+        0u32
+    } else {
+        let bits = if score == 0.0 { 0u32 } else { score.to_bits() };
+        if bits & 0x8000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000
         }
+    };
+    ((rank as u64) << 32) | (!(index as u32)) as u64
+}
+
+/// The index packed into a key.
+#[inline]
+fn decode_index(key: u64) -> usize {
+    !(key as u32) as usize
+}
+
+/// The score packed into a key (NaN for the canonical NaN rank; `-0.0`
+/// comes back as `+0.0`, which compares equal everywhere it is used).
+#[inline]
+fn decode_score(key: u64) -> f32 {
+    let rank = (key >> 32) as u32;
+    if rank == 0 {
+        f32::NAN
+    } else if rank & 0x8000_0000 != 0 {
+        f32::from_bits(rank & 0x7FFF_FFFF)
+    } else {
+        f32::from_bits(!rank)
     }
 }
 
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Strided-sample size for the threshold estimate. Big enough that the
+/// k/n-quantile estimate is stable, small enough that sampling is free
+/// relative to the scan it guards.
+const SAMPLE_CAP: usize = 256;
 
-/// Reusable top-k selector: a hand-rolled binary min-heap over an owned
-/// buffer, so steady-state decode loops (one selection per layer/head per
-/// step) perform zero heap allocations after warm-up.
+/// Safety factor on the estimated survivor count: the threshold targets
+/// ~`OVERSAMPLE × k` strict survivors so that sampling error almost never
+/// leaves fewer than `k` (which would force the full-quickselect fallback).
+const OVERSAMPLE: usize = 3;
+
+/// Below this input size the bookkeeping of the threshold pass costs more
+/// than it saves; go straight to the full quickselect.
+const SMALL_N: usize = 1024;
+
+/// Ceiling on the streaming candidate buffer. A larger buffer means fewer,
+/// better-amortised compactions on long streams, at 16 bytes per slot.
+const MAX_STREAM_CAP: usize = 4096;
+
+/// First compaction trigger (when `2k` is smaller): a threshold published
+/// after a few hundred offers lets short streams (decode-step selections
+/// over a few thousand tokens) start pruning early; the trigger then
+/// doubles up to the ceiling so long streams still amortise.
+const FIRST_STREAM_COMPACT: usize = 256;
+
+/// Reusable top-k selector over owned scratch buffers, so steady-state decode
+/// loops (one selection per layer/head per step) perform zero heap
+/// allocations after warm-up. One instance serves both selection styles:
+///
+/// - [`TopK::select_into`] — batch selection over a full score slice via the
+///   O(n) threshold/quickselect path;
+/// - [`TopK::stream_begin`] / [`TopK::stream_offer`] /
+///   [`TopK::stream_finish_into`] — streaming selection with a running
+///   k-th-best threshold ([`TopK::stream_threshold`]), used by the fused
+///   ADC score-and-select scan to prune whole blocks. Accepted offers are
+///   *appended* to an unordered candidate buffer that is compacted back to
+///   `k` by quickselect whenever it fills — amortised O(1) per offer, with
+///   none of the per-accept sift cost a heap would pay.
 #[derive(Debug, Default, Clone)]
 pub struct TopK {
-    heap: Vec<Entry>,
+    /// Candidate / quickselect storage (batch paths and streaming mode):
+    /// packed `(score, index)` keys, see [`encode_key`].
+    entries: Vec<u64>,
+    /// Strided sample of scores for the threshold estimate.
+    sample: Vec<f32>,
+    /// Streaming-mode `k`, set by [`TopK::stream_begin`].
+    stream_k: usize,
+    /// Next compaction trigger (escalates from [`FIRST_STREAM_COMPACT`]
+    /// towards `max(2k, MAX_STREAM_CAP)` by doubling).
+    stream_next: usize,
+    /// Running k-th-best score, refreshed at each compaction.
+    stream_thr: Option<f32>,
 }
 
 impl TopK {
-    /// An empty selector; its buffer grows to `k` on first use.
+    /// An empty selector; its buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Capacity of the internal heap buffer (for allocation-stability tests).
+    /// Total capacity of the internal scratch buffers (for
+    /// allocation-stability tests).
     pub fn scratch_capacity(&self) -> usize {
-        self.heap.capacity()
+        self.entries.capacity() + self.sample.capacity()
     }
 
     /// Indices of the `k` largest scores written into `out` (cleared first),
     /// in descending score order with ties broken toward the smaller index —
-    /// identical results to [`top_k_indices`].
+    /// identical results to [`top_k_indices`] and to the
+    /// [`argsort_desc`]-prefix reference.
     pub fn select_into(&mut self, scores: &[f32], k: usize, out: &mut Vec<usize>) {
+        // The batch and streaming modes share the candidate buffer, so a
+        // batch call would wipe an in-progress stream's candidates while
+        // its stale threshold kept rejecting new offers — a silently wrong
+        // result. Catch the interleaving instead.
+        debug_assert!(
+            self.stream_k == 0,
+            "select_into called while a streaming selection is in progress \
+             (finish it with stream_finish_into first)"
+        );
         out.clear();
-        let k = k.min(scores.len());
+        let n = scores.len();
+        assert!(n <= u32::MAX as usize, "select_into supports up to 2^32 scores");
+        let k = k.min(n);
         if k == 0 {
             return;
         }
-        let heap = &mut self.heap;
-        heap.clear();
-        heap.reserve(k);
-        // Min-heap of the current best k: the smallest retained entry sits at
-        // the root and is displaced by any larger incoming entry.
-        for (index, &score) in scores.iter().take(k).enumerate() {
-            heap.push(Entry { score, index });
-            // Sift up.
-            let mut i = heap.len() - 1;
-            while i > 0 {
-                let parent = (i - 1) / 2;
-                if heap[i] < heap[parent] {
-                    heap.swap(i, parent);
-                    i = parent;
-                } else {
+        // One up-front reservation to the worst case (the full-quickselect
+        // path holds all n entries) keeps the scratch capacity deterministic:
+        // it never grows after the first call at a given n, whichever path
+        // later inputs take.
+        self.entries.clear();
+        self.entries.reserve(n);
+
+        // Small inputs and large k/n ratios: the threshold pass can't win.
+        if n <= SMALL_N || k.saturating_mul(4) >= n {
+            self.select_full(scores, k, out);
+            return;
+        }
+
+        // Pass 0 (O(SAMPLE_CAP)): strided sample -> estimated threshold at
+        // the k/n quantile, biased low so ~OVERSAMPLE*k survive.
+        let Some(threshold) = self.estimate_threshold(scores, k) else {
+            self.select_full(scores, k, out);
+            return;
+        };
+
+        // Pass 1: count strict survivors. NaN fails `>` and is excluded,
+        // which matches its rank-lowest ordering.
+        let count = scores.iter().filter(|&&s| s > threshold).count();
+        if count < k {
+            // Estimate missed (duplicate-heavy or adversarial distribution):
+            // the boundary needs ties at `threshold` itself — resolve them
+            // exactly with the full quickselect.
+            self.select_full(scores, k, out);
+            return;
+        }
+
+        // Pass 2: collect the survivors. `count >= k` strict survivors means
+        // the true top-k all score strictly above the threshold, so the
+        // candidate set provably contains the answer.
+        self.entries.extend(
+            scores
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > threshold)
+                .map(|(index, &s)| encode_key(s, index)),
+        );
+        debug_assert_eq!(self.entries.len(), count);
+        Self::emit_top_k(&mut self.entries, k, out);
+    }
+
+    /// Quantile estimate from a strided sample: the value at (approximately)
+    /// rank `OVERSAMPLE * k * sample_len / n` of the sample, descending.
+    /// Returns `None` when the sample is all-NaN (nothing to estimate from).
+    fn estimate_threshold(&mut self, scores: &[f32], k: usize) -> Option<f32> {
+        let n = scores.len();
+        self.sample.clear();
+        if self.sample.capacity() < SAMPLE_CAP {
+            self.sample.reserve(SAMPLE_CAP - self.sample.capacity());
+        }
+        let stride = n.div_ceil(SAMPLE_CAP).max(1);
+        self.sample.extend(scores.iter().step_by(stride).filter(|s| !s.is_nan()));
+        if self.sample.is_empty() {
+            return None;
+        }
+        let s_len = self.sample.len();
+        // Descending rank targeting OVERSAMPLE*k survivors out of n.
+        let rank = (k.saturating_mul(OVERSAMPLE).saturating_mul(s_len) / n).min(s_len - 1);
+        // All sample entries are non-NaN: partial_cmp cannot fail.
+        self.sample
+            .select_nth_unstable_by(rank, |a, b| b.partial_cmp(a).expect("non-NaN sample"));
+        Some(self.sample[rank])
+    }
+
+    /// Exact O(n) fallback: materialise every `(score, index)` pair and
+    /// quickselect. Assumes `self.entries` is cleared with capacity >= n.
+    fn select_full(&mut self, scores: &[f32], k: usize, out: &mut Vec<usize>) {
+        self.entries
+            .extend(scores.iter().enumerate().map(|(index, &score)| encode_key(score, index)));
+        Self::emit_top_k(&mut self.entries, k, out);
+    }
+
+    /// Shared tail: quickselect the top `k` keys (descending `u64` order is
+    /// the full selection order), sort them, emit the indices.
+    fn emit_top_k(entries: &mut [u64], k: usize, out: &mut Vec<usize>) {
+        debug_assert!(k >= 1 && k <= entries.len());
+        if k < entries.len() {
+            // `select_nth_unstable_by` is introselect: O(n) average with an
+            // O(n log n) worst-case guard. The key order is total, so the
+            // partition is exact and the final output is independent of
+            // pivot choices.
+            entries.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+        }
+        let top = &mut entries[..k];
+        top.sort_unstable_by(|a, b| b.cmp(a));
+        out.extend(top.iter().map(|&e| decode_index(e)));
+    }
+
+    // -----------------------------------------------------------------------
+    // Streaming (heap) API — for producers that generate scores block by
+    // block and want a running k-th-best threshold to prune against.
+    // -----------------------------------------------------------------------
+
+    /// Start a streaming selection of the best `k` offers. Clears any
+    /// previous streaming state; the batch API above is unaffected.
+    pub fn stream_begin(&mut self, k: usize) {
+        self.stream_k = k;
+        self.stream_next = (2 * k).max(FIRST_STREAM_COMPACT);
+        self.stream_thr = None;
+        self.entries.clear();
+        // Reserve the worst case (the largest trigger the escalation can
+        // reach) up front: how full the buffer actually gets between
+        // compactions depends on the data, and reserving the ceiling keeps
+        // the scratch capacity deterministic across calls.
+        self.entries.reserve((2 * k).max(MAX_STREAM_CAP));
+    }
+
+    /// Trigger for the compaction *after* the one that just ran: double,
+    /// capped at `max(2k, MAX_STREAM_CAP)`.
+    #[inline]
+    fn stream_advance_trigger(&mut self) {
+        self.stream_next = (self.stream_next * 2).min((2 * self.stream_k).max(MAX_STREAM_CAP));
+    }
+
+    /// Running k-th-best score, refreshed at each compaction: `Some(s)` once
+    /// at least `k` offers have been compacted, `None` before that. It never
+    /// exceeds the *current* k-th-best score, so any offer scoring strictly
+    /// below it provably cannot enter the final result set — callers may
+    /// prune candidates (or whole candidate blocks) whose score upper bound
+    /// is `< threshold` without affecting the selected set. Offers scoring
+    /// exactly at the threshold are retained and resolved exactly (total
+    /// order, ties toward the smaller index) at finish.
+    #[inline]
+    pub fn stream_threshold(&self) -> Option<f32> {
+        self.stream_thr
+    }
+
+    /// Offer one `(score, index)` pair. Rejected outright when strictly
+    /// below the running threshold (NaN fails the comparison and is kept as
+    /// a candidate; compaction ranks it lowest); otherwise appended — no
+    /// per-offer sift, compaction amortises to O(1) per offer.
+    #[inline]
+    pub fn stream_offer(&mut self, score: f32, index: usize) {
+        assert!(index <= u32::MAX as usize, "stream indices must fit in u32");
+        if self.stream_k == 0 {
+            return;
+        }
+        if let Some(t) = self.stream_thr {
+            if score < t {
+                return;
+            }
+        }
+        self.entries.push(encode_key(score, index));
+        if self.entries.len() >= self.stream_next {
+            self.stream_compact();
+            self.stream_advance_trigger();
+        }
+    }
+
+    /// Offer one contiguous block of scores whose indices are
+    /// `base_index..base_index + scores.len()` — the bulk form of
+    /// [`TopK::stream_offer`] used by the fused ADC scan. The threshold
+    /// reject loop runs tight over the slice (no per-token call), so the
+    /// common all-rejected block costs ~one comparison per token. Identical
+    /// accept/reject decisions to offering each pair individually.
+    pub fn stream_offer_block(&mut self, scores: &[f32], base_index: usize) {
+        assert!(
+            scores.is_empty() || base_index + scores.len() - 1 <= u32::MAX as usize,
+            "stream indices must fit in u32"
+        );
+        if self.stream_k == 0 {
+            return;
+        }
+        let mut i = 0usize;
+        while i < scores.len() {
+            if let Some(t) = self.stream_thr {
+                // Tight reject scan: `<` fails for NaN, which therefore
+                // falls through to the candidate push like any survivor.
+                while i < scores.len() && scores[i] < t {
+                    i += 1;
+                }
+                if i >= scores.len() {
                     break;
                 }
             }
-        }
-        // Fast-path threshold: a primitive `<` against the root's score
-        // rejects almost every element without building an `Entry` or
-        // running the total-order comparison. NaN fails `<` and falls to the
-        // slow path, which handles it via `Entry`'s total order.
-        let mut threshold = heap[0].score;
-        for (index, &score) in scores.iter().enumerate().skip(k) {
-            if score < threshold {
-                continue;
+            self.entries.push(encode_key(scores[i], base_index + i));
+            if self.entries.len() >= self.stream_next {
+                self.stream_compact();
+                self.stream_advance_trigger();
             }
-            let e = Entry { score, index };
-            if e > heap[0] {
-                heap[0] = e;
-                // Sift down.
-                let mut i = 0;
-                loop {
-                    let l = 2 * i + 1;
-                    let r = l + 1;
-                    let mut smallest = i;
-                    if l < k && heap[l] < heap[smallest] {
-                        smallest = l;
-                    }
-                    if r < k && heap[r] < heap[smallest] {
-                        smallest = r;
-                    }
-                    if smallest == i {
-                        break;
-                    }
-                    heap.swap(i, smallest);
-                    i = smallest;
-                }
-                threshold = heap[0].score;
-            }
+            i += 1;
         }
-        // `Entry`'s ordering is total, so the unstable (allocation-free) sort
-        // is deterministic.
-        heap.sort_unstable_by(|a, b| b.cmp(a));
-        out.extend(heap.iter().map(|e| e.index));
+    }
+
+    /// Quickselect the candidate buffer back down to the best `k` and
+    /// refresh the running threshold to the (exact) k-th-best score so far.
+    fn stream_compact(&mut self) {
+        let k = self.stream_k;
+        if self.entries.len() > k {
+            self.entries.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+            self.entries.truncate(k);
+        }
+        if self.entries.len() == k {
+            self.stream_thr = Some(decode_score(self.entries[k - 1]));
+        }
+    }
+
+    /// Finish the streaming selection: write the retained indices into `out`
+    /// (cleared first), descending by score with ties toward the smaller
+    /// index — the same order every other path produces.
+    pub fn stream_finish_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        if self.stream_k == 0 {
+            return;
+        }
+        self.stream_compact();
+        // The key order is total, so the unstable (allocation-free) sort is
+        // deterministic.
+        self.entries.sort_unstable_by(|a, b| b.cmp(a));
+        out.extend(self.entries.iter().map(|&e| decode_index(e)));
+        self.stream_k = 0;
+        self.stream_thr = None;
     }
 }
 
@@ -140,11 +383,24 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     out
 }
 
-/// Indices that would sort `scores` descending (stable for equal scores).
+/// Indices that would sort `scores` descending (stable for equal scores,
+/// NaN ranked lowest) — the reference ordering every selection path above
+/// must reproduce exactly.
 pub fn argsort_desc(scores: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(Ordering::Equal).then(a.cmp(&b))
+        let (sa, sb) = (scores[a], scores[b]);
+        match sb.partial_cmp(&sa) {
+            Some(o) => o.then(a.cmp(&b)),
+            // At least one NaN: NaN sorts after (below) every number; two
+            // NaNs tie toward the smaller index.
+            None => match (sa.is_nan(), sb.is_nan()) {
+                (true, true) => a.cmp(&b),
+                (true, false) => Ordering::Greater, // a ranks lower
+                (false, true) => Ordering::Less,
+                (false, false) => unreachable!("partial_cmp failed without NaN"),
+            },
+        }
     });
     idx
 }
@@ -198,6 +454,37 @@ mod tests {
     }
 
     #[test]
+    fn topk_threshold_path_matches_argsort_prefix() {
+        // Large n, small k: exercises the sample-threshold fast path
+        // (n > SMALL_N and 4k < n) against the exact reference.
+        let mut rng = Rng64::new(78);
+        for trial in 0..6 {
+            let n = 4096 + rng.below(8192);
+            let scores: Vec<f32> = (0..n).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            for k in [1usize, 16, 128, n / 5] {
+                let fast = top_k_indices(&scores, k);
+                let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+                assert_eq!(fast, slow, "trial {trial}, n={n}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_duplicate_heavy_falls_back_exactly() {
+        // Scores drawn from 3 distinct values: the threshold estimate lands
+        // on a massive tie plateau, so count < k forces the fallback — which
+        // must still match the reference exactly, index ties included.
+        let mut rng = Rng64::new(79);
+        let vals = [1.0f32, 2.0, 3.0];
+        let scores: Vec<f32> = (0..5000).map(|_| vals[rng.below(3)]).collect();
+        for k in [1usize, 100, 1700, 4999] {
+            let fast = top_k_indices(&scores, k);
+            let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
     fn select_into_reuses_buffers() {
         let mut rng = Rng64::new(91);
         let scores: Vec<f32> = (0..4096).map(|_| rng.normal_f32(0.0, 1.0)).collect();
@@ -216,6 +503,68 @@ mod tests {
     fn topk_handles_nan_by_ranking_it_last() {
         let s = [1.0f32, f32::NAN, 2.0];
         assert_eq!(top_k_indices(&s, 2), vec![2, 0]);
+        // All-NaN input: indices in ascending order (all tied at rank-lowest).
+        let nans = [f32::NAN; 5];
+        assert_eq!(top_k_indices(&nans, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn topk_nan_flood_large_n() {
+        // Mostly-NaN input at threshold-path sizes: the sample filters NaN
+        // and the count pass excludes it, so either path stays exact.
+        let mut rng = Rng64::new(80);
+        let scores: Vec<f32> = (0..8000)
+            .map(|i| if i % 3 == 0 { rng.normal_f32(0.0, 1.0) } else { f32::NAN })
+            .collect();
+        for k in [1usize, 64, 500] {
+            let fast = top_k_indices(&scores, k);
+            let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_batch() {
+        let mut rng = Rng64::new(92);
+        for &(n, k) in &[(1usize, 1usize), (50, 7), (4096, 128), (3000, 3000), (100, 0)] {
+            let scores: Vec<f32> =
+                (0..n).map(|i| if i % 97 == 0 { f32::NAN } else { rng.normal_f32(0.0, 1.0) }).collect();
+            let mut topk = TopK::new();
+            topk.stream_begin(k.min(n));
+            for (i, &s) in scores.iter().enumerate() {
+                topk.stream_offer(s, i);
+            }
+            let mut streamed = Vec::new();
+            topk.stream_finish_into(&mut streamed);
+            assert_eq!(streamed, top_k_indices(&scores, k), "n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn stream_threshold_is_kth_best_and_prunable() {
+        // Offer ascending scores with k = 2: the first compaction fires at
+        // FIRST_STREAM_COMPACT offers and must publish the exact 2nd-best
+        // score seen so far.
+        let mut topk = TopK::new();
+        topk.stream_begin(2);
+        assert_eq!(topk.stream_threshold(), None);
+        for i in 0..FIRST_STREAM_COMPACT - 1 {
+            topk.stream_offer(i as f32, i);
+            assert_eq!(topk.stream_threshold(), None, "no compaction before trigger");
+        }
+        let last = FIRST_STREAM_COMPACT - 1;
+        topk.stream_offer(last as f32, last);
+        assert_eq!(topk.stream_threshold(), Some((last - 1) as f32));
+        // Offers strictly below the threshold are dropped without growing
+        // the candidate buffer.
+        let len_before = topk.entries.len();
+        topk.stream_offer(0.5, last + 1);
+        assert_eq!(topk.entries.len(), len_before);
+        // A new global best still enters and wins.
+        topk.stream_offer(f32::INFINITY, last + 2);
+        let mut out = Vec::new();
+        topk.stream_finish_into(&mut out);
+        assert_eq!(out, vec![last + 2, last]);
     }
 
     #[test]

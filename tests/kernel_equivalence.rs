@@ -43,6 +43,65 @@ fn pq_top_k_bit_identical_to_scalar_path() {
 }
 
 #[test]
+fn fused_score_and_select_bit_identical_on_paper_fixtures() {
+    // PR 4 acceptance guard: the fused score-and-select pipeline (blocked
+    // scan streaming into the selector, threshold-pruned) must select the
+    // exact same index sets, in the same order, as the unfused scan+select
+    // on the m=2/b=6 and m=4/b=8 fixtures — sized past CODE_BLOCK so the
+    // stream spans several prunable blocks.
+    for &(m, b, seed) in &[(2usize, 6u32, 303u64), (4, 8, 404)] {
+        let (book, codes, q) = fixture(pqcache::pq::CODE_BLOCK * 2 + 300, 32, m, b, seed);
+        let mut retriever = PqRetriever::new();
+        for n in [codes.len(), pqcache::pq::CODE_BLOCK + 17, 5] {
+            for k in [1usize, 16, 128, n] {
+                let mut unfused = Vec::new();
+                retriever.top_k_prefix_into(&book, &codes, &q, n, k, &mut unfused);
+                let mut fused = Vec::new();
+                let _ = retriever.score_and_select_into(&book, &codes, &q, n, k, &mut fused);
+                assert_eq!(unfused, fused, "m={m}, b={b}, n={n}, k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn online_attention_logits_match_two_pass_reference() {
+    // The decode attention kernel is now a blocked single-pass online
+    // softmax; its outputs must match the naive two-pass softmax reference
+    // to float tolerance, and repeated calls through one scratch must be
+    // bit-identical (the serve layer's scratch-sharing guarantee).
+    use pqcache::llm::attend_selected_into;
+    use pqcache::tensor::softmax_inplace;
+    let mut rng = Rng64::new(71);
+    for &(n, dh) in &[(1usize, 16usize), (7, 32), (200, 64)] {
+        let keys = Matrix::randn(n, dh, 1.0, &mut rng);
+        let values = Matrix::randn(n, dh, 1.0, &mut rng);
+        let q: Vec<f32> = (0..dh).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+
+        // Two-pass reference.
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut probs: Vec<f32> =
+            (0..n).map(|j| pqcache::tensor::dot(&q, keys.row(j)) * scale).collect();
+        softmax_inplace(&mut probs);
+        let mut reference = vec![0.0f32; dh];
+        for (j, &p) in probs.iter().enumerate() {
+            pqcache::tensor::axpy(&mut reference, values.row(j), p);
+        }
+
+        let (mut scores, mut out_a, mut out_b) = (Vec::new(), Vec::new(), Vec::new());
+        attend_selected_into(&q, &keys, &values, &mut scores, &mut out_a);
+        for (c, (a, r)) in out_a.iter().zip(reference.iter()).enumerate() {
+            assert!((a - r).abs() < 1e-5, "n={n}, dh={dh}, col {c}: {a} vs {r}");
+        }
+        // Re-run through the same (now warm) scratch: bit-identical.
+        attend_selected_into(&q, &keys, &values, &mut scores, &mut out_b);
+        for (c, (a, b)) in out_a.iter().zip(out_b.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "n={n}, dh={dh}, col {c} unstable");
+        }
+    }
+}
+
+#[test]
 fn subset_scores_match_full_scan() {
     let (book, codes, q) = fixture(300, 16, 2, 5, 7);
     let table = AdcTable::build(&book, &q);
@@ -75,6 +134,39 @@ fn retriever_steady_state_allocates_nothing() {
         assert_eq!(out.len(), 64, "step {step}");
         assert_eq!(retriever.scratch_capacities(), caps, "scratch grew at step {step}");
         assert_eq!(out.capacity(), out_cap, "output buffer grew at step {step}");
+    }
+}
+
+#[test]
+fn fused_retriever_steady_state_allocates_nothing() {
+    // Zero-alloc audit for the fused path: 100 decode-step retrievals
+    // through `score_and_select_into` (table rebuild + blocked pruned scan
+    // + streaming selection) must hold every scratch capacity steady after
+    // warm-up, and keep agreeing with the unfused pipeline.
+    let (book, codes, _) = fixture(pqcache::pq::CODE_BLOCK + 200, 32, 2, 6, 41);
+    let mut fused_retriever = PqRetriever::new();
+    let mut unfused_retriever = PqRetriever::new();
+    let mut out = Vec::new();
+    let mut check = Vec::new();
+    let mut rng = Rng64::new(78);
+    // Warm-up step.
+    let q: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    let _ = fused_retriever.score_and_select_into(&book, &codes, &q, codes.len(), 64, &mut out);
+    let caps = fused_retriever.scratch_capacities();
+    let out_cap = out.capacity();
+    for step in 0..100 {
+        let q: Vec<f32> = (0..32).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let _ =
+            fused_retriever.score_and_select_into(&book, &codes, &q, codes.len(), 64, &mut out);
+        assert_eq!(out.len(), 64, "step {step}");
+        assert_eq!(
+            fused_retriever.scratch_capacities(),
+            caps,
+            "fused scratch grew at step {step}"
+        );
+        assert_eq!(out.capacity(), out_cap, "output buffer grew at step {step}");
+        unfused_retriever.top_k_prefix_into(&book, &codes, &q, codes.len(), 64, &mut check);
+        assert_eq!(out, check, "fused selection diverged at step {step}");
     }
 }
 

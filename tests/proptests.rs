@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use pqcache::cache::{top_blocks, BlockCache, CacheBudget, EvictionPolicy};
 use pqcache::llm::{attend_selected, causal_attention, PrefillPattern};
-use pqcache::pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig};
+use pqcache::pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig, PqRetriever};
 use pqcache::tensor::{
     argsort_desc, dot, softmax_inplace, squared_l2, top_k_indices, AssignScratch, Matrix, Rng64,
     StreamingSoftmax,
@@ -69,6 +69,48 @@ proptest! {
     }
 
     #[test]
+    fn topk_exact_under_duplicates_nans_and_degenerate_k(
+        // Scores drawn from a tiny value set (massive tie plateaus) with
+        // NaNs mixed in, at sizes spanning both selector paths (full
+        // quickselect below SMALL_N, sample-threshold above), and k from 0
+        // through >= n: the O(n) selector must reproduce the argsort
+        // reference exactly — same index set, same order.
+        picks in proptest::collection::vec(0usize..5, 1..2600),
+        k_frac in 0u8..=8,
+    ) {
+        let vals = [-1.0f32, 0.0, 0.5, 2.0, f32::NAN];
+        let scores: Vec<f32> = picks.iter().map(|&i| vals[i]).collect();
+        let n = scores.len();
+        // k sweeps 0, n/8, 2n/8, ..., 7n/8, and an oversized k > n.
+        let k = if k_frac == 8 { n + 3 } else { (n * k_frac as usize) / 8 };
+        let fast = top_k_indices(&scores, k);
+        let slow: Vec<usize> = argsort_desc(&scores).into_iter().take(k).collect();
+        prop_assert_eq!(fast, slow, "n={}, k={}", n, k);
+    }
+
+    #[test]
+    fn streamed_selection_equals_batch(
+        // The streaming candidate-buffer path (compaction thresholds,
+        // block offers) must agree with the batch selector on arbitrary
+        // block splits of the same score stream.
+        picks in proptest::collection::vec(0usize..6, 1..800),
+        k in 0usize..96,
+        block in 1usize..130,
+    ) {
+        let vals = [-3.0f32, -0.5, 0.0, 1.0, 7.5, f32::NAN];
+        let scores: Vec<f32> = picks.iter().map(|&i| vals[i]).collect();
+        let mut topk = pqcache::tensor::TopK::new();
+        topk.stream_begin(k.min(scores.len()));
+        for chunk_start in (0..scores.len()).step_by(block) {
+            let chunk_end = (chunk_start + block).min(scores.len());
+            topk.stream_offer_block(&scores[chunk_start..chunk_end], chunk_start);
+        }
+        let mut streamed = Vec::new();
+        topk.stream_finish_into(&mut streamed);
+        prop_assert_eq!(streamed, top_k_indices(&scores, k));
+    }
+
+    #[test]
     fn kmeans_clusters_nonempty_and_inertia_finite(
         m in matrix_strategy(48, 4),
         k in 1usize..10,
@@ -126,6 +168,25 @@ proptest! {
             let scalar = table.score_token(&codes.token(i));
             prop_assert_eq!(fused[i].to_bits(), scalar.to_bits(), "token {}", i);
         }
+    }
+
+    #[test]
+    fn fused_adc_select_equals_unfused(
+        keys in matrix_strategy(700, 8),
+        q in proptest::collection::vec(-2.0f32..2.0, 8),
+        k in 0usize..40,
+    ) {
+        // Tentpole invariant: the fused blocked score-and-select (threshold
+        // pruning included — fixtures above CODE_BLOCK span several blocks)
+        // must select exactly what the unfused scan + batch select selects.
+        let (book, codes) =
+            PqCodebook::train(&keys, PqConfig { m: 2, b: 3, max_iters: 3, seed: 5 });
+        let mut retriever = PqRetriever::new();
+        let mut unfused = Vec::new();
+        let mut fused = Vec::new();
+        retriever.top_k_prefix_into(&book, &codes, &q, codes.len(), k, &mut unfused);
+        let _ = retriever.score_and_select_into(&book, &codes, &q, codes.len(), k, &mut fused);
+        prop_assert_eq!(unfused, fused);
     }
 
     #[test]
