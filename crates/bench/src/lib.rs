@@ -34,6 +34,7 @@ pub fn quality_session(token_ratio: f64, comm_fraction: f64) -> SessionConfig {
         comm_fraction,
         obs_window: 32,
         cache: CacheConfig::sim_default(),
+        ivf: pqc_core::IvfMode::Exact,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Engine configuration: KVCache segmentation, budgets, cache geometry.
 
 use pqc_cache::EvictionPolicy;
+pub use pqc_policies::IvfMode;
 use serde::{Deserialize, Serialize};
 
 /// How the GPU block cache is configured.
@@ -56,6 +57,14 @@ pub struct SessionConfig {
     pub obs_window: usize,
     /// GPU block cache.
     pub cache: CacheConfig,
+    /// Retrieval routing for IVF-capable policies: `Probe(n_probe)` routes
+    /// each query through an IVF tier and scans only the probed cells,
+    /// pushed down to the policy (`SelectionPolicy::configure_ivf`) before
+    /// initialisation so one serve-level knob governs every admitted
+    /// session. The `Exact` default leaves each policy's own routing
+    /// configuration in effect (a policy built with `IvfMode::Probe`
+    /// directly keeps probing).
+    pub ivf: IvfMode,
 }
 
 impl Default for SessionConfig {
@@ -67,6 +76,7 @@ impl Default for SessionConfig {
             comm_fraction: 1.0 / 32.0,
             obs_window: 32,
             cache: CacheConfig::sim_default(),
+            ivf: IvfMode::Exact,
         }
     }
 }
@@ -102,6 +112,9 @@ impl SessionConfig {
             self.comm_fraction >= 0.0 && self.comm_fraction <= 1.0,
             "comm_fraction must be in [0, 1]"
         );
+        if let IvfMode::Probe(n_probe) = self.ivf {
+            assert!(n_probe >= 1, "ivf probe width must be at least one cell");
+        }
     }
 }
 
@@ -138,6 +151,17 @@ mod tests {
     #[should_panic(expected = "token_ratio")]
     fn zero_ratio_panics() {
         SessionConfig { token_ratio: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probe width")]
+    fn zero_probe_width_panics() {
+        SessionConfig { ivf: IvfMode::Probe(0), ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn probe_config_is_valid() {
+        SessionConfig { ivf: IvfMode::Probe(4), ..Default::default() }.validate();
     }
 
     #[test]

@@ -10,6 +10,6 @@ pub mod config;
 pub mod latency;
 pub mod session;
 
-pub use config::{CacheConfig, SessionConfig};
+pub use config::{CacheConfig, IvfMode, SessionConfig};
 pub use latency::{KmeansIters, LatencyMethod, LatencyModel, PhaseReport};
 pub use session::{SelectiveSession, SessionResources, SessionScratch, SessionStart};

@@ -198,6 +198,12 @@ impl<'m> SelectiveSession<'m> {
         let SessionResources { mut store, cache } = resources;
         assert!(store.is_empty(), "session store namespace must start empty");
         assert!(cache.is_empty(), "session cache must start empty");
+        // The engine's routing knob: `Probe` is pushed down to IVF-capable
+        // policies (they build their inverted tiers at init); the `Exact`
+        // default leaves each policy's own routing configuration in effect.
+        if cfg.ivf.is_probe() {
+            policy.configure_ivf(cfg.ivf);
+        }
         let mut init_k = Vec::with_capacity(mcfg.n_layers);
         let mut init_v = Vec::with_capacity(mcfg.n_layers);
         let mut local = Vec::with_capacity(mcfg.n_layers);
@@ -568,6 +574,7 @@ mod tests {
             comm_fraction: 1.0 / 16.0,
             obs_window: 8,
             cache: crate::config::CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+            ivf: crate::config::IvfMode::Exact,
         }
     }
 
@@ -757,6 +764,51 @@ mod tests {
         assert_eq!(plain_out, tiered_out);
         assert_eq!(plain_s.transfer_stats(), tiered.transfer_stats());
         assert_eq!(tier.aggregate_stats(), tiered.transfer_stats());
+    }
+
+    #[test]
+    fn ivf_probe_all_cells_decodes_bit_identically() {
+        // SessionConfig::ivf = Probe(n_list) routes every step through the
+        // IVF tier but scans all cells — logits, selections, and transfer
+        // stats must match the exact-mode session bit for bit.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 41);
+        let n_list = pqc_policies::PqCachePolicyConfig::default().ivf_n_list;
+        let run = |ivf| {
+            let c = SessionConfig { ivf, ..cfg() };
+            let start =
+                SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), c, &toks);
+            let mut session = start.session;
+            let mut logits = Vec::new();
+            let mut next = pqc_tensor::argmax(&start.logits) as u32;
+            for _ in 0..8 {
+                let dec = session.decode(next);
+                next = dec.greedy();
+                logits.push(dec.logits);
+            }
+            (logits, session.selected_snapshot(), session.transfer_stats())
+        };
+        let exact = run(crate::config::IvfMode::Exact);
+        let probe = run(crate::config::IvfMode::Probe(n_list));
+        assert_eq!(exact.0, probe.0, "logits diverged");
+        assert_eq!(exact.1, probe.1, "selections diverged");
+        assert_eq!(exact.2, probe.2, "transfer stats diverged");
+    }
+
+    #[test]
+    fn ivf_narrow_probe_session_decodes() {
+        // A genuinely sublinear probe (fewer cells than n_list) must still
+        // produce a well-formed decode stream and meter transfers.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 42);
+        let c = SessionConfig { ivf: crate::config::IvfMode::Probe(2), ..cfg() };
+        let start = SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), c, &toks);
+        let mut session = start.session;
+        let out = session.generate(&start.logits, 6);
+        assert_eq!(out.len(), 6);
+        assert!(session.transfer_stats().h2d_bytes > 0);
+        let sel = session.last_selected(0, 0);
+        assert!(!sel.is_empty());
     }
 
     #[test]

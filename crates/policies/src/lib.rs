@@ -28,6 +28,7 @@ use pqc_pq::PqRetriever;
 use pqc_tensor::{Matrix, TopK};
 
 pub use dropping::{H2oPolicy, PyramidKvPolicy, SnapKvPolicy, StreamingLlmPolicy};
+pub use pqc_pq::IvfMode;
 pub use pqcache::{PqCachePolicy, PqCachePolicyConfig};
 pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy};
 
@@ -41,9 +42,11 @@ pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy
 /// is bit-transparent.
 #[derive(Debug, Default)]
 pub struct PolicyScratch {
-    /// ADC table + blocked fused-scan score buffer + top-k selector
-    /// (PQCache routes its per-step retrieval through
-    /// `PqRetriever::score_and_select_into` on this).
+    /// ADC table + blocked fused-scan score buffer + top-k selector + IVF
+    /// routing buffers (PQCache routes its per-step retrieval through
+    /// `PqRetriever::score_and_select_into`, or
+    /// `score_and_select_ivf_into` under `IvfMode::Probe`, on this — so N
+    /// sessions on a serving shard share one IVF scratch).
     pub retriever: PqRetriever,
     /// Combined GQA group query.
     pub q_buf: Vec<f32>,
@@ -128,6 +131,14 @@ pub trait SelectionPolicy {
 
     /// Consume prefill-derived state. Called exactly once before decoding.
     fn init(&mut self, init: &PolicyInit);
+
+    /// Adopt the engine's retrieval-routing mode (`SessionConfig::ivf`),
+    /// called by the session *before* [`Self::init`]. Policies without an
+    /// IVF tier ignore it; `PqCachePolicy` builds (or skips) its inverted
+    /// lists accordingly. Must not be called after `init`.
+    fn configure_ivf(&mut self, mode: IvfMode) {
+        let _ = mode;
+    }
 
     /// Indices (middle coordinates, strictly less than `ctx.middle_len`) of
     /// the middle tokens to include in attention, at most `ctx.budget` of

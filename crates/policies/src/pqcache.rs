@@ -8,7 +8,7 @@
 //! assigned codes by nearest centroid (Algorithm 2, line 4).
 
 use crate::{group_query_into, PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
-use pqc_pq::{PqCodebook, PqCodes, PqConfig};
+use pqc_pq::{IvfConfig, IvfIndex, IvfMode, PqCodebook, PqCodes, PqConfig};
 
 /// PQCache policy hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -21,12 +21,21 @@ pub struct PqCachePolicyConfig {
     pub kmeans_iters: usize,
     /// Clustering seed.
     pub seed: u64,
+    /// Retrieval routing: `Exact` flat fused scan, or `Probe(n_probe)`
+    /// through an IVF tier of [`Self::ivf_n_list`] coarse cells (paper §5's
+    /// "other retrieval techniques" direction). `Probe(n_list)` is
+    /// bit-identical to `Exact`.
+    pub ivf: IvfMode,
+    /// Coarse cells per (layer, kv-head) IVF tier when [`Self::ivf`]
+    /// probes.
+    pub ivf_n_list: usize,
 }
 
 impl Default for PqCachePolicyConfig {
     fn default() -> Self {
-        // Paper default for LongBench: m=2, b=6 (§4.2.7).
-        Self { m: 2, b: 6, kmeans_iters: 25, seed: 0xBEEF }
+        // Paper default for LongBench: m=2, b=6 (§4.2.7). Routing stays
+        // exact by default; `IvfMode::Probe` opts into the IVF tier.
+        Self { m: 2, b: 6, kmeans_iters: 25, seed: 0xBEEF, ivf: IvfMode::Exact, ivf_n_list: 16 }
     }
 }
 
@@ -38,6 +47,9 @@ pub struct PqCachePolicy {
     books: Vec<Vec<PqCodebook>>,
     /// `[layer][kv_head]` per-token codes (grow with evictions).
     codes: Vec<Vec<PqCodes>>,
+    /// `[layer][kv_head]` IVF tiers (empty under [`IvfMode::Exact`]; built
+    /// alongside the codebooks and grown by `on_evict` otherwise).
+    ivf: Vec<Vec<IvfIndex>>,
     /// Fallback decode-step retrieval scratch (ADC table, fused-scan score
     /// buffer, top-k heap, group query) used by `select_into`; callers on
     /// the multi-session hot path hand in a shared [`PolicyScratch`] via
@@ -54,9 +66,36 @@ impl PqCachePolicy {
             cfg,
             books: Vec::new(),
             codes: Vec::new(),
+            ivf: Vec::new(),
             scratch: PolicyScratch::new(),
             code_buf: Vec::new(),
         }
+    }
+
+    /// The IVF configuration the policy builds its tiers with (seed derived
+    /// per (layer, head) the same way the codebook seeds are).
+    fn ivf_config(&self, layer: usize, head: usize) -> IvfConfig {
+        IvfConfig {
+            n_list: self.cfg.ivf_n_list,
+            n_probe: self.cfg.ivf.n_probe().unwrap_or(self.cfg.ivf_n_list),
+            max_iters: 8,
+            seed: self
+                .cfg
+                .seed
+                .wrapping_add(0x19F0)
+                .wrapping_add((layer as u64) << 32 | head as u64),
+        }
+    }
+
+    /// Cell-length imbalance of the `(layer, kv_head)` IVF tier (0.0 under
+    /// [`IvfMode::Exact`]) — the drift meter for appended tokens routed
+    /// against build-time coarse centroids; `refresh` (periodic
+    /// reconstruction, §5) rebuilds the tiers from scratch.
+    pub fn ivf_imbalance(&self, layer: usize, kv_head: usize) -> f64 {
+        self.ivf
+            .get(layer)
+            .and_then(|l| l.get(kv_head))
+            .map_or(0.0, IvfIndex::cell_imbalance)
     }
 
     /// Capacities of the per-step scratch buffers (retriever table/scores/
@@ -111,6 +150,7 @@ impl SelectionPolicy for PqCachePolicy {
         let pq_cfg = self.pq_config();
         self.books = Vec::with_capacity(init.n_layers);
         self.codes = Vec::with_capacity(init.n_layers);
+        self.ivf = Vec::new();
         for layer_keys in &init.middle_keys {
             let mut lb = Vec::with_capacity(init.n_kv_heads);
             let mut lc = Vec::with_capacity(init.n_kv_heads);
@@ -124,6 +164,32 @@ impl SelectionPolicy for PqCachePolicy {
             self.books.push(lb);
             self.codes.push(lc);
         }
+        if self.cfg.ivf.is_probe() {
+            // Build the IVF tiers over the same middle keys the codebooks
+            // trained on, one inverted file per (layer, kv-head).
+            self.ivf = init
+                .middle_keys
+                .iter()
+                .enumerate()
+                .map(|(l, layer_keys)| {
+                    layer_keys
+                        .iter()
+                        .enumerate()
+                        .map(|(h, keys)| {
+                            IvfIndex::build(keys, &self.codes[l][h], self.ivf_config(l, h))
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+    }
+
+    fn configure_ivf(&mut self, mode: IvfMode) {
+        assert!(
+            self.books.is_empty(),
+            "configure_ivf must run before init (the IVF tiers are built there)"
+        );
+        self.cfg.ivf = mode;
     }
 
     fn select_into(&mut self, ctx: &PolicyContext<'_>, out: &mut Vec<usize>) {
@@ -152,13 +218,43 @@ impl SelectionPolicy for PqCachePolicy {
         // streaming straight into the selector (blocks that cannot beat the
         // running k-th-best threshold are skipped without materialising
         // scores) — all through the caller's reusable retriever scratch.
-        // Bit-identical to the unfused scan + select pipeline.
-        scratch.retriever.score_and_select_into(book, codes, &scratch.q_buf, n, ctx.budget, out);
+        // Bit-identical to the unfused scan + select pipeline. Under
+        // `IvfMode::Probe` the scan is additionally routed through the
+        // (layer, head) IVF tier: only the `n_probe` best coarse cells'
+        // code columns are walked, making per-step selection cost sublinear
+        // in the context length.
+        match self.cfg.ivf {
+            IvfMode::Probe(n_probe) => {
+                let ivf = &self.ivf[ctx.layer][ctx.kv_head];
+                scratch.retriever.score_and_select_ivf_into(
+                    book,
+                    ivf,
+                    &scratch.q_buf,
+                    n,
+                    ctx.budget,
+                    n_probe,
+                    out,
+                );
+            }
+            IvfMode::Exact => {
+                scratch
+                    .retriever
+                    .score_and_select_into(book, codes, &scratch.q_buf, n, ctx.budget, out);
+            }
+        }
     }
 
     fn on_evict(&mut self, layer: usize, kv_head: usize, key: &[f32], _middle_idx: usize) {
         self.books[layer][kv_head].assign_into(key, &mut self.code_buf);
-        self.codes[layer][kv_head].push(&self.code_buf);
+        let codes = &mut self.codes[layer][kv_head];
+        codes.push(&self.code_buf);
+        if self.cfg.ivf.is_probe() {
+            // The token's id is its row in the code table (what the scan
+            // bound `n` indexes), which the session keeps equal to the
+            // middle offset.
+            let id = codes.len() - 1;
+            self.ivf[layer][kv_head].append_token(id, key, &self.code_buf);
+        }
     }
 
     /// PQ codes are query-independent: fully prefetchable. Non-overlappable
@@ -188,7 +284,7 @@ mod tests {
     use pqc_tensor::{topk_recall, Matrix, Rng64};
 
     fn cfg(m: usize, b: u32, iters: usize) -> PqCachePolicyConfig {
-        PqCachePolicyConfig { m, b, kmeans_iters: iters, seed: 7 }
+        PqCachePolicyConfig { m, b, kmeans_iters: iters, seed: 7, ..Default::default() }
     }
 
     #[test]
@@ -292,6 +388,71 @@ mod tests {
                 assert_eq!(internal, ext);
             }
         }
+    }
+
+    #[test]
+    fn probe_all_cells_matches_exact_mode() {
+        // IvfMode::Probe(n_list) scans every cell exactly once: selections
+        // must be bit-identical to IvfMode::Exact, evictions included.
+        let init = synthetic_init(2, 2, 260, 16, &[], 31);
+        let mk = |ivf| {
+            let mut p = PqCachePolicy::new(PqCachePolicyConfig {
+                ivf,
+                ivf_n_list: 8,
+                ..cfg(2, 6, 12)
+            });
+            p.init(&init);
+            p
+        };
+        let mut exact = mk(IvfMode::Exact);
+        let mut probe = mk(IvfMode::Probe(8));
+        let mut rng = Rng64::new(33);
+        for step in 0..8 {
+            if step == 4 {
+                // Interleave evictions: the IVF tier must track appends.
+                let key: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+                for p in [&mut exact, &mut probe] {
+                    p.on_evict(1, 0, &key, 260);
+                }
+            }
+            let q = Matrix::randn(2, 16, 1.0, &mut rng);
+            for (layer, head, mid) in [(0usize, 1usize, 260usize), (1, 0, 261)] {
+                let ctx = PolicyContext {
+                    layer,
+                    kv_head: head,
+                    queries: &q,
+                    budget: 24,
+                    middle_len: mid,
+                };
+                assert_eq!(exact.select(&ctx), probe.select(&ctx), "step {step} l{layer}h{head}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_mode_tracks_imbalance() {
+        // The drift meter must actually *move*: evicting a stream of
+        // identical keys routes them all into one cell, so the reported
+        // max/mean imbalance strictly grows with the appends.
+        let init = synthetic_init(1, 1, 120, 16, &[], 35);
+        let mut p = PqCachePolicy::new(PqCachePolicyConfig {
+            ivf: IvfMode::Probe(2),
+            ivf_n_list: 4,
+            ..cfg(2, 5, 8)
+        });
+        assert_eq!(p.ivf_imbalance(0, 0), 0.0, "no tier before init");
+        p.init(&init);
+        let built = p.ivf_imbalance(0, 0);
+        assert!(built >= 1.0, "built tier reports imbalance");
+        let skew_key = vec![3.0f32; 16];
+        for i in 0..120 {
+            p.on_evict(0, 0, &skew_key, 120 + i);
+        }
+        let skewed = p.ivf_imbalance(0, 0);
+        assert!(
+            skewed > built + 0.3,
+            "skewed appends must raise the meter: {built:.2} -> {skewed:.2}"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! of O(s·dh) for exact scores.
 
 use crate::codebook::{PqCodebook, PqCodes, CODE_BLOCK};
+use crate::ivf::IvfIndex;
 use pqc_tensor::{dot, top_k_indices, Matrix, TopK};
 
 /// Pre-computed per-query lookup table: `table[j][c]` is the inner product of
@@ -258,9 +259,93 @@ impl AdcTable {
         pruned
     }
 
+    /// IVF-routed fused score-and-select: score the coarse centroids, probe
+    /// the `n_probe` best cells, and stream only those cells' SoA code
+    /// columns through the [`TopK`] streaming selector — tokens outside the
+    /// probed cells are never touched, so per-step ADC work is
+    /// O(n_list·dh + s·m·n_probe/n_list) instead of O(s·m).
+    ///
+    /// Pruning composes with routing: inside a probed cell, whole
+    /// [`CODE_BLOCK`]-blocks whose upper bound ([`Self::block_score_bound`]
+    /// over the cell's own block-max codes) cannot beat the running
+    /// k-th-best threshold are skipped, exactly as in the flat
+    /// [`Self::score_and_select_into`]. Only tokens with id `< n` are
+    /// offered (cell id lists ascend, so the eligible prefix is found by
+    /// one binary search per cell).
+    ///
+    /// With `n_probe >= n_list` every cell is scanned, every eligible token
+    /// is offered exactly once (cells partition the ids), and per-token
+    /// scores come from the same `score_range_into` accumulation order as
+    /// the flat scan — the selected set is **bit-identical** to
+    /// [`Self::score_and_select_into`] (enforced by `tests/ivf_equivalence.rs`).
+    #[allow(clippy::too_many_arguments)] // hot path: caller-owned scratch, no bundling
+    pub fn score_and_select_ivf_into(
+        &self,
+        ivf: &IvfIndex,
+        query: &[f32],
+        n: usize,
+        k: usize,
+        n_probe: usize,
+        topk: &mut TopK,
+        scratch: &mut IvfScratch,
+        block_scores: &mut Vec<f32>,
+        out: &mut Vec<usize>,
+    ) -> IvfSelectStats {
+        let mut stats = IvfSelectStats::default();
+        let eligible = n.min(ivf.len());
+        let k = k.min(eligible);
+        // Coarse routing through the shared O(n) selector, *before* the
+        // stream opens (the batch and streaming modes share one TopK).
+        ivf.score_cells_into(query, &mut scratch.coarse_scores);
+        let n_probe = n_probe.clamp(1, ivf.n_list().max(1));
+        topk.select_into(&scratch.coarse_scores, n_probe, &mut scratch.cells);
+        stats.probed_cells = scratch.cells.len();
+
+        topk.stream_begin(k);
+        if k == 0 {
+            topk.stream_finish_into(out);
+            return stats;
+        }
+        for &c in &scratch.cells {
+            let (ids, codes) = ivf.cell(c);
+            // Eligible prefix: ids ascend, so one partition point bounds
+            // the scan (appended-but-not-yet-live tokens sit past it).
+            let lim = ids.partition_point(|&id| (id as usize) < n);
+            if lim == 0 {
+                continue;
+            }
+            self.assert_codes_bounded(codes);
+            let mut lo = 0usize;
+            while lo < lim {
+                let hi = (lo + CODE_BLOCK).min(lim);
+                let blk = lo / CODE_BLOCK;
+                if let Some(threshold) = topk.stream_threshold() {
+                    // Same strict-`<` argument as the flat fused scan: the
+                    // block bound covers every member (including any past
+                    // `lim`), so a bound below the exact k-th-best excludes
+                    // the whole block; NaN bounds fail `<` and never prune.
+                    if self.block_score_bound(codes, blk) < threshold {
+                        stats.pruned_blocks += 1;
+                        lo = hi;
+                        continue;
+                    }
+                }
+                self.score_range_into(codes, lo, hi, block_scores);
+                topk.stream_offer_indexed(block_scores, &ids[lo..hi]);
+                stats.scanned_tokens += hi - lo;
+                lo = hi;
+            }
+        }
+        topk.stream_finish_into(out);
+        stats
+    }
+
     /// ADC scores of an arbitrary candidate subset (`ids` index into
-    /// `codes`), written into `out` (cleared first) in `ids` order. Used by
-    /// IVF probing: still sub-space-major so each LUT row stays hot.
+    /// `codes`), written into `out` (cleared first) in `ids` order — still
+    /// sub-space-major so each LUT row stays hot. The IVF hot path no
+    /// longer goes through here (it scans per-cell columns via
+    /// [`Self::score_and_select_ivf_into`]); this stays as the general
+    /// scatter-scoring API and the equivalence tests' reference.
     pub fn score_subset_into(&self, codes: &PqCodes, ids: &[usize], out: &mut Vec<f32>) {
         assert_eq!(codes.m(), self.m, "sub-space count mismatch");
         out.clear();
@@ -282,14 +367,49 @@ impl AdcTable {
     }
 }
 
-/// Reusable decode-step retrieval state: ADC table, score buffer, and top-k
-/// heap. After the first call every step of `pq_top_k`-equivalent work —
-/// table build, fused scan, selection — runs with zero heap allocations.
+/// Per-step counters from the IVF-routed fused scan — what the benches use
+/// to demonstrate sublinear selection cost (scanned tokens ≪ context) and
+/// that block pruning still composes with routing.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IvfSelectStats {
+    /// Coarse cells actually probed.
+    pub probed_cells: usize,
+    /// Tokens whose scores were materialised (≤ the probed cells' members).
+    pub scanned_tokens: usize,
+    /// [`CODE_BLOCK`]-blocks inside probed cells skipped by the threshold
+    /// bound.
+    pub pruned_blocks: usize,
+}
+
+/// Reusable IVF-routing scratch: coarse-centroid scores and the probed-cell
+/// index buffer. Lives inside [`PqRetriever`] (and therefore inside the
+/// policies' shared `PolicyScratch`), so N serving sessions on a shard cost
+/// one set of routing buffers.
+#[derive(Debug, Default, Clone)]
+pub struct IvfScratch {
+    /// Inner products of the query with each coarse centroid.
+    pub(crate) coarse_scores: Vec<f32>,
+    /// Indices of the probed cells (coarse-score descending).
+    pub(crate) cells: Vec<usize>,
+}
+
+impl IvfScratch {
+    /// Total capacity of the routing buffers (allocation-stability tests).
+    pub fn capacity(&self) -> usize {
+        self.coarse_scores.capacity() + self.cells.capacity()
+    }
+}
+
+/// Reusable decode-step retrieval state: ADC table, score buffer, top-k
+/// heap, and IVF routing scratch. After the first call every step of
+/// `pq_top_k`-equivalent work — table build, fused scan, selection — runs
+/// with zero heap allocations.
 #[derive(Debug, Default, Clone)]
 pub struct PqRetriever {
     table: AdcTable,
     scores: Vec<f32>,
     topk: TopK,
+    ivf: IvfScratch,
 }
 
 impl PqRetriever {
@@ -351,14 +471,45 @@ impl PqRetriever {
             .score_and_select_into(codes, n, k, &mut self.topk, &mut self.scores, out)
     }
 
+    /// Fused IVF-routed decode-step retrieval: rebuild the ADC table for
+    /// `query`, then run [`AdcTable::score_and_select_ivf_into`] — coarse
+    /// routing plus a threshold-pruned scan over only the probed cells'
+    /// code columns. Returns the routing stats. With `n_probe >= n_list`
+    /// the selected set is bit-identical to [`Self::score_and_select_into`].
+    #[allow(clippy::too_many_arguments)] // hot path: flat knobs, no bundling
+    pub fn score_and_select_ivf_into(
+        &mut self,
+        book: &PqCodebook,
+        ivf: &IvfIndex,
+        query: &[f32],
+        n: usize,
+        k: usize,
+        n_probe: usize,
+        out: &mut Vec<usize>,
+    ) -> IvfSelectStats {
+        self.table.rebuild(book, query);
+        self.table.score_and_select_ivf_into(
+            ivf,
+            query,
+            n,
+            k,
+            n_probe,
+            &mut self.topk,
+            &mut self.ivf,
+            &mut self.scores,
+            out,
+        )
+    }
+
     /// Capacities of the internal scratch buffers `(table, scores, heap)` —
     /// exposed so tests can assert steady-state allocation stability. The
-    /// table component covers both the raw LUT and its prefix-max copy.
+    /// table component covers both the raw LUT and its prefix-max copy; the
+    /// heap component folds in the IVF routing buffers.
     pub fn scratch_capacities(&self) -> (usize, usize, usize) {
         (
             self.table.table.capacity() + self.table.prefmax.capacity(),
             self.scores.capacity(),
-            self.topk.scratch_capacity(),
+            self.topk.scratch_capacity() + self.ivf.capacity(),
         )
     }
 }

@@ -133,6 +133,13 @@ impl PqCodes {
         self.cols.iter().map(|c| c[i]).collect()
     }
 
+    /// [`Self::token`] into a caller-owned buffer (cleared first) — the
+    /// allocation-free row gather the IVF build/maintenance paths use.
+    pub fn token_into(&self, i: usize, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c[i]));
+    }
+
     /// Code of token `i` in sub-space `j`.
     #[inline]
     pub fn code(&self, i: usize, j: usize) -> u16 {

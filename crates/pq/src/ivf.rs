@@ -1,25 +1,67 @@
-//! IVF (inverted-file) coarse quantization — the paper's §5 extension.
+//! IVF (inverted-file) coarse quantization — the paper's §5 extension,
+//! wired into the decode hot path.
 //!
 //! "Other retrieval techniques, such as IVF \[48\] ... could potentially
 //! contribute to more efficient LLM inference." IVF partitions the keys into
 //! `n_list` coarse cells by K-Means; a query then scores only the tokens in
 //! its `n_probe` nearest cells instead of all `s` tokens, cutting ADC work
-//! from O(s·m) to O(s·m·n_probe/n_list) at some recall cost. This module
-//! implements IVF over the PQ codebook (IVF-PQ) so the trade-off can be
-//! measured — see the `ivf_ablation` test and the extension notes in
-//! EXPERIMENTS.md.
+//! from O(s·m) to O(s·m·n_probe/n_list) at some recall cost.
+//!
+//! The index stores **per-cell SoA code columns** (each cell owns a
+//! [`PqCodes`] holding its members' codes in the same subspace-major layout
+//! the fused scan wants, plus an ascending token-id list), so probing a cell
+//! is the same L1-resident sequential column walk as the flat scan — and the
+//! per-[`CODE_BLOCK`]-block max-code bound composes with routing: inside a
+//! probed cell, blocks that cannot beat the running k-th-best threshold are
+//! skipped exactly as in [`crate::adc::AdcTable::score_and_select_into`].
+//! See `score_and_select_ivf_into` in [`crate::adc`] and the "IVF-routed
+//! selection" section of EXPERIMENTS.md.
 
 use crate::adc::AdcTable;
 use crate::codebook::{PqCodebook, PqCodes};
 use crate::kmeans::{kmeans, KMeansConfig};
-use pqc_tensor::{dot, nearest_centroid_cached, row_sq_norms_into, top_k_indices, Matrix};
+use pqc_tensor::{
+    dot, nearest_centroid_cached, row_sq_norms_into, AssignScratch, Matrix, TopK,
+};
+
+/// How the decode-step selector routes retrieval.
+///
+/// Threaded from `SessionConfig` through `PqCachePolicyConfig` down to
+/// `PqRetriever`: `Exact` runs the flat fused score-and-select over all
+/// middle tokens; `Probe(n_probe)` scores coarse centroids first and scans
+/// only the `n_probe` nearest cells. `Probe(n)` with `n >= n_list` scans
+/// every cell and is **bit-identical** to `Exact` (enforced by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum IvfMode {
+    /// Flat fused scan over every token (the PR 4 path).
+    #[default]
+    Exact,
+    /// IVF routing: scan only the given number of coarse cells per query.
+    Probe(usize),
+}
+
+impl IvfMode {
+    /// Whether this mode routes through the IVF tier.
+    pub fn is_probe(&self) -> bool {
+        matches!(self, Self::Probe(_))
+    }
+
+    /// The probe width, if routing is on.
+    pub fn n_probe(&self) -> Option<usize> {
+        match self {
+            Self::Exact => None,
+            Self::Probe(n) => Some(*n),
+        }
+    }
+}
 
 /// IVF configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct IvfConfig {
     /// Number of coarse cells.
     pub n_list: usize,
-    /// Cells probed per query.
+    /// Cells probed per query (the default for [`IvfIndex::probe`] /
+    /// [`IvfIndex::search`]; the fused path takes `n_probe` explicitly).
     pub n_probe: usize,
     /// Coarse K-Means iterations.
     pub max_iters: usize,
@@ -33,6 +75,50 @@ impl Default for IvfConfig {
     }
 }
 
+/// Coarse training sample cap: above this many keys the coarse K-Means runs
+/// on a strided sample and the full set is routed with one blocked
+/// assignment pass — the FAISS-style recipe that keeps build time flat in
+/// `s` (routing is one `‖x‖² − 2XCᵀ + ‖c‖²` sweep).
+const COARSE_TRAIN_CAP: usize = 16_384;
+
+/// Greatest common divisor (Euclid), for the coprime sampling step.
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// One inverted list: ascending token ids plus their PQ codes in the shared
+/// SoA column layout (so the ADC scan machinery applies unchanged).
+#[derive(Debug, Clone)]
+struct IvfCell {
+    /// Member token ids, strictly ascending.
+    ids: Vec<u32>,
+    /// Members' PQ codes, subspace-major, row `r` codes token `ids[r]`.
+    codes: PqCodes,
+}
+
+impl IvfCell {
+    fn new(m: usize) -> Self {
+        Self { ids: Vec::new(), codes: PqCodes::new(m) }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn codes(&self) -> &PqCodes {
+        &self.codes
+    }
+
+    fn push(&mut self, id: u32, token_codes: &[u16]) {
+        debug_assert!(self.ids.last().is_none_or(|&last| last < id), "ids must ascend");
+        self.ids.push(id);
+        self.codes.push(token_codes);
+    }
+}
+
 /// An inverted-file index over token keys, layered on top of PQ codes.
 ///
 /// ```
@@ -42,9 +128,9 @@ impl Default for IvfConfig {
 /// let mut rng = Rng64::new(2);
 /// let keys = Matrix::randn(512, 16, 1.0, &mut rng);
 /// let (book, codes) = PqCodebook::train(&keys, PqConfig { m: 2, b: 5, max_iters: 8, seed: 2 });
-/// let ivf = IvfIndex::build(&keys, IvfConfig { n_list: 16, n_probe: 4, max_iters: 8, seed: 3 });
+/// let ivf = IvfIndex::build(&keys, &codes, IvfConfig { n_list: 16, n_probe: 4, max_iters: 8, seed: 3 });
 /// let q: Vec<f32> = keys.row(42).to_vec();
-/// let top = ivf.search(&book, &codes, &q, 10);
+/// let top = ivf.search(&book, &q, 10);
 /// assert!(top.len() <= 10);
 /// // Only ~n_probe/n_list of tokens were ADC-scored.
 /// assert!(ivf.scan_fraction(&q, 512) < 0.8);
@@ -57,68 +143,322 @@ pub struct IvfIndex {
     /// `‖centroid‖²` per coarse cell, cached so append-time routing runs the
     /// batched `‖c‖² − 2·x·c` argmin.
     coarse_norms: Vec<f32>,
-    /// Token ids per cell.
-    lists: Vec<Vec<usize>>,
+    /// Inverted lists (ids + SoA codes per cell).
+    cells: Vec<IvfCell>,
+    /// Total tokens indexed (cells partition `0..len`).
+    len: usize,
+    /// Tokens appended since build/rebalance — the drift meter behind
+    /// [`IvfIndex::cell_imbalance`]-driven maintenance.
+    appended: usize,
 }
 
 impl IvfIndex {
-    /// Build the index from raw keys.
-    pub fn build(keys: &Matrix, cfg: IvfConfig) -> Self {
+    /// Build the index from raw keys and their PQ codes (one code row per
+    /// key row, same order).
+    ///
+    /// Coarse centroids are trained on at most [`COARSE_TRAIN_CAP`] strided
+    /// sample rows; the full key set is then routed with one blocked
+    /// assignment pass, so build cost stays near-linear in `s`.
+    pub fn build(keys: &Matrix, codes: &PqCodes, cfg: IvfConfig) -> Self {
         assert!(cfg.n_list >= 1 && cfg.n_probe >= 1);
-        let res = kmeans(
-            keys,
-            &KMeansConfig { k: cfg.n_list, max_iters: cfg.max_iters, tol: 1e-4, seed: cfg.seed },
-        );
-        let n_list = res.centroids.rows();
-        let mut lists = vec![Vec::new(); n_list];
-        for (i, &a) in res.assignments.iter().enumerate() {
-            lists[a as usize].push(i);
+        assert_eq!(keys.rows(), codes.len(), "one code row per key row");
+        let s = keys.rows();
+        let kcfg = KMeansConfig { k: cfg.n_list, max_iters: cfg.max_iters, tol: 1e-4, seed: cfg.seed };
+        let (centroids, assignments) = if s > COARSE_TRAIN_CAP {
+            // Weyl-sequence sample, not a plain stride: key streams are
+            // often periodic (interleaved sessions, repeated templates),
+            // and a stride sharing a factor with the period would sample a
+            // single phase of it. The step is forced coprime to `s`, so
+            // `j ↦ j·step mod s` is a bijection: the sample hits every
+            // residue class and contains no duplicate rows.
+            let mut step = 0x9E37_79B9_7F4A_7C15_usize % s;
+            while gcd(step, s) != 1 {
+                step += 1;
+            }
+            let sample_ids: Vec<usize> =
+                (0..COARSE_TRAIN_CAP).map(|j| j.wrapping_mul(step) % s).collect();
+            let res = kmeans(&keys.gather_rows(&sample_ids), &kcfg);
+            let mut assignments = vec![0u32; s];
+            AssignScratch::new().assign(keys, &res.centroids, &mut assignments);
+            (res.centroids, assignments)
+        } else {
+            let res = kmeans(keys, &kcfg);
+            (res.centroids, res.assignments)
+        };
+        let n_list = centroids.rows();
+        let mut cells = vec![IvfCell::new(codes.m()); n_list];
+        let mut buf = Vec::new();
+        for (i, &a) in assignments.iter().enumerate() {
+            codes.token_into(i, &mut buf);
+            cells[a as usize].push(i as u32, &buf);
         }
         let mut coarse_norms = Vec::new();
-        row_sq_norms_into(&res.centroids, &mut coarse_norms);
-        Self { cfg, coarse: res.centroids, coarse_norms, lists }
+        row_sq_norms_into(&centroids, &mut coarse_norms);
+        Self { cfg, coarse: centroids, coarse_norms, cells, len: s, appended: 0 }
     }
 
     /// Number of coarse cells actually built.
     pub fn n_list(&self) -> usize {
-        self.lists.len()
+        self.cells.len()
     }
 
-    /// Append a new token (assigned to its nearest coarse cell).
-    pub fn append(&mut self, token_id: usize, key: &[f32]) {
+    /// Total tokens indexed (the cells partition `0..len`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sub-space count of the stored codes.
+    pub fn m(&self) -> usize {
+        self.cells.first().map_or(0, |c| c.codes().m())
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> IvfConfig {
+        self.cfg
+    }
+
+    /// One inverted list: `(ascending token ids, SoA codes)` — row `r` of
+    /// the codes belongs to token `ids[r]`. Exposed for the fused IVF scan
+    /// and for equivalence tests.
+    pub fn cell(&self, c: usize) -> (&[u32], &PqCodes) {
+        let cell = &self.cells[c];
+        (&cell.ids, cell.codes())
+    }
+
+    /// Tokens appended since build (or the last rebalance) — appended tokens
+    /// are routed against the build-time coarse centroids, so this is the
+    /// drift meter that should trigger [`IvfIndex::cell_imbalance`] checks.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Append one token: routed to its nearest coarse cell (cached-norm
+    /// batched argmin — no allocation beyond amortised list growth). The
+    /// token id must exceed every id already present (decode appends are
+    /// monotone), keeping every cell's id list ascending.
+    pub fn append_token(&mut self, token_id: usize, key: &[f32], token_codes: &[u16]) {
+        assert!(token_id >= self.len, "append ids must be monotone (got {token_id}, len {})", self.len);
         let (best, _) = nearest_centroid_cached(key, &self.coarse, &self.coarse_norms);
-        self.lists[best].push(token_id);
+        self.cells[best].push(token_id as u32, token_codes);
+        self.len = token_id + 1;
+        self.appended += 1;
+    }
+
+    /// Inner-product scores of the query against every coarse centroid,
+    /// written into `out` (cleared first). O(n_list · dh).
+    pub fn score_cells_into(&self, query: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.cells.len());
+        for c in 0..self.coarse.rows() {
+            out.push(dot(query, self.coarse.row(c)));
+        }
+    }
+
+    /// Cell-length imbalance: `max / mean` list length (1.0 is perfectly
+    /// balanced, 0.0 when empty). Appended tokens routed against stale
+    /// centroids show up here — the cheap signal for when a
+    /// [`IvfIndex::rebalance`] pays off.
+    pub fn cell_imbalance(&self) -> f64 {
+        if self.len == 0 || self.cells.is_empty() {
+            return 0.0;
+        }
+        let max = self.cells.iter().map(IvfCell::len).max().unwrap_or(0);
+        let mean = self.len as f64 / self.cells.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Bounded re-balance: up to `max_cells` rounds of "split the fullest
+    /// cell, recycle the emptiest". Each round (a) re-routes the emptiest
+    /// cell's members to their next-nearest centroid, (b) 2-means-splits the
+    /// fullest cell's members (keys supplied by the caller, row = token id),
+    /// and (c) installs the two split centroids over the two freed slots.
+    /// Only the two chosen cells' members *move*; the dominant cost per
+    /// round is O((max + min cell) · dh) for the split and re-routing,
+    /// plus the destination-cell merges for the (few, small-cell) evicted
+    /// members — appends when their ids exceed the destination's tail
+    /// (the common case for decode-appended tokens), a rebuild of that
+    /// destination otherwise. This is maintenance-path code: it may
+    /// allocate, unlike the per-step scan.
+    ///
+    /// Returns the number of tokens that changed cell. Cells always
+    /// partition `0..len` and keep ascending id lists, so routed retrieval
+    /// stays exact at `n_probe = n_list` across rebalances. Rounds stop
+    /// early once `max/mean < 1.5` (nothing worth fixing).
+    pub fn rebalance(&mut self, keys: &Matrix, max_cells: usize) -> usize {
+        assert!(keys.rows() >= self.len, "need one key row per indexed token");
+        let mut moved = 0usize;
+        if self.cells.len() < 2 || self.len == 0 {
+            return 0;
+        }
+        for round in 0..max_cells {
+            let mean = self.len as f64 / self.cells.len() as f64;
+            let big = (0..self.cells.len()).max_by_key(|&c| self.cells[c].len()).expect("cells");
+            let small = (0..self.cells.len()).min_by_key(|&c| self.cells[c].len()).expect("cells");
+            if big == small
+                || self.cells[big].len() < 2
+                || (self.cells[big].len() as f64) < 1.5 * mean
+            {
+                break;
+            }
+            moved += self.split_round(keys, big, small, round);
+        }
+        self.appended = 0;
+        moved
+    }
+
+    /// One rebalance round: drain `small` into next-nearest cells, 2-means
+    /// `big`'s members, split them over the `big`/`small` slots.
+    fn split_round(&mut self, keys: &Matrix, big: usize, small: usize, round: usize) -> usize {
+        let m = self.m();
+        let mut moved = 0usize;
+        // (a) Evict the emptiest cell's members to their next-nearest cell
+        // (excluding `small` itself, whose centroid is being recycled).
+        let evicted = std::mem::replace(&mut self.cells[small], IvfCell::new(m));
+        let evicted_codes = evicted.codes();
+        let mut pending: Vec<(usize, u32, Vec<u16>)> = Vec::with_capacity(evicted.len());
+        for (r, &id) in evicted.ids.iter().enumerate() {
+            let key = keys.row(id as usize);
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.coarse.rows() {
+                if c == small {
+                    continue;
+                }
+                let d = self.coarse_norms[c] - 2.0 * dot(key, self.coarse.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            pending.push((best, id, (0..m).map(|j| evicted_codes.code(r, j)).collect()));
+            moved += 1;
+        }
+        // (b) 2-means over the fullest cell's members.
+        let donor = std::mem::replace(&mut self.cells[big], IvfCell::new(m));
+        let donor_keys: Vec<usize> = donor.ids.iter().map(|&i| i as usize).collect();
+        let sub = keys.gather_rows(&donor_keys);
+        let split = kmeans(
+            &sub,
+            &KMeansConfig {
+                k: 2,
+                max_iters: self.cfg.max_iters.max(4),
+                tol: 1e-4,
+                seed: self.cfg.seed.wrapping_add(0xBA1A).wrapping_add(round as u64),
+            },
+        );
+        // (c) Install the split centroids over the freed slots and deal
+        // the donor members to whichever half claimed them (ids stay
+        // ascending: the donor list was ascending and we filter in order).
+        let halves = [big, small];
+        for (h, &slot) in halves.iter().enumerate() {
+            let row = if split.centroids.rows() > h { h } else { 0 };
+            self.coarse.copy_row_from(slot, split.centroids.row(row));
+            self.coarse_norms[slot] = dot(split.centroids.row(row), split.centroids.row(row));
+        }
+        let donor_codes = donor.codes();
+        let mut buf = Vec::new();
+        for (r, &id) in donor.ids.iter().enumerate() {
+            let half = *split.assignments.get(r).unwrap_or(&0) as usize;
+            let slot = halves[half.min(1)];
+            donor_codes.token_into(r, &mut buf);
+            self.cells[slot].push(id, &buf);
+            if slot != big {
+                moved += 1;
+            }
+        }
+        // Merge the evicted members into their destinations (sorted insert:
+        // group by destination, then merge the ascending run).
+        pending.sort_by_key(|&(dest, id, _)| (dest, id));
+        let mut i = 0usize;
+        while i < pending.len() {
+            let dest = pending[i].0;
+            let mut j = i;
+            while j < pending.len() && pending[j].0 == dest {
+                j += 1;
+            }
+            self.merge_into_cell(dest, &pending[i..j]);
+            i = j;
+        }
+        moved
+    }
+
+    /// Merge an ascending run of `(dest, id, codes)` members into cell
+    /// `dest`, keeping the id list ascending. When every incoming id
+    /// exceeds the destination's tail (decode-appended tokens carry the
+    /// largest ids, so this is the common case) the merge is a plain
+    /// append; only genuine interleavings pay the full rebuild.
+    fn merge_into_cell(&mut self, dest: usize, incoming: &[(usize, u32, Vec<u16>)]) {
+        let append_only =
+            self.cells[dest].ids.last().is_none_or(|&tail| tail < incoming[0].1);
+        if append_only {
+            for (_, id, codes) in incoming {
+                self.cells[dest].push(*id, codes);
+            }
+            return;
+        }
+        let m = self.m();
+        let old = std::mem::replace(&mut self.cells[dest], IvfCell::new(m));
+        let old_codes = old.codes();
+        let mut buf = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old.ids.len() || b < incoming.len() {
+            let take_old =
+                b >= incoming.len() || (a < old.ids.len() && old.ids[a] < incoming[b].1);
+            if take_old {
+                old_codes.token_into(a, &mut buf);
+                self.cells[dest].push(old.ids[a], &buf);
+                a += 1;
+            } else {
+                self.cells[dest].push(incoming[b].1, &incoming[b].2);
+                b += 1;
+            }
+        }
     }
 
     /// The token ids inside the `n_probe` cells nearest to `query` (by
-    /// inner product, matching the attention-scoring geometry).
+    /// inner product, matching the attention-scoring geometry), in
+    /// cell-rank order. Allocating convenience; the decode path streams
+    /// cells directly through the fused scan instead.
     pub fn probe(&self, query: &[f32]) -> Vec<usize> {
-        let scores: Vec<f32> =
-            (0..self.coarse.rows()).map(|c| dot(query, self.coarse.row(c))).collect();
-        let cells = top_k_indices(&scores, self.cfg.n_probe.min(self.lists.len()));
+        let mut scores = Vec::new();
+        self.score_cells_into(query, &mut scores);
+        let mut cells = Vec::new();
+        // The shared O(n) selector (not the legacy heap) picks the cells.
+        TopK::new().select_into(&scores, self.cfg.n_probe.min(self.cells.len()), &mut cells);
         let mut out = Vec::new();
         for c in cells {
-            out.extend_from_slice(&self.lists[c]);
+            out.extend(self.cells[c].ids.iter().map(|&i| i as usize));
         }
         out
     }
 
-    /// IVF-PQ top-k: ADC-score only the probed candidates.
-    pub fn search(
-        &self,
-        book: &PqCodebook,
-        codes: &PqCodes,
-        query: &[f32],
-        k: usize,
-    ) -> Vec<usize> {
-        let candidates = self.probe(query);
-        if candidates.is_empty() {
-            return Vec::new();
-        }
+    /// IVF-PQ top-k: ADC-score only the probed candidates, through the
+    /// fused routed scan (threshold pruning included). Allocating
+    /// convenience wrapper; hot paths hold a `PqRetriever` and call
+    /// [`crate::PqRetriever::score_and_select_ivf_into`].
+    pub fn search(&self, book: &PqCodebook, query: &[f32], k: usize) -> Vec<usize> {
         let table = AdcTable::build(book, query);
-        let mut scores = Vec::with_capacity(candidates.len());
-        table.score_subset_into(codes, &candidates, &mut scores);
-        top_k_indices(&scores, k).into_iter().map(|j| candidates[j]).collect()
+        let mut topk = TopK::new();
+        let mut scratch = crate::adc::IvfScratch::default();
+        let mut block_scores = Vec::new();
+        let mut out = Vec::new();
+        table.score_and_select_ivf_into(
+            self,
+            query,
+            self.len,
+            k,
+            self.cfg.n_probe,
+            &mut topk,
+            &mut scratch,
+            &mut block_scores,
+            &mut out,
+        );
+        out
     }
 
     /// Fraction of tokens scored per query (the ADC-work saving).
@@ -145,19 +485,40 @@ mod tests {
         (keys, book, codes)
     }
 
+    fn partitioned_ids(ivf: &IvfIndex) -> Vec<usize> {
+        let mut all: Vec<usize> = (0..ivf.n_list())
+            .flat_map(|c| ivf.cell(c).0.iter().map(|&i| i as usize).collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
     #[test]
     fn lists_partition_tokens() {
-        let (keys, _, _) = setup(300, 16, 1);
-        let ivf = IvfIndex::build(&keys, IvfConfig::default());
-        let mut all: Vec<usize> = ivf.lists.iter().flatten().copied().collect();
-        all.sort_unstable();
-        assert_eq!(all, (0..300).collect::<Vec<_>>());
+        let (keys, _, codes) = setup(300, 16, 1);
+        let ivf = IvfIndex::build(&keys, &codes, IvfConfig::default());
+        assert_eq!(partitioned_ids(&ivf), (0..300).collect::<Vec<_>>());
+        assert_eq!(ivf.len(), 300);
+        // Cell ids ascend and cell codes mirror the global codes row by row.
+        for c in 0..ivf.n_list() {
+            let (ids, ccodes) = ivf.cell(c);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "cell {c} ids not ascending");
+            for (r, &id) in ids.iter().enumerate() {
+                for j in 0..codes.m() {
+                    assert_eq!(ccodes.code(r, j), codes.code(id as usize, j));
+                }
+            }
+        }
     }
 
     #[test]
     fn probing_reduces_scan() {
-        let (keys, _, _) = setup(400, 16, 2);
-        let ivf = IvfIndex::build(&keys, IvfConfig { n_list: 16, n_probe: 4, ..Default::default() });
+        let (keys, _, codes) = setup(400, 16, 2);
+        let ivf = IvfIndex::build(
+            &keys,
+            &codes,
+            IvfConfig { n_list: 16, n_probe: 4, ..Default::default() },
+        );
         let mut rng = Rng64::new(9);
         let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
         let frac = ivf.scan_fraction(&q, 400);
@@ -174,6 +535,7 @@ mod tests {
         for n_probe in [1usize, 4, 16] {
             let ivf = IvfIndex::build(
                 &keys,
+                &codes,
                 IvfConfig { n_list: 16, n_probe, max_iters: 10, seed: 5 },
             );
             let mut recall = 0.0;
@@ -182,7 +544,7 @@ mod tests {
             for _ in 0..trials {
                 let q: Vec<f32> = (0..16).map(|_| rq.normal_f32(0.0, 1.0)).collect();
                 let exact = exact_top_k(&keys, &q, 30);
-                let got = ivf.search(&book, &codes, &q, 30);
+                let got = ivf.search(&book, &q, 30);
                 recall += topk_recall(&exact, &got);
             }
             recall /= trials as f64;
@@ -195,14 +557,125 @@ mod tests {
 
     #[test]
     fn append_routes_to_a_cell() {
-        let (keys, _, _) = setup(100, 16, 4);
-        let mut ivf = IvfIndex::build(&keys, IvfConfig::default());
-        let before: usize = ivf.lists.iter().map(|l| l.len()).sum();
-        ivf.append(100, keys.row(0));
-        let after: usize = ivf.lists.iter().map(|l| l.len()).sum();
+        let (keys, book, codes) = setup(100, 16, 4);
+        let mut ivf = IvfIndex::build(&keys, &codes, IvfConfig::default());
+        let before: usize = (0..ivf.n_list()).map(|c| ivf.cell(c).0.len()).sum();
+        let appended_codes = book.assign(keys.row(0));
+        ivf.append_token(100, keys.row(0), &appended_codes);
+        let after: usize = (0..ivf.n_list()).map(|c| ivf.cell(c).0.len()).sum();
         assert_eq!(after, before + 1);
+        assert_eq!(ivf.len(), 101);
+        assert_eq!(ivf.appended(), 1);
         // The appended token is findable with a query aligned to its key.
         let q: Vec<f32> = keys.row(0).iter().map(|v| v * 2.0).collect();
         assert!(ivf.probe(&q).contains(&100));
+    }
+
+    #[test]
+    fn skewed_appends_trigger_rebalance() {
+        // Build over two well-separated clusters, then append a third,
+        // denser cluster: every appended token routes to its nearest *stale*
+        // centroid, inflating one cell. The imbalance meter must flag it,
+        // and one bounded rebalance round (split fullest / recycle emptiest)
+        // must cut the skew while keeping the partition exact.
+        let dh = 8;
+        let mut rng = Rng64::new(44);
+        let mut rows: Vec<f32> = Vec::new();
+        let n_seed = 60;
+        for i in 0..n_seed {
+            let base = if i % 2 == 0 { 4.0 } else { -4.0 };
+            for d in 0..dh {
+                rows.push(base + 0.1 * rng.normal_f32(0.0, 1.0) + d as f32 * 0.0);
+            }
+        }
+        // Appended cluster near +1.5: nearer to the +4 centroid than -4.
+        let n_app = 120;
+        for _ in 0..n_app {
+            for _ in 0..dh {
+                rows.push(1.5 + 0.1 * rng.normal_f32(0.0, 1.0));
+            }
+        }
+        let all_keys = Matrix::from_vec(n_seed + n_app, dh, rows);
+        let seed_keys = all_keys.slice_rows(0, n_seed);
+        let (book, codes) =
+            PqCodebook::train(&all_keys, PqConfig { m: 2, b: 4, max_iters: 10, seed: 9 });
+        let seed_codes = {
+            let cols = (0..codes.m())
+                .map(|j| codes.column(j)[..n_seed].to_vec())
+                .collect::<Vec<_>>();
+            PqCodes::from_columns(cols)
+        };
+        let mut ivf = IvfIndex::build(
+            &seed_keys,
+            &seed_codes,
+            IvfConfig { n_list: 4, n_probe: 2, max_iters: 20, seed: 11 },
+        );
+        let mut buf = Vec::new();
+        for t in n_seed..n_seed + n_app {
+            book.assign_into(all_keys.row(t), &mut buf);
+            ivf.append_token(t, all_keys.row(t), &buf);
+        }
+        assert_eq!(ivf.appended(), n_app);
+        let before = ivf.cell_imbalance();
+        assert!(before > 1.8, "drift must show as imbalance, got {before}");
+
+        let moved = ivf.rebalance(&all_keys, 1);
+        assert!(moved > 0, "rebalance must move tokens");
+        assert_eq!(ivf.appended(), 0, "rebalance resets the drift meter");
+        let after = ivf.cell_imbalance();
+        assert!(after < before, "imbalance must drop: {before} -> {after}");
+        // The partition invariant holds: every token in exactly one cell,
+        // ids ascending.
+        assert_eq!(partitioned_ids(&ivf), (0..n_seed + n_app).collect::<Vec<_>>());
+        for c in 0..ivf.n_list() {
+            let (ids, _) = ivf.cell(c);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "cell {c} ids not ascending");
+        }
+        // And probing the appended cluster finds appended tokens.
+        let q: Vec<f32> = vec![1.5; dh];
+        let probed = ivf.probe(&q);
+        assert!(probed.iter().any(|&i| i >= n_seed), "appended cluster unreachable");
+    }
+
+    #[test]
+    fn coarse_sample_covers_periodic_streams() {
+        // Regression: s divisible by 5 with a period-5 key stream (five
+        // interleaved "sessions"). A sampling step sharing the factor 5
+        // with s would train the coarse centroids on one phase only and
+        // leave the other four sessions' clusters unrepresented; the
+        // coprime-step sample must see all five.
+        let (s, dh) = (20_480usize, 8usize); // > COARSE_TRAIN_CAP, s % 5 == 0
+        let mut rng = Rng64::new(55);
+        let centers = Matrix::randn(5, dh, 4.0, &mut rng);
+        let keys = Matrix::from_fn(s, dh, |i, j| {
+            centers.get(i % 5, j) + 0.1 * rng.normal_f32(0.0, 1.0)
+        });
+        let (_, codes) =
+            PqCodebook::train(&keys, PqConfig { m: 2, b: 4, max_iters: 5, seed: 56 });
+        let ivf = IvfIndex::build(
+            &keys,
+            &codes,
+            IvfConfig { n_list: 5, n_probe: 1, max_iters: 10, seed: 57 },
+        );
+        // Five tight, well-separated clusters of 4096 tokens each: a
+        // phase-covering sample yields near-balanced cells; a single-phase
+        // sample collapses them (imbalance ≈ 5).
+        let imb = ivf.cell_imbalance();
+        assert!(imb < 1.5, "coarse sample missed stream phases: imbalance {imb:.2}");
+    }
+
+    #[test]
+    fn search_matches_flat_pq_when_probing_everything() {
+        let (keys, book, codes) = setup(500, 16, 6);
+        let ivf = IvfIndex::build(
+            &keys,
+            &codes,
+            IvfConfig { n_list: 8, n_probe: 8, max_iters: 10, seed: 7 },
+        );
+        let mut rng = Rng64::new(21);
+        for _ in 0..6 {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            assert_eq!(ivf.search(&book, &q, 25), crate::pq_top_k(&book, &codes, &q, 25));
+        }
     }
 }

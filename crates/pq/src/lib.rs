@@ -17,7 +17,7 @@ pub mod ivf;
 pub mod kmeans;
 
 pub use adaptive::{AdaptiveIterBudget, ClusterSample, ComputeSample};
-pub use adc::{exact_top_k, pq_top_k, AdcTable, PqRetriever};
+pub use adc::{exact_top_k, pq_top_k, AdcTable, IvfScratch, IvfSelectStats, PqRetriever};
 pub use codebook::{PqCodebook, PqCodes, PqConfig, CODE_BLOCK};
-pub use ivf::{IvfConfig, IvfIndex};
+pub use ivf::{IvfConfig, IvfIndex, IvfMode};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

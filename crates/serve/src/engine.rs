@@ -421,6 +421,7 @@ mod tests {
                 lfu: true,
                 k_cache_blocks: 4,
             },
+            ivf: pqc_core::IvfMode::Exact,
         }
     }
 
@@ -532,6 +533,54 @@ mod tests {
         );
         for (a, b) in report.completions.iter().zip(ff.completions.iter()) {
             assert_eq!(a.generated, b.generated);
+        }
+    }
+
+    #[test]
+    fn ivf_probe_all_cells_serves_bit_identically() {
+        // ServeConfig.session.ivf = Probe(n_list) reaches every admitted
+        // session's policy: the full-probe fleet must reproduce the
+        // exact-mode fleet's traces bit for bit (routing is transparent at
+        // n_probe = n_list), sharing one IVF scratch per shard.
+        let model = Model::new(LlmConfig::tiny());
+        let n_list = pqc_policies::PqCachePolicyConfig::default().ivf_n_list;
+        let run = |ivf| {
+            let cfg = ServeConfig {
+                shards: 2,
+                max_active_per_shard: 2,
+                queue_capacity: 4,
+                session: SessionConfig { ivf, ..session_cfg() },
+                record_trace: true,
+                ..Default::default()
+            };
+            ServeEngine::run(&model, &cfg, requests(5))
+        };
+        let exact = run(pqc_core::IvfMode::Exact);
+        let probe = run(pqc_core::IvfMode::Probe(n_list));
+        assert_eq!(exact.completions.len(), probe.completions.len());
+        for (a, b) in exact.completions.iter().zip(probe.completions.iter()) {
+            assert_eq!(a.generated, b.generated, "request {} tokens diverged", a.id);
+            assert_eq!(a.trace, b.trace, "request {} trace diverged", a.id);
+            assert_eq!(a.transfer, b.transfer, "request {} transfers diverged", a.id);
+        }
+    }
+
+    #[test]
+    fn ivf_narrow_probe_fleet_completes() {
+        // A genuinely sublinear fleet (probe 2 of 16 cells) must run to
+        // completion under continuous batching.
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 2,
+            max_active_per_shard: 2,
+            queue_capacity: 4,
+            session: SessionConfig { ivf: pqc_core::IvfMode::Probe(2), ..session_cfg() },
+            ..Default::default()
+        };
+        let report = ServeEngine::run(&model, &cfg, requests(6));
+        assert_eq!(report.completions.len(), 6);
+        for (i, c) in report.completions.iter().enumerate() {
+            assert_eq!(c.generated.len(), 4 + i % 3);
         }
     }
 

@@ -46,6 +46,18 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Rows drawn from a mixture of `centers` unit Gaussians with
+    /// per-dimension noise `spread` — the clustered shape attention keys
+    /// have, and the regime coarse quantizers (IVF) exploit. Each row's
+    /// component is chosen uniformly at random, so the cluster layout has
+    /// no periodic structure in the row index.
+    pub fn clustered(rows: usize, cols: usize, centers: usize, spread: f32, rng: &mut Rng64) -> Self {
+        assert!(centers >= 1, "need at least one mixture component");
+        let mix = Self::randn(centers, cols, 1.0, rng);
+        let assign: Vec<usize> = (0..rows).map(|_| rng.below(centers)).collect();
+        Self::from_fn(rows, cols, |i, j| mix.get(assign[i], j) + spread * rng.normal_f32(0.0, 1.0))
+    }
+
     /// Identity matrix.
     pub fn eye(n: usize) -> Self {
         Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })

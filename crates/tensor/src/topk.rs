@@ -317,6 +317,26 @@ impl TopK {
             scores.is_empty() || base_index + scores.len() - 1 <= u32::MAX as usize,
             "stream indices must fit in u32"
         );
+        self.stream_offer_run(scores, |i| base_index + i);
+    }
+
+    /// Offer one block of scores whose indices are *arbitrary* (given by the
+    /// parallel `indices` slice) — the inverted-list form of
+    /// [`TopK::stream_offer_block`], used by the IVF-routed scan where a
+    /// probed cell's tokens are scattered across the sequence. Same tight
+    /// threshold reject loop, same accept/reject decisions as offering each
+    /// `(scores[i], indices[i])` pair individually. Indices are `u32`
+    /// (matching the packed-key width), so no overflow check is needed.
+    pub fn stream_offer_indexed(&mut self, scores: &[f32], indices: &[u32]) {
+        debug_assert_eq!(scores.len(), indices.len(), "score/index length mismatch");
+        self.stream_offer_run(scores, |i| indices[i] as usize);
+    }
+
+    /// Shared body of the bulk offers: the tight threshold reject loop over
+    /// a score run, with `index_of` mapping run position to token index
+    /// (monomorphised per caller — no indirection on the hot path).
+    #[inline]
+    fn stream_offer_run(&mut self, scores: &[f32], index_of: impl Fn(usize) -> usize) {
         if self.stream_k == 0 {
             return;
         }
@@ -332,7 +352,7 @@ impl TopK {
                     break;
                 }
             }
-            self.entries.push(encode_key(scores[i], base_index + i));
+            self.entries.push(encode_key(scores[i], index_of(i)));
             if self.entries.len() >= self.stream_next {
                 self.stream_compact();
                 self.stream_advance_trigger();
@@ -565,6 +585,39 @@ mod tests {
         let mut out = Vec::new();
         topk.stream_finish_into(&mut out);
         assert_eq!(out, vec![last + 2, last]);
+    }
+
+    #[test]
+    fn stream_offer_indexed_matches_batch_on_scattered_ids() {
+        // Offer a permuted, gap-ridden index set in chunks: the result must
+        // equal batch selection over the scattered scores (same total order,
+        // NaNs included).
+        let mut rng = Rng64::new(93);
+        for &(n, k, chunk) in &[(1usize, 1usize, 1usize), (300, 17, 7), (4000, 256, 93)] {
+            // Scattered ids: stride-3 with an offset, descending within
+            // pairs so the offer order is not ascending.
+            let ids: Vec<u32> = (0..n).map(|i| (i * 3 + (i % 2) * 7) as u32).collect();
+            let scores: Vec<f32> = (0..n)
+                .map(|i| if i % 41 == 0 { f32::NAN } else { rng.normal_f32(0.0, 1.0) })
+                .collect();
+            // Dense reference vector: position id -> score, others -inf
+            // (never selected before any real candidate, and n >= k real
+            // candidates always exist here).
+            let max_id = *ids.iter().max().unwrap() as usize;
+            let mut dense = vec![f32::NEG_INFINITY; max_id + 1];
+            for (&id, &s) in ids.iter().zip(scores.iter()) {
+                dense[id as usize] = s;
+            }
+            let mut topk = TopK::new();
+            topk.stream_begin(k.min(n));
+            for start in (0..n).step_by(chunk) {
+                let end = (start + chunk).min(n);
+                topk.stream_offer_indexed(&scores[start..end], &ids[start..end]);
+            }
+            let mut streamed = Vec::new();
+            topk.stream_finish_into(&mut streamed);
+            assert_eq!(streamed, top_k_indices(&dense, k.min(n)), "n={n}, k={k}");
+        }
     }
 
     #[test]

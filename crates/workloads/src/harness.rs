@@ -304,6 +304,7 @@ mod tests {
                 comm_fraction: 1.0 / 8.0,
                 obs_window: 8,
                 cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+                ivf: pqc_core::IvfMode::Exact,
             },
             driver_seed: 1,
         }

@@ -42,6 +42,21 @@ pub enum MethodSpec {
         /// K-Means iterations.
         iters: usize,
     },
+    /// PQCache with IVF-routed retrieval (the paper's §5 extension): the
+    /// decode-step scan probes `n_probe` of `n_list` coarse cells instead
+    /// of every token — sublinear selection for long contexts.
+    PqCacheIvf {
+        /// Sub-spaces.
+        m: usize,
+        /// Bits per code.
+        b: u32,
+        /// K-Means iterations.
+        iters: usize,
+        /// Coarse cells per (layer, kv-head).
+        n_list: usize,
+        /// Cells probed per query.
+        n_probe: usize,
+    },
 }
 
 impl MethodSpec {
@@ -49,6 +64,12 @@ impl MethodSpec {
     /// at d_h=128 to simulation scale (same comm-fraction semantics).
     pub fn pqcache_default() -> Self {
         MethodSpec::PqCache { m: 2, b: 6, iters: 15 }
+    }
+
+    /// The default IVF-routed PQCache: same PQ geometry, 16-cell inverted
+    /// file probing 4 cells per step (the `IvfConfig` defaults).
+    pub fn pqcache_ivf_default() -> Self {
+        MethodSpec::PqCacheIvf { m: 2, b: 6, iters: 15, n_list: 16, n_probe: 4 }
     }
 
     /// Display name matching the paper's tables.
@@ -63,6 +84,7 @@ impl MethodSpec {
             MethodSpec::Sparq => "SPARQ",
             MethodSpec::InfLlm => "InfLLM",
             MethodSpec::PqCache { .. } => "PQCache",
+            MethodSpec::PqCacheIvf { .. } => "PQCache-IVF",
         }
     }
 
@@ -85,8 +107,18 @@ impl MethodSpec {
                 Box::new(InfLlmPolicy::new(block, reps))
             }
             MethodSpec::PqCache { m, b, iters } => Box::new(PqCachePolicy::new(
-                PqCachePolicyConfig { m, b, kmeans_iters: iters, seed: 0xBEEF },
+                PqCachePolicyConfig { m, b, kmeans_iters: iters, seed: 0xBEEF, ..Default::default() },
             )),
+            MethodSpec::PqCacheIvf { m, b, iters, n_list, n_probe } => {
+                Box::new(PqCachePolicy::new(PqCachePolicyConfig {
+                    m,
+                    b,
+                    kmeans_iters: iters,
+                    seed: 0xBEEF,
+                    ivf: pqc_policies::IvfMode::Probe(n_probe),
+                    ivf_n_list: n_list,
+                }))
+            }
         }
     }
 

@@ -16,6 +16,7 @@ fn session_cfg() -> SessionConfig {
         comm_fraction: 1.0 / 16.0,
         obs_window: 8,
         cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+        ivf: pqcache::core::IvfMode::Exact,
     }
 }
 

@@ -187,7 +187,7 @@ fn pqcache_policy_select_steady_state_capacities() {
         window_scores: None,
     };
     let mut policy =
-        PqCachePolicy::new(PqCachePolicyConfig { m: 2, b: 5, kmeans_iters: 8, seed: 3 });
+        PqCachePolicy::new(PqCachePolicyConfig { m: 2, b: 5, kmeans_iters: 8, seed: 3, ..Default::default() });
     policy.init(&init);
     let mut out = Vec::new();
     // Warm-up with the largest middle_len the loop will see so the scan
@@ -226,7 +226,7 @@ fn select_wrapper_matches_select_into() {
         window_scores: None,
     };
     let mut policy =
-        PqCachePolicy::new(PqCachePolicyConfig { m: 2, b: 4, kmeans_iters: 6, seed: 11 });
+        PqCachePolicy::new(PqCachePolicyConfig { m: 2, b: 4, kmeans_iters: 6, seed: 11, ..Default::default() });
     policy.init(&init);
     let q = Matrix::randn(1, 16, 1.0, &mut rng);
     let ctx = PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 10, middle_len: 128 };

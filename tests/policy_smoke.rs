@@ -20,7 +20,8 @@ fn all_variants() -> Vec<MethodSpec> {
         | MethodSpec::PyramidKv
         | MethodSpec::Sparq
         | MethodSpec::InfLlm
-        | MethodSpec::PqCache { .. } => (),
+        | MethodSpec::PqCache { .. }
+        | MethodSpec::PqCacheIvf { .. } => (),
     };
     let variants = vec![
         MethodSpec::Full,
@@ -33,6 +34,8 @@ fn all_variants() -> Vec<MethodSpec> {
         MethodSpec::InfLlm,
         MethodSpec::pqcache_default(),
         MethodSpec::PqCache { m: 4, b: 3, iters: 6 },
+        MethodSpec::pqcache_ivf_default(),
+        MethodSpec::PqCacheIvf { m: 2, b: 4, iters: 6, n_list: 4, n_probe: 1 },
     ];
     variants.iter().for_each(witness);
     variants
@@ -54,6 +57,7 @@ fn every_variant_survives_a_short_decode() {
             comm_fraction: 1.0 / 16.0,
             obs_window: 8,
             cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+            ivf: pqcache::core::IvfMode::Exact,
         };
         let policy = spec.build(model.config().head_dim, cfg.comm_fraction);
         let start = SelectiveSession::start(&model, policy, cfg, &toks);

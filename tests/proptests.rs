@@ -6,7 +6,9 @@
 use proptest::prelude::*;
 use pqcache::cache::{top_blocks, BlockCache, CacheBudget, EvictionPolicy};
 use pqcache::llm::{attend_selected, causal_attention, PrefillPattern};
-use pqcache::pq::{kmeans, AdcTable, KMeansConfig, PqCodebook, PqConfig, PqRetriever};
+use pqcache::pq::{
+    kmeans, AdcTable, IvfConfig, IvfIndex, KMeansConfig, PqCodebook, PqConfig, PqRetriever,
+};
 use pqcache::tensor::{
     argsort_desc, dot, softmax_inplace, squared_l2, top_k_indices, AssignScratch, Matrix, Rng64,
     StreamingSoftmax,
@@ -108,6 +110,39 @@ proptest! {
         let mut streamed = Vec::new();
         topk.stream_finish_into(&mut streamed);
         prop_assert_eq!(streamed, top_k_indices(&scores, k));
+    }
+
+    #[test]
+    fn ivf_full_probe_selection_equals_flat(
+        // IvfMode::Probe(n_list) ≡ Exact as a *property*: arbitrary key
+        // sets, arbitrary coarse-cell counts, arbitrary (n, k) shapes —
+        // the routed fused scan must reproduce the flat fused scan's
+        // selection exactly (cells partition the tokens; per-cell scans
+        // preserve the accumulation order).
+        keys in matrix_strategy(260, 8),
+        n_list in 1usize..9,
+        k in 0usize..48,
+        seed in 0u64..64,
+    ) {
+        let (book, codes) =
+            PqCodebook::train(&keys, PqConfig { m: 2, b: 3, max_iters: 3, seed });
+        let ivf = IvfIndex::build(
+            &keys,
+            &codes,
+            IvfConfig { n_list, n_probe: n_list, max_iters: 3, seed },
+        );
+        let mut rng = Rng64::new(seed ^ 0x1F5);
+        let q: Vec<f32> = (0..8).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let mut retriever = PqRetriever::new();
+        for n in [codes.len(), codes.len() / 2, 1] {
+            let mut flat = Vec::new();
+            let _ = retriever.score_and_select_into(&book, &codes, &q, n, k, &mut flat);
+            let mut routed = Vec::new();
+            let _ = retriever.score_and_select_ivf_into(
+                &book, &ivf, &q, n, k, ivf.n_list(), &mut routed,
+            );
+            prop_assert_eq!(flat, routed, "n={}, k={}, n_list={}", n, k, n_list);
+        }
     }
 
     #[test]
