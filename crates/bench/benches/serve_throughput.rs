@@ -33,7 +33,7 @@
 use pqc_core::{IvfMode, SelectiveSession, SessionConfig};
 use pqc_llm::{LlmConfig, Model, PrefillOptions};
 use pqc_serve::{ServeConfig, ServeEngine, ServeRequest, ShardAssignment};
-use pqc_workloads::MethodSpec;
+use pqc_workloads::{shared_prefix_trace, MethodSpec, TraceConfig, VocabLayout};
 use std::time::Instant;
 
 struct Config {
@@ -262,7 +262,112 @@ fn bench_long_context(model: &Model, cfg: &Config) -> LongRow {
     LongRow { prompt_len, sessions, decode_steps, tokens, exact_s, ivf_s }
 }
 
-fn write_json(path: &std::path::Path, mode: &str, cores: usize, rows: &[Row], long: &LongRow) {
+/// The prefix-cache comparison: a shared-prefix fleet served with the
+/// paged tier's prefix registry on vs off.
+struct PrefixRow {
+    sessions: usize,
+    groups: usize,
+    page_tokens: usize,
+    lookups: u64,
+    full_hits: u64,
+    hit_rate: f64,
+    prefix_hit_tokens: u64,
+    cow_copies: u64,
+    shared_peak_host_bytes: u64,
+    cold_peak_host_bytes: u64,
+    shared_d2h_bytes: u64,
+    cold_d2h_bytes: u64,
+    shared_s: f64,
+    cold_s: f64,
+}
+
+impl PrefixRow {
+    fn dedup_factor(&self) -> f64 {
+        self.cold_peak_host_bytes as f64 / self.shared_peak_host_bytes.max(1) as f64
+    }
+    fn d2h_saving(&self) -> f64 {
+        1.0 - self.shared_d2h_bytes as f64 / self.cold_d2h_bytes.max(1) as f64
+    }
+}
+
+/// Shared-prefix fleet (system-prompt traffic): `sessions` requests over
+/// `groups` identical prompts, one shard so admission is sequential and
+/// the hit count is exact (`sessions - groups` full hits). The whole fleet
+/// is concurrently resident, so peak host bytes compare O(unique tokens)
+/// against O(sessions × tokens) with the registry off.
+fn bench_prefix_cache(model: &Model, cfg: &Config) -> PrefixRow {
+    let (sessions, groups) = if cfg.quick { (12, 1) } else { (32, 2) };
+    let trace = shared_prefix_trace(
+        &TraceConfig {
+            sessions,
+            // Prompts long relative to decode so the shared pages dominate
+            // each session's private CoW/append tail (the dedup signal).
+            prompt_lens: if cfg.quick { [160, 160, 160] } else { [192, 288, 384] },
+            decode_steps: if cfg.quick { (2, 4) } else { (4, 12) },
+            layout: VocabLayout::for_vocab(256),
+            ..Default::default()
+        },
+        groups,
+    );
+    let requests = || -> Vec<ServeRequest> {
+        trace
+            .requests
+            .iter()
+            .map(|r| ServeRequest {
+                id: r.id,
+                tokens: r.workload.tokens.clone(),
+                decode_steps: r.decode_steps,
+                policy: policy(model),
+            })
+            .collect()
+    };
+    let serve_cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: sessions,
+        queue_capacity: sessions,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let _ = ServeEngine::run(model, &serve_cfg, requests()); // warm-up
+    let t0 = Instant::now();
+    let shared = ServeEngine::run(model, &serve_cfg, requests());
+    let shared_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let cold = ServeEngine::run(
+        model,
+        &ServeConfig { prefix_cache: false, ..serve_cfg },
+        requests(),
+    );
+    let cold_s = t0.elapsed().as_secs_f64();
+    for (a, b) in shared.completions.iter().zip(cold.completions.iter()) {
+        assert_eq!(a.generated, b.generated, "prefix cache changed results");
+    }
+    PrefixRow {
+        sessions,
+        groups,
+        page_tokens: serve_cfg.page_tokens,
+        lookups: shared.prefix.lookups,
+        full_hits: shared.prefix.full_hits,
+        hit_rate: shared.prefix.full_hit_rate(),
+        prefix_hit_tokens: shared.aggregate_sharing.prefix_hit_tokens,
+        cow_copies: shared.aggregate_sharing.cow_copies,
+        shared_peak_host_bytes: shared.peak_host_bytes,
+        cold_peak_host_bytes: cold.peak_host_bytes,
+        shared_d2h_bytes: shared.aggregate_transfer.d2h_bytes,
+        cold_d2h_bytes: cold.aggregate_transfer.d2h_bytes,
+        shared_s,
+        cold_s,
+    }
+}
+
+fn write_json(
+    path: &std::path::Path,
+    mode: &str,
+    cores: usize,
+    rows: &[Row],
+    long: &LongRow,
+    prefix: &PrefixRow,
+) {
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -313,7 +418,7 @@ fn write_json(path: &std::path::Path, mode: &str, cores: usize, rows: &[Row], lo
          \"ivf_speedup\": {:.3}, \"note\": \"end-to-end serve wall with IvfMode::Probe(4) vs \
          Exact at simulation scale, where decode steps are attention/FFN-dominated; the \
          isolated selection-kernel gate (>=2x at s=262144) is the ivf_select row of \
-         BENCH_kernels.json\"}}\n",
+         BENCH_kernels.json\"}},\n",
         long.prompt_len,
         long.sessions,
         long.decode_steps,
@@ -321,6 +426,35 @@ fn write_json(path: &std::path::Path, mode: &str, cores: usize, rows: &[Row], lo
         long.exact_tok_s(),
         long.ivf_tok_s(),
         long.speedup(),
+    ));
+    out.push_str(&format!(
+        "  \"prefix_cache\": {{\"sessions\": {}, \"groups\": {}, \"page_tokens\": {}, \
+         \"lookups\": {}, \"full_hits\": {}, \"hit_rate\": {:.4}, \
+         \"prefix_hit_tokens\": {}, \"cow_copies\": {}, \
+         \"shared_peak_host_bytes\": {}, \"cold_peak_host_bytes\": {}, \
+         \"dedup_factor\": {:.3}, \"shared_d2h_bytes\": {}, \"cold_d2h_bytes\": {}, \
+         \"d2h_saving\": {:.3}, \"shared_wall_s\": {:.4}, \"cold_wall_s\": {:.4}, \
+         \"note\": \"{} sessions over {} identical prompts, 1 shard (sequential admission \
+         => exactly groups misses); peak bytes compare O(unique tokens) vs O(sessions x \
+         tokens); gates: hit_rate >= 0.9 and dedup_factor >= 2.0 in full mode\"}}\n",
+        prefix.sessions,
+        prefix.groups,
+        prefix.page_tokens,
+        prefix.lookups,
+        prefix.full_hits,
+        prefix.hit_rate,
+        prefix.prefix_hit_tokens,
+        prefix.cow_copies,
+        prefix.shared_peak_host_bytes,
+        prefix.cold_peak_host_bytes,
+        prefix.dedup_factor(),
+        prefix.shared_d2h_bytes,
+        prefix.cold_d2h_bytes,
+        prefix.d2h_saving(),
+        prefix.shared_s,
+        prefix.cold_s,
+        prefix.sessions,
+        prefix.groups,
     ));
     out.push_str("}\n");
     std::fs::write(path, out).expect("write BENCH_serve.json");
@@ -342,6 +476,7 @@ fn main() {
     let fleet_sizes: &[usize] = if quick { &[2, 8] } else { &[1, 2, 4, 8] };
     let rows: Vec<Row> = fleet_sizes.iter().map(|&n| bench_fleet(&model, &cfg, n)).collect();
     let long = bench_long_context(&model, &cfg);
+    let prefix = bench_prefix_cache(&model, &cfg);
 
     println!(
         "{:>8} {:>7} {:>8} {:>12} {:>12} {:>14} {:>10} {:>12}",
@@ -372,6 +507,21 @@ fn main() {
         long.speedup()
     );
 
+    println!(
+        "\nprefix cache ({} sessions over {} prompts, {}-token pages): hit rate {:.3}, \
+         host peak {} -> {} bytes ({:.2}x dedup), d2h {} -> {} bytes ({:.0}% saved)",
+        prefix.sessions,
+        prefix.groups,
+        prefix.page_tokens,
+        prefix.hit_rate,
+        prefix.cold_peak_host_bytes,
+        prefix.shared_peak_host_bytes,
+        prefix.dedup_factor(),
+        prefix.cold_d2h_bytes,
+        prefix.shared_d2h_bytes,
+        100.0 * prefix.d2h_saving()
+    );
+
     // Acceptance gate: ≥ 2× aggregate tokens/sec at 8 sessions. The
     // modeled number is hardware-independent and gates in full mode; the
     // wall-clock number additionally gates when the host has the cores to
@@ -398,11 +548,24 @@ fn main() {
         }
     }
 
+    // Prefix-cache gates: a shared-prefix fleet must full-hit > 0.9 of its
+    // admissions and at least halve the host peak (O(unique tokens)).
+    let hit_rate = prefix.hit_rate;
+    if hit_rate < 0.9 {
+        println!("GATE MISS: prefix-cache hit rate {hit_rate:.3} below 0.9");
+        gate_failed = true;
+    }
+    let dedup = prefix.dedup_factor();
+    if dedup < 2.0 {
+        println!("GATE MISS: prefix-cache dedup factor {dedup:.2}x below 2.0x");
+        gate_failed = true;
+    }
+
     let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| {
         format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"))
     });
     let path = std::path::PathBuf::from(path);
-    write_json(&path, mode, cores, &rows, &long);
+    write_json(&path, mode, cores, &rows, &long, &prefix);
     println!("\nwrote {}", path.display());
     if gate_failed && !quick {
         std::process::exit(1);

@@ -55,8 +55,10 @@ impl CacheBudget {
         self.used.load(Ordering::SeqCst)
     }
 
-    /// Try to claim one resident-block slot.
-    fn try_acquire(&self) -> bool {
+    /// Try to claim one resident slot. Public so other tiers can draw on
+    /// the same accounting: the host KV tier's page allocator counts pages
+    /// against a `CacheBudget` the same way [`BlockCache`] counts blocks.
+    pub fn try_acquire(&self) -> bool {
         self.used
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
                 (u < self.max_blocks).then_some(u + 1)
@@ -64,8 +66,8 @@ impl CacheBudget {
             .is_ok()
     }
 
-    /// Return `n` resident-block slots.
-    fn release(&self, n: usize) {
+    /// Return `n` resident slots claimed with [`CacheBudget::try_acquire`].
+    pub fn release(&self, n: usize) {
         let prev = self.used.fetch_sub(n, Ordering::SeqCst);
         debug_assert!(prev >= n, "budget release underflow");
     }

@@ -14,8 +14,8 @@
 use crate::config::SessionConfig;
 use pqc_cache::{top_blocks, BlockCache};
 use pqc_llm::{DecodeOutput, DecodeScratch, KvSource, Model, PrefillOptions, PrefillOutput};
-use pqc_memhier::{HostKvStore, TransferStats};
-use pqc_policies::{PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
+use pqc_memhier::{HostKvStore, SharingStats, TransferStats};
+use pqc_policies::{PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy, SharedPolicyState};
 use pqc_tensor::Matrix;
 use std::collections::VecDeque;
 
@@ -139,7 +139,7 @@ impl<'m> SelectiveSession<'m> {
         );
         let prefill = model.prefill(tokens, &Self::prefill_options(&cfg, s));
         let resources = SessionResources::standalone(model, &cfg);
-        Self::from_prefill(model, &mut policy, cfg, &prefill, resources)
+        Self::from_prefill(model, &mut policy, cfg, &prefill, resources, None)
             .into_start(policy, prefill.logits)
     }
 
@@ -177,7 +177,29 @@ impl<'m> SelectiveSession<'m> {
         resources: SessionResources,
     ) -> SessionStart<'m> {
         cfg.validate();
-        Self::from_prefill(model, &mut policy, cfg, prefill, resources)
+        Self::from_prefill(model, &mut policy, cfg, prefill, resources, None)
+            .into_start(policy, prefill.logits.clone())
+    }
+
+    /// Construct a session over a **shared prompt prefix**: the store may
+    /// arrive pre-populated with the prompt's middle region (a
+    /// [`pqc_memhier::KvTier::new_namespace_with_prefix`] namespace — no
+    /// offload runs or is metered, the pages never left the host), and the
+    /// policy may adopt trained state exported by the prefix's first
+    /// session instead of re-training. Falls back to a normal `init`
+    /// (middle keys come from `prefill` either way) when `shared` is
+    /// `None` or the policy rejects the import. Training is
+    /// deterministically seeded, so either path decodes bit-identically.
+    pub fn start_from_shared_prefix(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+        resources: SessionResources,
+        shared: Option<&SharedPolicyState>,
+    ) -> SessionStart<'m> {
+        cfg.validate();
+        Self::from_prefill(model, &mut policy, cfg, prefill, resources, shared)
             .into_start(policy, prefill.logits.clone())
     }
 
@@ -187,6 +209,7 @@ impl<'m> SelectiveSession<'m> {
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
+        shared: Option<&SharedPolicyState>,
     ) -> SessionParts<'m> {
         let mcfg = *model.config();
         let s = prefill.kv[0].len();
@@ -196,7 +219,22 @@ impl<'m> SelectiveSession<'m> {
         let middle_len = mid_hi - mid_lo;
 
         let SessionResources { mut store, cache } = resources;
-        assert!(store.is_empty(), "session store namespace must start empty");
+        // A pre-populated store is the shared-prefix path: the namespace
+        // was minted from the tier's prefix registry and already holds
+        // exactly the prompt's middle region — skip the offload (the pages
+        // never left the host; only `prefix_hit_tokens` was metered).
+        let prefix_resident = !store.is_empty();
+        if prefix_resident {
+            for l in 0..mcfg.n_layers {
+                for h in 0..mcfg.n_kv_heads {
+                    assert_eq!(
+                        store.len(l, h),
+                        middle_len,
+                        "shared-prefix store must hold exactly the prompt's middle region"
+                    );
+                }
+            }
+        }
         assert!(cache.is_empty(), "session cache must start empty");
         // The engine's routing knob: `Probe` is pushed down to IVF-capable
         // policies (they build their inverted tiers at init); the `Exact`
@@ -204,6 +242,12 @@ impl<'m> SelectiveSession<'m> {
         if cfg.ivf.is_probe() {
             policy.configure_ivf(cfg.ivf);
         }
+        // Shared-prefix fast path for the policy too: adopt the trained
+        // PQ/IVF state exported over the same middle keys (bit-identical to
+        // training — seeds are deterministic) and skip building PolicyInit.
+        let imported =
+            middle_len > 0 && shared.is_some_and(|state| policy.import_shared(state));
+        let need_middle_keys = !imported;
         let mut init_k = Vec::with_capacity(mcfg.n_layers);
         let mut init_v = Vec::with_capacity(mcfg.n_layers);
         let mut local = Vec::with_capacity(mcfg.n_layers);
@@ -221,8 +265,16 @@ impl<'m> SelectiveSession<'m> {
                 iv.push(values.slice_rows(0, mid_lo));
                 let mid_k = keys.slice_rows(mid_lo, mid_hi);
                 let mid_v = values.slice_rows(mid_lo, mid_hi);
-                mk.push(mid_k.clone());
-                store.offload(l, h, mid_k, mid_v); // Step ❶: metered offload
+                if prefix_resident {
+                    if need_middle_keys {
+                        mk.push(mid_k);
+                    }
+                } else {
+                    if need_middle_keys {
+                        mk.push(mid_k.clone());
+                    }
+                    store.offload(l, h, mid_k, mid_v); // Step ❶: metered offload
+                }
                 let mut dq = VecDeque::with_capacity(cfg.n_local + 1);
                 for i in mid_hi..s {
                     dq.push_back((keys.row(i).to_vec(), values.row(i).to_vec()));
@@ -249,7 +301,7 @@ impl<'m> SelectiveSession<'m> {
             })
         };
         let policy_ready = middle_len > 0;
-        if policy_ready {
+        if policy_ready && !imported {
             let pinit = PolicyInit {
                 n_layers: mcfg.n_layers,
                 n_kv_heads: mcfg.n_kv_heads,
@@ -334,6 +386,24 @@ impl<'m> SelectiveSession<'m> {
         self.store.stats()
     }
 
+    /// Sharing statistics of this session's namespace (tokens adopted from
+    /// a shared prefix; copy-on-write page copies its appends triggered).
+    pub fn sharing_stats(&self) -> SharingStats {
+        self.store.sharing_stats()
+    }
+
+    /// The session's host store — e.g. for registering its prompt as a
+    /// shared prefix with the owning [`pqc_memhier::KvTier`].
+    pub fn store(&self) -> &HostKvStore {
+        &self.store
+    }
+
+    /// Snapshot the policy's trained prefix state for cross-session sharing
+    /// (`None` when the policy has nothing shareable).
+    pub fn export_policy_state(&self) -> Option<SharedPolicyState> {
+        self.policy.export_shared()
+    }
+
     /// GPU cache statistics.
     pub fn cache_stats(&self) -> pqc_cache::CacheStats {
         self.cache.stats()
@@ -381,7 +451,7 @@ impl<'m> SelectiveSession<'m> {
             return;
         }
         let middle_keys: Vec<Vec<Matrix>> = (0..mcfg.n_layers)
-            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_host(l, h).clone()).collect())
+            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_matrix(l, h)).collect())
             .collect();
         let zeros = vec![vec![vec![0.0f32; mid]; mcfg.n_kv_heads]; mcfg.n_layers];
         let pinit = PolicyInit {
@@ -406,7 +476,7 @@ impl<'m> SelectiveSession<'m> {
         }
         let mcfg = self.model.config();
         let middle_keys: Vec<Vec<Matrix>> = (0..mcfg.n_layers)
-            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_host(l, h).clone()).collect())
+            .map(|l| (0..mcfg.n_kv_heads).map(|h| self.store.keys_matrix(l, h)).collect())
             .collect();
         let zeros = vec![vec![vec![0.0f32; mid]; mcfg.n_kv_heads]; mcfg.n_layers];
         let pinit = PolicyInit {
@@ -511,10 +581,7 @@ impl KvSource for SelectiveSession<'_> {
                 Matrix::zeros(0, self.model.config().head_dim),
             )
         } else if self.policy.is_dropping() {
-            (
-                self.store.keys_host(layer, kv_head).gather_rows(&sel_rel),
-                self.store.values_host(layer, kv_head).gather_rows(&sel_rel),
-            )
+            self.store.gather_host(layer, kv_head, &sel_rel)
         } else {
             let lookup = self.cache.lookup(&sel_rel);
             self.cache.update(&top_blocks(
@@ -526,15 +593,10 @@ impl KvSource for SelectiveSession<'_> {
             let mut ordered = lookup.hits.clone();
             ordered.extend_from_slice(&lookup.misses);
             ordered.sort_unstable();
-            let _ = if lookup.misses.is_empty() {
-                (Matrix::zeros(0, 0), Matrix::zeros(0, 0))
-            } else {
-                self.store.fetch(layer, kv_head, &lookup.misses)
-            };
-            (
-                self.store.keys_host(layer, kv_head).gather_rows(&ordered),
-                self.store.values_host(layer, kv_head).gather_rows(&ordered),
-            )
+            if !lookup.misses.is_empty() {
+                let _ = self.store.fetch(layer, kv_head, &lookup.misses);
+            }
+            self.store.gather_host(layer, kv_head, &ordered)
         };
 
         // init ∪ middle ∪ local, in absolute token order.
@@ -764,6 +826,58 @@ mod tests {
         assert_eq!(plain_out, tiered_out);
         assert_eq!(plain_s.transfer_stats(), tiered.transfer_stats());
         assert_eq!(tier.aggregate_stats(), tiered.transfer_stats());
+    }
+
+    #[test]
+    fn shared_prefix_session_matches_cold_start() {
+        // Adopting tier pages + exported policy state must decode exactly
+        // like a cold start: same tokens, same h2d traffic — minus the
+        // offload d2h (the shared pages never left the host).
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 51);
+        let c = cfg();
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let res = |store| SessionResources {
+            store,
+            cache: SessionResources::standalone(&model, &c).cache,
+        };
+
+        let start_a = SelectiveSession::start_from_prefill_in(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            res(tier.new_namespace()),
+        );
+        let mut a = start_a.session;
+        let shared = a.export_policy_state();
+        assert!(shared.is_some(), "trained PQCache must export");
+        assert!(tier.register_prefix(&toks, a.store(), std::sync::Arc::new(())));
+
+        let hit = tier.lookup_prefix(&toks).expect("registered prompt must hit");
+        let start_b = SelectiveSession::start_from_shared_prefix(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            res(tier.new_namespace_with_prefix(&hit)),
+            shared.as_ref(),
+        );
+        let mut b = start_b.session;
+        assert_eq!(b.transfer_stats().d2h_ops, 0, "adoption must not re-offload");
+        assert_eq!(b.sharing_stats().prefix_hit_tokens, toks.len() as u64);
+        assert_eq!(start_a.logits, start_b.logits);
+
+        let out_a = a.generate(&start_a.logits, 8);
+        let out_b = b.generate(&start_b.logits, 8);
+        assert_eq!(out_a, out_b, "shared-prefix decode diverged");
+        let (ta, tb) = (a.transfer_stats(), b.transfer_stats());
+        assert_eq!(ta.h2d_bytes, tb.h2d_bytes, "fetch traffic must match");
+        assert_eq!(ta.h2d_ops, tb.h2d_ops);
+        assert!(ta.d2h_bytes > tb.d2h_bytes, "adopter must skip the offload bytes");
+        assert!(b.sharing_stats().cow_copies > 0, "first appends CoW the shared tails");
     }
 
     #[test]

@@ -1,20 +1,33 @@
 //! Host-tier KVCache storage with transfer accounting.
 //!
 //! The paper keeps the full KVCache in CPU memory (Step ❶) and fetches rows
-//! on demand (Step ❺). [`HostKvStore`] holds per-layer/per-head K and V
-//! matrices and meters every byte that crosses the simulated PCIe link, so
-//! efficiency experiments can compare methods by *data moved*, the
-//! fair-comparison axis of §4.1.3.
+//! on demand (Step ❺). [`HostKvStore`] holds per-layer/per-head K and V rows
+//! and meters every byte that crosses the simulated PCIe link, so efficiency
+//! experiments can compare methods by *data moved*, the fair-comparison axis
+//! of §4.1.3.
+//!
+//! Storage is **paged** (see [`crate::pages`]): each (layer, head) slot is a
+//! page table into the tier-global [`PageAllocator`], appends are page-local
+//! and amortized O(head_dim), and pages are refcounted so namespaces can
+//! share them copy-on-write.
 //!
 //! For multi-session serving, a [`KvTier`] vends per-session **namespaces**:
 //! each namespace is a [`HostKvStore`] with its own token-offset space (two
 //! sessions interleaving appends never perturb each other's middle indices)
 //! whose transfers are additionally metered into one shared aggregate, so
 //! engine-level accounting equals the sum of per-session stats by
-//! construction.
+//! construction. The tier also keeps a **prefix registry** keyed on
+//! token-content hash chains: a session that registers its prompt lets later
+//! sessions with the same prompt adopt its pages (and an opaque payload —
+//! the serving layer stores the prefill output and trained policy state
+//! there) via [`KvTier::new_namespace_with_prefix`].
 
+use crate::pages::{PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
 use parking_lot::Mutex;
+use pqc_cache::CacheBudget;
 use pqc_tensor::Matrix;
+use std::any::Any;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -62,12 +75,120 @@ impl std::iter::Sum for TransferStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NamespaceId(pub u64);
 
+/// Fold `tokens` into a chained content hash (FNV-1a with an avalanche
+/// step). The fold is positional and incremental, so the hash of every
+/// prefix of a token stream is computable in one left-to-right pass — the
+/// property the tier's prefix registry keys on.
+pub fn token_chain_hash(tokens: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tokens {
+        h = (h ^ t as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Snapshot of the tier prefix-cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Prefix lookups performed.
+    pub lookups: u64,
+    /// Lookups that matched the *entire* queried token stream.
+    pub full_hits: u64,
+    /// Lookups that matched only a proper prefix of the query.
+    pub partial_hits: u64,
+    /// Prefixes currently registered.
+    pub entries: usize,
+}
+
+impl PrefixCacheStats {
+    /// Fraction of lookups that were full hits (0 when no lookups ran).
+    pub fn full_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.full_hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Key and value page table for one (layer, kv-head) pair.
+#[derive(Debug, Clone, Default)]
+struct HeadKv {
+    pages: Vec<u32>,
+    rows: usize,
+}
+
+/// One registered prefix: the exact tokens (hash-collision guard), a frozen
+/// snapshot of the registrant's page tables, and an opaque payload the
+/// registering layer attaches (e.g. prefill output + trained policy state).
+struct PrefixEntry {
+    tokens: Vec<u32>,
+    slots: Vec<Option<HeadKv>>,
+    payload: Arc<dyn Any + Send + Sync>,
+}
+
+#[derive(Default)]
+struct PrefixRegistry {
+    map: HashMap<(u64, usize), PrefixEntry>,
+}
+
+impl std::fmt::Debug for PrefixRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixRegistry").field("entries", &self.map.len()).finish()
+    }
+}
+
+/// A successful prefix lookup. Holds page references for the matched
+/// snapshot (released on drop), the matched length, and the registrant's
+/// payload; feed it to [`KvTier::new_namespace_with_prefix`] to mint a
+/// namespace that starts with the shared pages resident.
+pub struct PrefixHit {
+    len: usize,
+    payload: Arc<dyn Any + Send + Sync>,
+    slots: Vec<Option<HeadKv>>,
+    alloc: PageAllocator,
+}
+
+impl PrefixHit {
+    /// Number of prompt tokens this hit covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length hit (never produced by the registry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload attached at registration time.
+    pub fn payload(&self) -> &Arc<dyn Any + Send + Sync> {
+        &self.payload
+    }
+}
+
+impl Drop for PrefixHit {
+    fn drop(&mut self) {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.release_chain(&slot.pages);
+        }
+    }
+}
+
+impl std::fmt::Debug for PrefixHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixHit").field("len", &self.len).finish()
+    }
+}
+
 /// A shared host-memory tier serving many concurrent sessions.
 ///
 /// `new_namespace` hands out a [`HostKvStore`] bound to a fresh
 /// [`NamespaceId`]; every namespace meters its traffic both into its own
 /// [`TransferStats`] and into the tier-wide aggregate, which
-/// [`KvTier::aggregate_stats`] snapshots.
+/// [`KvTier::aggregate_stats`] snapshots. All namespaces draw pages from
+/// one [`PageAllocator`], so [`KvTier::resident_bytes`] counts each shared
+/// page once.
 ///
 /// ```
 /// use pqc_memhier::KvTier;
@@ -87,30 +208,182 @@ pub struct KvTier {
     n_layers: usize,
     n_kv_heads: usize,
     head_dim: usize,
+    alloc: PageAllocator,
     aggregate: Arc<Mutex<TransferStats>>,
+    sharing_aggregate: Arc<Mutex<SharingStats>>,
     next_ns: Arc<AtomicU64>,
+    registry: Arc<Mutex<PrefixRegistry>>,
+    lookups: Arc<AtomicU64>,
+    full_hits: Arc<AtomicU64>,
+    partial_hits: Arc<AtomicU64>,
 }
 
 impl KvTier {
-    /// A tier for the given model geometry, with no namespaces yet.
+    /// A tier for the given model geometry, with no namespaces yet and the
+    /// default page size.
     pub fn new(n_layers: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        Self::with_pages(n_layers, n_kv_heads, head_dim, DEFAULT_PAGE_TOKENS, None)
+    }
+
+    /// A tier with an explicit page size (in tokens) and an optional shared
+    /// page budget.
+    pub fn with_pages(
+        n_layers: usize,
+        n_kv_heads: usize,
+        head_dim: usize,
+        page_tokens: usize,
+        budget: Option<CacheBudget>,
+    ) -> Self {
         Self {
             n_layers,
             n_kv_heads,
             head_dim,
+            alloc: PageAllocator::with_budget(page_tokens, head_dim, budget),
             aggregate: Arc::new(Mutex::new(TransferStats::default())),
+            sharing_aggregate: Arc::new(Mutex::new(SharingStats::default())),
             next_ns: Arc::new(AtomicU64::new(0)),
+            registry: Arc::new(Mutex::new(PrefixRegistry::default())),
+            lookups: Arc::new(AtomicU64::new(0)),
+            full_hits: Arc::new(AtomicU64::new(0)),
+            partial_hits: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Page size of the tier's pool, in tokens.
+    pub fn page_tokens(&self) -> usize {
+        self.alloc.page_tokens()
+    }
+
+    /// The tier-global page allocator (shared by every namespace).
+    pub fn allocator(&self) -> &PageAllocator {
+        &self.alloc
     }
 
     /// Create a fresh, empty namespace (e.g. one per admitted session).
     /// Namespace ids are unique across clones of this tier handle.
     pub fn new_namespace(&self) -> HostKvStore {
         let ns = NamespaceId(self.next_ns.fetch_add(1, Ordering::Relaxed));
-        let mut store = HostKvStore::new(self.n_layers, self.n_kv_heads, self.head_dim);
+        let mut store =
+            HostKvStore::with_allocator(self.n_layers, self.n_kv_heads, self.head_dim, self.alloc.clone());
         store.namespace = ns;
         store.aggregate = Some(Arc::clone(&self.aggregate));
+        store.sharing_aggregate = Some(Arc::clone(&self.sharing_aggregate));
         store
+    }
+
+    /// Register `tokens` as a shareable prefix backed by `store`'s current
+    /// page tables (snapshotted and refcount-retained; the registrant keeps
+    /// appending privately via copy-on-write). Returns `false` when the
+    /// prefix is already registered — first registrant wins — or `tokens`
+    /// is empty.
+    ///
+    /// `payload` is an opaque value later hits can downcast; the serving
+    /// layer stores the deterministic prefill output and the policy's
+    /// trained PQ/IVF state so shared-prefix sessions skip re-encoding.
+    pub fn register_prefix(
+        &self,
+        tokens: &[u32],
+        store: &HostKvStore,
+        payload: Arc<dyn Any + Send + Sync>,
+    ) -> bool {
+        assert!(
+            self.alloc.same_pool(&store.alloc),
+            "register_prefix: store does not belong to this tier"
+        );
+        if tokens.is_empty() {
+            return false;
+        }
+        let key = (token_chain_hash(tokens), tokens.len());
+        let mut reg = self.registry.lock();
+        if reg.map.contains_key(&key) {
+            return false;
+        }
+        let slots = store.slots.clone();
+        for slot in slots.iter().flatten() {
+            self.alloc.retain_chain(&slot.pages);
+        }
+        reg.map.insert(key, PrefixEntry { tokens: tokens.to_vec(), slots, payload });
+        true
+    }
+
+    /// Look up the longest registered prefix of `tokens` (token content is
+    /// verified, not just hashes). The returned [`PrefixHit`] pins the
+    /// matched pages until dropped.
+    pub fn lookup_prefix(&self, tokens: &[u32]) -> Option<PrefixHit> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let reg = self.registry.lock();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut best: Option<&PrefixEntry> = None;
+        for (i, &t) in tokens.iter().enumerate() {
+            h = (h ^ t as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            h ^= h >> 29;
+            if let Some(entry) = reg.map.get(&(h, i + 1)) {
+                if entry.tokens == tokens[..i + 1] {
+                    best = Some(entry);
+                }
+            }
+        }
+        let entry = best?;
+        if entry.tokens.len() == tokens.len() {
+            self.full_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partial_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let slots = entry.slots.clone();
+        for slot in slots.iter().flatten() {
+            self.alloc.retain_chain(&slot.pages);
+        }
+        Some(PrefixHit {
+            len: entry.tokens.len(),
+            payload: Arc::clone(&entry.payload),
+            slots,
+            alloc: self.alloc.clone(),
+        })
+    }
+
+    /// Mint a namespace whose slots start as the hit's shared pages: the
+    /// session begins with the prefix's K/V resident (no offload traffic —
+    /// the data never left the host) and pays copy-on-write only on its
+    /// first append to a partially-filled shared tail. Meters
+    /// `prefix_hit_tokens` by the hit length.
+    pub fn new_namespace_with_prefix(&self, hit: &PrefixHit) -> HostKvStore {
+        assert!(
+            self.alloc.same_pool(&hit.alloc),
+            "new_namespace_with_prefix: hit does not belong to this tier"
+        );
+        let mut store = self.new_namespace();
+        for slot in hit.slots.iter().flatten() {
+            self.alloc.retain_chain(&slot.pages);
+        }
+        store.slots = hit.slots.clone();
+        store.meter_sharing(|s| s.prefix_hit_tokens += hit.len as u64);
+        store
+    }
+
+    /// Remove a registered prefix and release its page references. Returns
+    /// `false` when no such prefix is registered.
+    pub fn release_prefix(&self, tokens: &[u32]) -> bool {
+        let key = (token_chain_hash(tokens), tokens.len());
+        let mut reg = self.registry.lock();
+        match reg.map.remove(&key) {
+            Some(entry) => {
+                for slot in entry.slots.iter().flatten() {
+                    self.alloc.release_chain(&slot.pages);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of the prefix-cache counters.
+    pub fn prefix_stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            full_hits: self.full_hits.load(Ordering::Relaxed),
+            partial_hits: self.partial_hits.load(Ordering::Relaxed),
+            entries: self.registry.lock().map.len(),
+        }
     }
 
     /// Namespaces created so far.
@@ -124,54 +397,124 @@ impl KvTier {
         *self.aggregate.lock()
     }
 
+    /// Snapshot of the tier-wide sharing statistics (sum over namespaces).
+    pub fn aggregate_sharing(&self) -> SharingStats {
+        *self.sharing_aggregate.lock()
+    }
+
     /// Zero the aggregate counters (per-namespace stats are unaffected).
     pub fn reset_aggregate_stats(&self) {
         *self.aggregate.lock() = TransferStats::default();
+        *self.sharing_aggregate.lock() = SharingStats::default();
+    }
+
+    /// Unique host-resident bytes across the tier: every page counted once,
+    /// however many namespaces or registered prefixes reference it.
+    pub fn resident_bytes(&self) -> u64 {
+        self.alloc.resident_bytes()
     }
 }
 
-/// Key and value rows for one (layer, kv-head) pair.
-#[derive(Debug, Clone)]
-struct HeadKv {
-    keys: Matrix,
-    values: Matrix,
-}
-
-/// CPU-resident KVCache for a whole model: `n_layers × n_kv_heads` slots.
+/// CPU-resident KVCache for a whole model: `n_layers × n_kv_heads` slots,
+/// each a page table into a shared [`PageAllocator`].
 ///
-/// Standalone stores (from [`HostKvStore::new`]) are their own namespace 0
-/// with no aggregate; stores vended by [`KvTier::new_namespace`] carry a
-/// unique [`NamespaceId`] and mirror their metering into the tier aggregate.
-/// Token offsets returned by [`HostKvStore::append_token`] are always
+/// Standalone stores (from [`HostKvStore::new`]) own a private single-store
+/// pool and are namespace 0 with no aggregate; stores vended by
+/// [`KvTier::new_namespace`] carry a unique [`NamespaceId`], draw pages from
+/// the tier pool, and mirror their metering into the tier aggregate. Token
+/// offsets returned by [`HostKvStore::append_token`] are always
 /// namespace-local.
-#[derive(Debug, Clone)]
+///
+/// Cloning forks the namespace copy-on-write: the clone shares pages with
+/// the source (refcounts bumped) but gets **fresh, zeroed stats** and is
+/// detached from any tier aggregate — a clone is a private fork for
+/// experimentation, and its traffic must not perturb the source's metering
+/// or the engine-wide invariant `aggregate == Σ namespace stats`.
+#[derive(Debug)]
 pub struct HostKvStore {
     n_layers: usize,
     n_kv_heads: usize,
     head_dim: usize,
     namespace: NamespaceId,
+    alloc: PageAllocator,
     slots: Vec<Option<HeadKv>>,
     stats: Arc<Mutex<TransferStats>>,
+    sharing: Arc<Mutex<SharingStats>>,
     aggregate: Option<Arc<Mutex<TransferStats>>>,
+    sharing_aggregate: Option<Arc<Mutex<SharingStats>>>,
+}
+
+impl Clone for HostKvStore {
+    fn clone(&self) -> Self {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.retain_chain(&slot.pages);
+        }
+        Self {
+            n_layers: self.n_layers,
+            n_kv_heads: self.n_kv_heads,
+            head_dim: self.head_dim,
+            namespace: self.namespace,
+            alloc: self.alloc.clone(),
+            slots: self.slots.clone(),
+            stats: Arc::new(Mutex::new(TransferStats::default())),
+            sharing: Arc::new(Mutex::new(SharingStats::default())),
+            aggregate: None,
+            sharing_aggregate: None,
+        }
+    }
+}
+
+impl Drop for HostKvStore {
+    fn drop(&mut self) {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.release_chain(&slot.pages);
+        }
+    }
 }
 
 impl HostKvStore {
-    /// An empty store for the given model geometry.
+    /// An empty standalone store for the given model geometry (private page
+    /// pool, default page size).
     pub fn new(n_layers: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        Self::with_allocator(
+            n_layers,
+            n_kv_heads,
+            head_dim,
+            PageAllocator::new(DEFAULT_PAGE_TOKENS, head_dim),
+        )
+    }
+
+    /// An empty store drawing pages from `alloc` (the [`KvTier`] namespace
+    /// path; also usable directly for custom page sizes).
+    pub fn with_allocator(
+        n_layers: usize,
+        n_kv_heads: usize,
+        head_dim: usize,
+        alloc: PageAllocator,
+    ) -> Self {
+        assert_eq!(alloc.head_dim(), head_dim, "allocator head_dim mismatch");
         Self {
             n_layers,
             n_kv_heads,
             head_dim,
             namespace: NamespaceId(0),
+            alloc,
             slots: vec![None; n_layers * n_kv_heads],
             stats: Arc::new(Mutex::new(TransferStats::default())),
+            sharing: Arc::new(Mutex::new(SharingStats::default())),
             aggregate: None,
+            sharing_aggregate: None,
         }
     }
 
     /// The namespace this store is bound to (0 for standalone stores).
     pub fn namespace(&self) -> NamespaceId {
         self.namespace
+    }
+
+    /// Page size (tokens per page) of the backing pool.
+    pub fn page_tokens(&self) -> usize {
+        self.alloc.page_tokens()
     }
 
     fn slot_index(&self, layer: usize, head: usize) -> usize {
@@ -189,6 +532,14 @@ impl HostKvStore {
         }
     }
 
+    /// Meter a sharing event (prefix hit, CoW copy) the same two-level way.
+    fn meter_sharing(&self, f: impl Fn(&mut SharingStats)) {
+        f(&mut self.sharing.lock());
+        if let Some(agg) = &self.sharing_aggregate {
+            f(&mut agg.lock());
+        }
+    }
+
     /// Offload the full prefill K/V of one (layer, head): Step ❶.
     /// Overwrites any prior content for the slot.
     pub fn offload(&mut self, layer: usize, head: usize, keys: Matrix, values: Matrix) {
@@ -200,7 +551,12 @@ impl HostKvStore {
             st.d2h_ops += 1;
         });
         let idx = self.slot_index(layer, head);
-        self.slots[idx] = Some(HeadKv { keys, values });
+        if let Some(old) = self.slots[idx].take() {
+            self.alloc.release_chain(&old.pages);
+        }
+        let rows = keys.rows();
+        let pages = self.alloc.write_rows(&keys, &values);
+        self.slots[idx] = Some(HeadKv { pages, rows });
     }
 
     /// Append a single evicted token's K/V row (Algorithm 2, line 5) and
@@ -208,34 +564,39 @@ impl HostKvStore {
     /// use for later fetches. Sessions must not derive this offset from any
     /// tier-global count: with several sessions interleaving appends, only
     /// the per-namespace offset is stable.
+    ///
+    /// Appends are page-local: the row lands in the slot's tail page
+    /// (copy-on-write if that page is shared, a fresh page if it is full),
+    /// so appending `s` tokens costs O(s·head_dim) total.
     pub fn append_token(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) -> usize {
         assert_eq!(key.len(), self.head_dim);
         assert_eq!(value.len(), self.head_dim);
         let idx = self.slot_index(layer, head);
-        let slot = self.slots[idx].get_or_insert_with(|| HeadKv {
-            keys: Matrix::zeros(0, self.head_dim),
-            values: Matrix::zeros(0, self.head_dim),
-        });
-        let offset = slot.keys.rows();
-        let k1 = Matrix::from_vec(1, self.head_dim, key.to_vec());
-        let v1 = Matrix::from_vec(1, self.head_dim, value.to_vec());
-        slot.keys = slot.keys.vstack(&k1);
-        slot.values = slot.values.vstack(&v1);
+        let slot = self.slots[idx].get_or_insert_with(HeadKv::default);
+        let offset = slot.rows;
+        let cow = self.alloc.append_row(&mut slot.pages, key, value);
+        slot.rows += 1;
         let bytes = (2 * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
             st.d2h_bytes += bytes;
             st.d2h_ops += 1;
         });
+        if cow {
+            self.meter_sharing(|s| s.cow_copies += 1);
+        }
         offset
     }
 
     /// Fetch the K/V rows of the given token indices: Step ❺. Meters H2D
-    /// traffic for exactly the rows moved.
+    /// traffic for exactly the rows moved; a zero-row fetch moves nothing
+    /// and meters nothing (no phantom `h2d_ops`).
     pub fn fetch(&self, layer: usize, head: usize, token_ids: &[usize]) -> (Matrix, Matrix) {
+        if token_ids.is_empty() {
+            return (Matrix::zeros(0, self.head_dim), Matrix::zeros(0, self.head_dim));
+        }
         let idx = self.slot_index(layer, head);
         let slot = self.slots[idx].as_ref().expect("fetch from empty slot");
-        let keys = slot.keys.gather_rows(token_ids);
-        let values = slot.values.gather_rows(token_ids);
+        let (keys, values) = self.alloc.gather(&slot.pages, slot.rows, token_ids);
         let bytes = (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
             st.h2d_bytes += bytes;
@@ -244,24 +605,32 @@ impl HostKvStore {
         (keys, values)
     }
 
-    /// Read keys *without* metering transfer — used by host-side PQ
-    /// construction, which happens on CPU where the data already lives.
-    pub fn keys_host(&self, layer: usize, head: usize) -> &Matrix {
+    /// Gather rows *without* metering transfer — host-side access for data
+    /// that never crosses the link (e.g. assembling already-fetched rows).
+    pub fn gather_host(&self, layer: usize, head: usize, token_ids: &[usize]) -> (Matrix, Matrix) {
         let idx = self.slot_index(layer, head);
-        &self.slots[idx].as_ref().expect("empty slot").keys
+        let slot = self.slots[idx].as_ref().expect("empty slot");
+        self.alloc.gather(&slot.pages, slot.rows, token_ids)
     }
 
-    /// Read values host-side without metering (CPU-local access).
-    pub fn values_host(&self, layer: usize, head: usize) -> &Matrix {
+    /// Materialize a slot's keys without metering — used by host-side PQ
+    /// construction, which happens on CPU where the data already lives.
+    pub fn keys_matrix(&self, layer: usize, head: usize) -> Matrix {
         let idx = self.slot_index(layer, head);
-        &self.slots[idx].as_ref().expect("empty slot").values
+        let slot = self.slots[idx].as_ref().expect("empty slot");
+        self.alloc.materialize(&slot.pages, slot.rows).0
+    }
+
+    /// Materialize a slot's values host-side without metering.
+    pub fn values_matrix(&self, layer: usize, head: usize) -> Matrix {
+        let idx = self.slot_index(layer, head);
+        let slot = self.slots[idx].as_ref().expect("empty slot");
+        self.alloc.materialize(&slot.pages, slot.rows).1
     }
 
     /// Stored token count for a slot (0 if never offloaded).
     pub fn len(&self, layer: usize, head: usize) -> usize {
-        self.slots[self.slot_index(layer, head)]
-            .as_ref()
-            .map_or(0, |s| s.keys.rows())
+        self.slots[self.slot_index(layer, head)].as_ref().map_or(0, |s| s.rows)
     }
 
     /// True when no slot holds data.
@@ -269,18 +638,25 @@ impl HostKvStore {
         self.slots.iter().all(|s| s.is_none())
     }
 
-    /// Resident bytes across all slots (FP16 accounting).
+    /// Logical resident bytes across all slots (FP16 accounting of this
+    /// namespace's rows; shared pages are counted here per-namespace — use
+    /// [`KvTier::resident_bytes`] for unique physical residency).
     pub fn resident_bytes(&self) -> u64 {
         self.slots
             .iter()
             .flatten()
-            .map(|s| (2 * s.keys.rows() * s.keys.cols() * WIRE_BYTES_PER_ELEM) as u64)
+            .map(|s| (2 * s.rows * self.head_dim * WIRE_BYTES_PER_ELEM) as u64)
             .sum()
     }
 
     /// Snapshot of cumulative transfer statistics.
     pub fn stats(&self) -> TransferStats {
         *self.stats.lock()
+    }
+
+    /// Snapshot of cumulative sharing statistics (prefix hits, CoW copies).
+    pub fn sharing_stats(&self) -> SharingStats {
+        *self.sharing.lock()
     }
 
     /// Zero the transfer counters (e.g. to meter decode separately from
@@ -327,6 +703,23 @@ mod tests {
     }
 
     #[test]
+    fn empty_fetch_moves_and_meters_nothing() {
+        // Regression: a zero-row fetch used to meter `h2d_ops += 1` with 0
+        // bytes, skewing ops-based efficiency comparisons.
+        let (store, _, _) = store_with_data(10, 4);
+        let before = store.stats();
+        let (k, v) = store.fetch(0, 0, &[]);
+        assert_eq!(k.rows(), 0);
+        assert_eq!(v.rows(), 0);
+        assert_eq!(k.cols(), 4);
+        assert_eq!(store.stats(), before, "empty fetch must not meter");
+        // Even on a slot that was never offloaded.
+        let empty = HostKvStore::new(1, 1, 4);
+        let _ = empty.fetch(0, 0, &[]);
+        assert_eq!(empty.stats(), TransferStats::default());
+    }
+
+    #[test]
     fn append_token_extends() {
         let (mut store, _, _) = store_with_data(10, 4);
         let key = [1.0f32, 2.0, 3.0, 4.0];
@@ -344,6 +737,85 @@ mod tests {
         let mut store = HostKvStore::new(1, 1, 4);
         assert_eq!(store.append_token(0, 0, &[1.0; 4], &[2.0; 4]), 0);
         assert_eq!(store.len(0, 0), 1);
+    }
+
+    #[test]
+    fn appends_round_trip_across_page_boundaries() {
+        // Rows written through offload + many appends must all read back
+        // exactly, including across page boundaries.
+        let alloc = PageAllocator::new(4, 2);
+        let mut store = HostKvStore::with_allocator(1, 1, 2, alloc);
+        let mut rng = Rng64::new(7);
+        store.offload(0, 0, Matrix::randn(5, 2, 1.0, &mut rng), Matrix::randn(5, 2, 1.0, &mut rng));
+        let mut expect_k: Vec<[f32; 2]> = Vec::new();
+        for i in 0..23 {
+            let k = [i as f32, -(i as f32)];
+            let v = [100.0 + i as f32, 0.5];
+            assert_eq!(store.append_token(0, 0, &k, &v), 5 + i);
+            expect_k.push(k);
+        }
+        assert_eq!(store.len(0, 0), 28);
+        let ids: Vec<usize> = (5..28).collect();
+        let (fk, _) = store.fetch(0, 0, &ids);
+        for (row, k) in expect_k.iter().enumerate() {
+            assert_eq!(fk.row(row), k, "append row {row} corrupted");
+        }
+    }
+
+    #[test]
+    fn large_append_stream_is_amortized_linear() {
+        // Regression for the O(s²) whole-slot-vstack append: 30k appends
+        // move ~2 MB under paged growth vs ~60 GB under the old scheme.
+        // The loose wall-clock bound fails catastrophically on any
+        // quadratic regression while staying far from flaky on slow CI.
+        let s = 30_000usize;
+        let dh = 8;
+        let mut store = HostKvStore::new(1, 1, dh);
+        let start = std::time::Instant::now();
+        for i in 0..s {
+            let k = [i as f32; 8];
+            assert_eq!(store.append_token(0, 0, &k, &k), i);
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(store.len(0, 0), s);
+        let (fk, _) = store.fetch(0, 0, &[0, s / 2, s - 1]);
+        assert_eq!(fk.row(0), &[0.0; 8]);
+        assert_eq!(fk.row(1), &[(s / 2) as f32; 8]);
+        assert_eq!(fk.row(2), &[(s - 1) as f32; 8]);
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "appending {s} tokens took {elapsed:?} — quadratic append is back"
+        );
+    }
+
+    #[test]
+    fn clone_gets_fresh_stats_and_cow_isolation() {
+        // Regression: `derive(Clone)` used to share the stats/aggregate
+        // Arcs, so a clone's traffic double-metered into the source (and
+        // the tier aggregate). Clones must start with zeroed stats,
+        // detached from the tier, and must not perturb the source's data.
+        let tier = KvTier::new(1, 1, 4);
+        let mut a = tier.new_namespace();
+        a.offload(0, 0, Matrix::zeros(3, 4), Matrix::zeros(3, 4));
+        let a_stats = a.stats();
+        let agg = tier.aggregate_stats();
+
+        let mut c = a.clone();
+        assert_eq!(c.stats(), TransferStats::default(), "clone must start unmetered");
+        c.append_token(0, 0, &[9.0; 4], &[9.0; 4]);
+        let _ = c.fetch(0, 0, &[0, 3]);
+        assert_eq!(a.stats(), a_stats, "clone traffic leaked into source stats");
+        assert_eq!(tier.aggregate_stats(), agg, "clone traffic leaked into tier aggregate");
+        assert!(c.stats().d2h_ops == 1 && c.stats().h2d_ops == 1);
+
+        // Data is CoW-isolated both ways.
+        assert_eq!(a.len(0, 0), 3);
+        assert_eq!(c.len(0, 0), 4);
+        a.append_token(0, 0, &[-1.0; 4], &[-1.0; 4]);
+        let (ka, _) = a.fetch(0, 0, &[3]);
+        let (kc, _) = c.fetch(0, 0, &[3]);
+        assert_eq!(ka.row(0), &[-1.0; 4]);
+        assert_eq!(kc.row(0), &[9.0; 4]);
     }
 
     #[test]
@@ -406,6 +878,17 @@ mod tests {
     }
 
     #[test]
+    fn namespace_drop_releases_pages() {
+        let tier = KvTier::new(2, 2, 4);
+        let mut a = tier.new_namespace();
+        a.offload(0, 0, Matrix::zeros(40, 4), Matrix::zeros(40, 4));
+        a.offload(1, 1, Matrix::zeros(7, 4), Matrix::zeros(7, 4));
+        assert!(tier.allocator().pages_in_use() > 0);
+        drop(a);
+        assert_eq!(tier.allocator().pages_in_use(), 0, "drop must free all pages");
+    }
+
+    #[test]
     fn transfer_stats_sum_and_add() {
         let a = TransferStats { d2h_bytes: 1, h2d_bytes: 2, d2h_ops: 3, h2d_ops: 4 };
         let b = TransferStats { d2h_bytes: 10, h2d_bytes: 20, d2h_ops: 30, h2d_ops: 40 };
@@ -417,10 +900,12 @@ mod tests {
 
     #[test]
     fn host_reads_do_not_meter() {
-        let (store, _, _) = store_with_data(20, 8);
+        let (store, k, v) = store_with_data(20, 8);
         let before = store.stats();
-        let _ = store.keys_host(0, 0);
-        let _ = store.values_host(0, 0);
+        assert_eq!(store.keys_matrix(0, 0).row(5), k.row(5));
+        assert_eq!(store.values_matrix(0, 0).row(7), v.row(7));
+        let (gk, _) = store.gather_host(0, 0, &[2, 19]);
+        assert_eq!(gk.row(1), k.row(19));
         assert_eq!(store.stats(), before);
     }
 
@@ -452,5 +937,91 @@ mod tests {
     fn fetch_empty_panics() {
         let store = HostKvStore::new(1, 1, 4);
         let _ = store.fetch(0, 0, &[0]);
+    }
+
+    #[test]
+    fn chain_hash_is_prefix_consistent_and_content_sensitive() {
+        let toks = [5u32, 9, 9, 2, 7];
+        assert_eq!(token_chain_hash(&toks[..3]), token_chain_hash(&[5, 9, 9]));
+        assert_ne!(token_chain_hash(&toks[..3]), token_chain_hash(&toks[..4]));
+        assert_ne!(token_chain_hash(&[1, 2]), token_chain_hash(&[2, 1]), "order must matter");
+    }
+
+    #[test]
+    fn prefix_register_lookup_adopt() {
+        let tier = KvTier::with_pages(1, 1, 4, 4, None);
+        let mut owner = tier.new_namespace();
+        let mut rng = Rng64::new(11);
+        let k = Matrix::randn(10, 4, 1.0, &mut rng);
+        let v = Matrix::randn(10, 4, 1.0, &mut rng);
+        owner.offload(0, 0, k.clone(), v.clone());
+        let prompt: Vec<u32> = (0..12).collect();
+        assert!(tier.register_prefix(&prompt, &owner, Arc::new(42usize)));
+        assert!(!tier.register_prefix(&prompt, &owner, Arc::new(0usize)), "first wins");
+
+        // Full-stream hit.
+        let hit = tier.lookup_prefix(&prompt).expect("registered prefix must hit");
+        assert_eq!(hit.len(), 12);
+        assert!(!hit.is_empty());
+        assert_eq!(*hit.payload().downcast_ref::<usize>().expect("payload type"), 42);
+
+        // Adopted namespace sees the owner's rows without any offload.
+        let adopted = tier.new_namespace_with_prefix(&hit);
+        assert_eq!(adopted.len(0, 0), 10);
+        assert_eq!(adopted.stats(), TransferStats::default(), "adoption is not a transfer");
+        assert_eq!(adopted.sharing_stats().prefix_hit_tokens, 12);
+        let (ak, av) = adopted.gather_host(0, 0, &(0..10).collect::<Vec<_>>());
+        for r in 0..10 {
+            assert_eq!(ak.row(r), k.row(r));
+            assert_eq!(av.row(r), v.row(r));
+        }
+
+        // Longest-prefix lookup on an extended stream is a partial hit.
+        let longer: Vec<u32> = (0..20).collect();
+        let partial = tier.lookup_prefix(&longer).expect("prefix of query registered");
+        assert_eq!(partial.len(), 12);
+        // Unrelated stream misses.
+        assert!(tier.lookup_prefix(&[99, 98]).is_none());
+        let st = tier.prefix_stats();
+        assert_eq!((st.lookups, st.full_hits, st.partial_hits, st.entries), (3, 1, 1, 1));
+        assert!((st.full_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_sharing_is_cow_isolated_and_unique_resident() {
+        let tier = KvTier::with_pages(1, 1, 2, 4, None);
+        let mut owner = tier.new_namespace();
+        owner.offload(0, 0, Matrix::zeros(10, 2), Matrix::zeros(10, 2));
+        let pages_before = tier.allocator().pages_in_use();
+        let prompt: Vec<u32> = (100..110).collect();
+        assert!(tier.register_prefix(&prompt, &owner, Arc::new(())));
+
+        // N adopters share the owner's pages: residency does not grow.
+        let hit = tier.lookup_prefix(&prompt).expect("hit");
+        let mut adopters: Vec<HostKvStore> =
+            (0..8).map(|_| tier.new_namespace_with_prefix(&hit)).collect();
+        drop(hit);
+        assert_eq!(tier.allocator().pages_in_use(), pages_before, "adoption must not allocate");
+
+        // Owner's own appends after registration CoW its shared tail.
+        owner.append_token(0, 0, &[7.0; 2], &[7.0; 2]);
+        assert_eq!(owner.sharing_stats().cow_copies, 1);
+        // Each adopter's first append CoWs too; none corrupt the others.
+        for (i, ad) in adopters.iter_mut().enumerate() {
+            ad.append_token(0, 0, &[i as f32; 2], &[i as f32; 2]);
+        }
+        for (i, ad) in adopters.iter().enumerate() {
+            let (k, _) = ad.gather_host(0, 0, &[9, 10]);
+            assert_eq!(k.row(0), &[0.0; 2], "shared row corrupted");
+            assert_eq!(k.row(1), &[i as f32; 2], "private row corrupted");
+        }
+        assert_eq!(tier.aggregate_sharing().cow_copies, 9);
+
+        // Releasing everything returns the pool to empty.
+        drop(owner);
+        adopters.clear();
+        assert!(tier.release_prefix(&prompt));
+        assert!(!tier.release_prefix(&prompt), "double release");
+        assert_eq!(tier.allocator().pages_in_use(), 0);
     }
 }

@@ -3,7 +3,9 @@
 //! Simulated GPU/CPU memory hierarchy: an analytical hardware cost model
 //! (PCIe bandwidth, GPU FLOP rate, CPU clustering throughput), a
 //! discrete-event overlap simulator with streams and dependencies, a
-//! host-tier KV store with exact transfer accounting, and the phase
+//! **paged** host-tier KV store (refcounted fixed-size pages with
+//! copy-on-write and a token-hash prefix registry for cross-session
+//! sharing) with exact transfer accounting, and the phase
 //! time-decomposition reports the paper presents in Fig. 12.
 
 #![warn(missing_docs)]
@@ -11,9 +13,14 @@
 pub mod costmodel;
 pub mod decomp;
 pub mod kvstore;
+pub mod pages;
 pub mod sim;
 
 pub use costmodel::{CostModel, ModelShape};
 pub use decomp::{labels, Decomposition};
-pub use kvstore::{HostKvStore, KvTier, NamespaceId, TransferStats, WIRE_BYTES_PER_ELEM};
+pub use kvstore::{
+    token_chain_hash, HostKvStore, KvTier, NamespaceId, PrefixCacheStats, PrefixHit,
+    TransferStats, WIRE_BYTES_PER_ELEM,
+};
+pub use pages::{PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
 pub use sim::{Event, OpRecord, Resource, SimEngine};

@@ -1,0 +1,475 @@
+//! Fixed-size KV pages with refcounting and copy-on-write.
+//!
+//! The vLLM-PagedAttention storage shape for the host tier: K/V rows live in
+//! fixed-size **pages** owned by a tier-global [`PageAllocator`]. A
+//! namespace's (layer, head) slot is a *page table* — an ordered chain of
+//! page ids — so logical token offset `t` maps to page `t / page_tokens`,
+//! page-local row `t % page_tokens`.
+//!
+//! Pages are **refcounted**: N namespaces sharing a prompt prefix point
+//! their page tables at the same pages, so host residency grows with unique
+//! tokens, not sessions. Mutation of a shared page (appending into a
+//! partially-filled tail that another namespace also references) triggers
+//! **copy-on-write**: the writer gets a private copy of the tail page and
+//! the shared original stays frozen. Appends are therefore page-local —
+//! amortized O(head_dim) per token — which structurally removes the old
+//! whole-slot-`vstack` quadratic append.
+//!
+//! The allocator can draw page accounting from a [`pqc_cache::CacheBudget`]
+//! (the same budget type the GPU block cache uses). The host tier must
+//! never refuse data, so an exhausted budget does not fail the allocation;
+//! it increments an over-budget counter the serving layer can watch.
+
+use parking_lot::Mutex;
+use pqc_cache::CacheBudget;
+use pqc_tensor::Matrix;
+use std::sync::Arc;
+
+use crate::kvstore::WIRE_BYTES_PER_ELEM;
+
+/// Default page size in tokens (rows per page).
+pub const DEFAULT_PAGE_TOKENS: usize = 32;
+
+/// Cumulative sharing statistics, metered alongside [`crate::TransferStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Prompt tokens adopted from a shared prefix instead of re-prefilled,
+    /// re-offloaded, and re-encoded.
+    pub prefix_hit_tokens: u64,
+    /// Copy-on-write page copies triggered by appends to shared tail pages.
+    pub cow_copies: u64,
+}
+
+impl std::ops::AddAssign for SharingStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.prefix_hit_tokens += rhs.prefix_hit_tokens;
+        self.cow_copies += rhs.cow_copies;
+    }
+}
+
+impl std::ops::Add for SharingStats {
+    type Output = SharingStats;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for SharingStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |acc, s| acc + s)
+    }
+}
+
+/// One fixed-size page of K and V rows.
+#[derive(Debug, Default)]
+struct Page {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    rows: usize,
+    rc: u32,
+    /// Whether this page successfully claimed a budget slot.
+    budgeted: bool,
+}
+
+#[derive(Debug)]
+struct Pool {
+    page_tokens: usize,
+    head_dim: usize,
+    pages: Vec<Page>,
+    free: Vec<u32>,
+    in_use: usize,
+    peak_in_use: usize,
+    cow_copies: u64,
+    over_budget: u64,
+    budget: Option<CacheBudget>,
+}
+
+impl Pool {
+    fn page(&self, id: u32) -> &Page {
+        let p = &self.pages[id as usize];
+        debug_assert!(p.rc > 0, "access to freed page {id}");
+        p
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let budgeted = match &self.budget {
+            Some(b) => {
+                let ok = b.try_acquire();
+                if !ok {
+                    self.over_budget += 1;
+                }
+                ok
+            }
+            None => false,
+        };
+        let cap = self.page_tokens * self.head_dim;
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.pages.push(Page::default());
+                (self.pages.len() - 1) as u32
+            }
+        };
+        let p = &mut self.pages[id as usize];
+        debug_assert!(p.rc == 0, "allocating a live page");
+        p.k.clear();
+        p.v.clear();
+        p.k.reserve(cap);
+        p.v.reserve(cap);
+        p.rows = 0;
+        p.rc = 1;
+        p.budgeted = budgeted;
+        self.in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        id
+    }
+
+    fn retain(&mut self, id: u32) {
+        let p = &mut self.pages[id as usize];
+        debug_assert!(p.rc > 0, "retain of freed page {id}");
+        p.rc += 1;
+    }
+
+    fn release(&mut self, id: u32) {
+        let p = &mut self.pages[id as usize];
+        assert!(p.rc > 0, "release of freed page {id}");
+        p.rc -= 1;
+        if p.rc == 0 {
+            let budgeted = p.budgeted;
+            p.k = Vec::new();
+            p.v = Vec::new();
+            p.rows = 0;
+            p.budgeted = false;
+            self.free.push(id);
+            self.in_use -= 1;
+            if budgeted {
+                if let Some(b) = &self.budget {
+                    b.release(1);
+                }
+            }
+        }
+    }
+
+    fn push_row(&mut self, id: u32, key: &[f32], value: &[f32]) -> usize {
+        let page_tokens = self.page_tokens;
+        let p = &mut self.pages[id as usize];
+        debug_assert!(p.rc == 1, "in-place append to a shared page");
+        debug_assert!(p.rows < page_tokens, "append to a full page");
+        p.k.extend_from_slice(key);
+        p.v.extend_from_slice(value);
+        p.rows += 1;
+        p.rows - 1
+    }
+}
+
+/// Tier-global allocator of refcounted KV pages (free list + budget hook).
+///
+/// Cloning the allocator clones a *handle*: all clones share one pool, so a
+/// [`crate::KvTier`] and every namespace it vends allocate from the same
+/// page space and page ids are meaningful tier-wide.
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    pool: Arc<Mutex<Pool>>,
+}
+
+impl PageAllocator {
+    /// A pool of `page_tokens`-row pages for rows of width `head_dim`.
+    pub fn new(page_tokens: usize, head_dim: usize) -> Self {
+        Self::with_budget(page_tokens, head_dim, None)
+    }
+
+    /// Like [`PageAllocator::new`], optionally drawing page accounting from
+    /// a shared [`CacheBudget`] (one budget slot per allocated page).
+    pub fn with_budget(page_tokens: usize, head_dim: usize, budget: Option<CacheBudget>) -> Self {
+        assert!(page_tokens > 0, "page_tokens must be positive");
+        assert!(head_dim > 0, "head_dim must be positive");
+        Self {
+            pool: Arc::new(Mutex::new(Pool {
+                page_tokens,
+                head_dim,
+                pages: Vec::new(),
+                free: Vec::new(),
+                in_use: 0,
+                peak_in_use: 0,
+                cow_copies: 0,
+                over_budget: 0,
+                budget,
+            })),
+        }
+    }
+
+    /// Rows per page.
+    pub fn page_tokens(&self) -> usize {
+        self.pool.lock().page_tokens
+    }
+
+    /// Row width (head dimension) this pool stores.
+    pub fn head_dim(&self) -> usize {
+        self.pool.lock().head_dim
+    }
+
+    /// Pages currently allocated (refcount > 0).
+    pub fn pages_in_use(&self) -> usize {
+        self.pool.lock().in_use
+    }
+
+    /// High-water mark of [`PageAllocator::pages_in_use`].
+    pub fn peak_pages_in_use(&self) -> usize {
+        self.pool.lock().peak_in_use
+    }
+
+    /// Length of the free list (pages allocated before and since released).
+    pub fn free_pages(&self) -> usize {
+        self.pool.lock().free.len()
+    }
+
+    /// Copy-on-write page copies performed since construction.
+    pub fn cow_copies(&self) -> u64 {
+        self.pool.lock().cow_copies
+    }
+
+    /// Allocations that found the budget exhausted (allocation proceeded —
+    /// the host tier never drops data — but the budget was over-committed).
+    pub fn over_budget_allocs(&self) -> u64 {
+        self.pool.lock().over_budget
+    }
+
+    /// Wire-accounted capacity of one page: K+V, `page_tokens` rows, FP16.
+    pub fn page_bytes(&self) -> u64 {
+        let pool = self.pool.lock();
+        (2 * pool.page_tokens * pool.head_dim * WIRE_BYTES_PER_ELEM) as u64
+    }
+
+    /// Unique resident bytes across all live pages (each page counted once
+    /// no matter how many namespaces reference it; FP16 accounting of rows
+    /// actually written).
+    pub fn resident_bytes(&self) -> u64 {
+        let pool = self.pool.lock();
+        pool.pages
+            .iter()
+            .filter(|p| p.rc > 0)
+            .map(|p| (2 * p.rows * pool.head_dim * WIRE_BYTES_PER_ELEM) as u64)
+            .sum()
+    }
+
+    /// Peak unique residency in capacity bytes: high-water pages × page size.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_pages_in_use() as u64 * self.page_bytes()
+    }
+
+    /// Whether two handles share one pool (page ids interchangeable).
+    pub fn same_pool(&self, other: &PageAllocator) -> bool {
+        Arc::ptr_eq(&self.pool, &other.pool)
+    }
+
+    /// Bump the refcount of every page in `chain`.
+    pub(crate) fn retain_chain(&self, chain: &[u32]) {
+        let mut pool = self.pool.lock();
+        for &id in chain {
+            pool.retain(id);
+        }
+    }
+
+    /// Drop one reference to every page in `chain`.
+    pub(crate) fn release_chain(&self, chain: &[u32]) {
+        let mut pool = self.pool.lock();
+        for &id in chain {
+            pool.release(id);
+        }
+    }
+
+    /// Write a full K/V matrix pair into freshly-allocated pages and return
+    /// the page chain.
+    pub(crate) fn write_rows(&self, keys: &Matrix, values: &Matrix) -> Vec<u32> {
+        let mut pool = self.pool.lock();
+        debug_assert_eq!(keys.cols(), pool.head_dim);
+        let pt = pool.page_tokens;
+        let mut chain = Vec::with_capacity(keys.rows().div_ceil(pt));
+        for r in 0..keys.rows() {
+            if r % pt == 0 {
+                chain.push(pool.alloc());
+            }
+            let id = *chain.last().expect("chain non-empty");
+            pool.push_row(id, keys.row(r), values.row(r));
+        }
+        chain
+    }
+
+    /// Append one row to a page chain, allocating a new tail page or
+    /// copying a shared one as needed. Returns `true` when the append
+    /// triggered a copy-on-write of the tail page.
+    pub(crate) fn append_row(&self, chain: &mut Vec<u32>, key: &[f32], value: &[f32]) -> bool {
+        let mut pool = self.pool.lock();
+        debug_assert_eq!(key.len(), pool.head_dim);
+        let mut cow = false;
+        match chain.last().copied() {
+            None => {
+                let id = pool.alloc();
+                pool.push_row(id, key, value);
+                chain.push(id);
+            }
+            Some(tail) => {
+                let (rows, rc) = {
+                    let p = pool.page(tail);
+                    (p.rows, p.rc)
+                };
+                if rows == pool.page_tokens {
+                    // Full tail stays shared (or private) untouched; grow the
+                    // chain with a fresh page.
+                    let id = pool.alloc();
+                    pool.push_row(id, key, value);
+                    chain.push(id);
+                } else if rc > 1 {
+                    // Shared, partially-filled tail: copy-on-write. The
+                    // other referents keep the frozen original.
+                    let id = pool.alloc();
+                    let (k, v, rows) = {
+                        let p = pool.page(tail);
+                        (p.k.clone(), p.v.clone(), p.rows)
+                    };
+                    {
+                        let np = &mut pool.pages[id as usize];
+                        np.k = k;
+                        np.v = v;
+                        np.rows = rows;
+                    }
+                    pool.release(tail);
+                    pool.cow_copies += 1;
+                    pool.push_row(id, key, value);
+                    *chain.last_mut().expect("tail exists") = id;
+                    cow = true;
+                } else {
+                    pool.push_row(tail, key, value);
+                }
+            }
+        }
+        cow
+    }
+
+    /// Gather `ids` (logical offsets into a chain of `rows` rows) into
+    /// dense K/V matrices.
+    pub(crate) fn gather(&self, chain: &[u32], rows: usize, ids: &[usize]) -> (Matrix, Matrix) {
+        let pool = self.pool.lock();
+        let dh = pool.head_dim;
+        let pt = pool.page_tokens;
+        let mut k = Matrix::zeros(ids.len(), dh);
+        let mut v = Matrix::zeros(ids.len(), dh);
+        for (out, &t) in ids.iter().enumerate() {
+            assert!(t < rows, "token id {t} out of range (rows {rows})");
+            let p = pool.page(chain[t / pt]);
+            let lo = (t % pt) * dh;
+            k.row_mut(out).copy_from_slice(&p.k[lo..lo + dh]);
+            v.row_mut(out).copy_from_slice(&p.v[lo..lo + dh]);
+        }
+        (k, v)
+    }
+
+    /// Materialize a whole chain as dense K/V matrices (host-side read).
+    pub(crate) fn materialize(&self, chain: &[u32], rows: usize) -> (Matrix, Matrix) {
+        let pool = self.pool.lock();
+        let dh = pool.head_dim;
+        let pt = pool.page_tokens;
+        let mut k = Matrix::zeros(rows, dh);
+        let mut v = Matrix::zeros(rows, dh);
+        for t in 0..rows {
+            let p = pool.page(chain[t / pt]);
+            let lo = (t % pt) * dh;
+            k.row_mut(t).copy_from_slice(&p.k[lo..lo + dh]);
+            v.row_mut(t).copy_from_slice(&p.v[lo..lo + dh]);
+        }
+        (k, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_pages() {
+        let alloc = PageAllocator::new(4, 2);
+        let chain = alloc.write_rows(&Matrix::zeros(10, 2), &Matrix::zeros(10, 2));
+        assert_eq!(chain.len(), 3); // ceil(10/4)
+        assert_eq!(alloc.pages_in_use(), 3);
+        alloc.release_chain(&chain);
+        assert_eq!(alloc.pages_in_use(), 0);
+        assert_eq!(alloc.free_pages(), 3);
+        // Reuse from the free list, not fresh slots.
+        let chain2 = alloc.write_rows(&Matrix::zeros(4, 2), &Matrix::zeros(4, 2));
+        assert_eq!(alloc.pages_in_use(), 1);
+        assert_eq!(alloc.free_pages(), 2);
+        assert_eq!(alloc.peak_pages_in_use(), 3);
+        alloc.release_chain(&chain2);
+    }
+
+    #[test]
+    fn append_cow_preserves_shared_reader() {
+        let alloc = PageAllocator::new(4, 1);
+        let mut a = Vec::new();
+        for i in 0..3 {
+            alloc.append_row(&mut a, &[i as f32], &[10.0 + i as f32]);
+        }
+        // Fork: b shares a's pages.
+        let b = a.clone();
+        alloc.retain_chain(&b);
+        // a appends into the shared, partially-filled tail → CoW.
+        assert!(alloc.append_row(&mut a, &[3.0], &[13.0]));
+        assert_eq!(alloc.cow_copies(), 1);
+        assert_ne!(a[0], b[0], "writer must have a private tail page");
+        let (ka, _) = alloc.gather(&a, 4, &[0, 1, 2, 3]);
+        let (kb, _) = alloc.gather(&b, 3, &[0, 1, 2]);
+        assert_eq!(ka.row(3), &[3.0]);
+        for i in 0..3 {
+            assert_eq!(ka.row(i), &[i as f32]);
+            assert_eq!(kb.row(i), &[i as f32], "reader corrupted by writer CoW");
+        }
+        alloc.release_chain(&a);
+        alloc.release_chain(&b);
+        assert_eq!(alloc.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn full_shared_tail_appends_without_copy() {
+        let alloc = PageAllocator::new(2, 1);
+        let mut a = Vec::new();
+        alloc.append_row(&mut a, &[0.0], &[0.0]);
+        alloc.append_row(&mut a, &[1.0], &[1.0]); // page now full
+        let b = a.clone();
+        alloc.retain_chain(&b);
+        assert!(!alloc.append_row(&mut a, &[2.0], &[2.0]), "full page needs no CoW");
+        assert_eq!(alloc.cow_copies(), 0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0], b[0], "full page stays shared");
+        alloc.release_chain(&a);
+        alloc.release_chain(&b);
+    }
+
+    #[test]
+    fn budget_counts_pages_and_releases_on_free() {
+        let budget = CacheBudget::new(2);
+        let alloc = PageAllocator::with_budget(2, 1, Some(budget.clone()));
+        let chain = alloc.write_rows(&Matrix::zeros(4, 1), &Matrix::zeros(4, 1));
+        assert_eq!(budget.used_blocks(), 2);
+        assert_eq!(alloc.over_budget_allocs(), 0);
+        // Third page exceeds the budget: allocation still succeeds (host
+        // tier never drops data) but the overflow is counted.
+        let extra = alloc.write_rows(&Matrix::zeros(1, 1), &Matrix::zeros(1, 1));
+        assert_eq!(alloc.pages_in_use(), 3);
+        assert_eq!(budget.used_blocks(), 2);
+        assert_eq!(alloc.over_budget_allocs(), 1);
+        alloc.release_chain(&chain);
+        alloc.release_chain(&extra);
+        assert_eq!(budget.used_blocks(), 0, "budget slots returned on free");
+    }
+
+    #[test]
+    fn sharing_stats_sum_and_add() {
+        let a = SharingStats { prefix_hit_tokens: 3, cow_copies: 1 };
+        let b = SharingStats { prefix_hit_tokens: 10, cow_copies: 5 };
+        let s: SharingStats = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+        assert_eq!(s.prefix_hit_tokens, 13);
+        assert_eq!(s.cow_copies, 6);
+    }
+}

@@ -26,11 +26,58 @@ pub mod retrieval;
 
 use pqc_pq::PqRetriever;
 use pqc_tensor::{Matrix, TopK};
+use std::any::Any;
+use std::sync::Arc;
 
 pub use dropping::{H2oPolicy, PyramidKvPolicy, SnapKvPolicy, StreamingLlmPolicy};
 pub use pqc_pq::IvfMode;
 pub use pqcache::{PqCachePolicy, PqCachePolicyConfig};
 pub use retrieval::{FullAttentionPolicy, InfLlmPolicy, OraclePolicy, SparqPolicy};
+
+/// An opaque, cheaply-cloneable snapshot of a policy's trained prefix
+/// state, shareable across sessions with the same prompt prefix.
+///
+/// Exported by [`SelectionPolicy::export_shared`] right after `init` and
+/// stored (by the serving layer) in the KV tier's prefix registry; a later
+/// session with the same prompt hands it to
+/// [`SelectionPolicy::import_shared`], which adopts the trained state —
+/// PQCache's codebooks, per-token codes, and IVF tiers — instead of
+/// re-running k-means over the shared middle keys. Because training is
+/// deterministically seeded, an imported snapshot is bit-identical to
+/// retraining, so sharing never changes results — only skips work.
+///
+/// The inner value is policy-specific; `import_shared` downcasts and
+/// returns `false` on any mismatch (different policy, different config), in
+/// which case the caller falls back to a normal `init`.
+#[derive(Clone)]
+pub struct SharedPolicyState {
+    policy: &'static str,
+    state: Arc<dyn Any + Send + Sync>,
+}
+
+impl SharedPolicyState {
+    /// Wrap a policy's snapshot. `policy` is the exporting policy's
+    /// [`SelectionPolicy::name`].
+    pub fn new(policy: &'static str, state: Arc<dyn Any + Send + Sync>) -> Self {
+        Self { policy, state }
+    }
+
+    /// Name of the policy that exported this state.
+    pub fn policy(&self) -> &'static str {
+        self.policy
+    }
+
+    /// The opaque snapshot, for the owning policy to downcast.
+    pub fn state(&self) -> &Arc<dyn Any + Send + Sync> {
+        &self.state
+    }
+}
+
+impl std::fmt::Debug for SharedPolicyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPolicyState").field("policy", &self.policy).finish()
+    }
+}
 
 /// Reusable per-step selection scratch, owned by the *caller* rather than
 /// the policy.
@@ -203,6 +250,23 @@ pub trait SelectionPolicy {
     /// Default: no-op; PQCache retrains its codebooks.
     fn refresh(&mut self, init: &PolicyInit) {
         let _ = init;
+    }
+
+    /// Snapshot the trained prefix state for cross-session sharing (called
+    /// after `init`). Policies without shareable state return `None`.
+    fn export_shared(&self) -> Option<SharedPolicyState> {
+        None
+    }
+
+    /// Adopt a snapshot exported by a same-configured policy instance, *in
+    /// place of* `init`. Returns `false` (leaving `self` untouched) when
+    /// the snapshot does not belong to this policy/configuration; the
+    /// caller must then fall back to a normal `init`. Implementations must
+    /// guarantee an accepted import is bit-identical to `init` over the
+    /// same middle keys.
+    fn import_shared(&mut self, state: &SharedPolicyState) -> bool {
+        let _ = state;
+        false
     }
 }
 

@@ -7,11 +7,14 @@
 //! through its codes (Steps ❸-❹). Tokens evicted from the local window are
 //! assigned codes by nearest centroid (Algorithm 2, line 4).
 
-use crate::{group_query_into, PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy};
+use crate::{
+    group_query_into, PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy, SharedPolicyState,
+};
 use pqc_pq::{IvfConfig, IvfIndex, IvfMode, PqCodebook, PqCodes, PqConfig};
+use std::sync::Arc;
 
 /// PQCache policy hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PqCachePolicyConfig {
     /// Sub-space count `m`.
     pub m: usize,
@@ -37,6 +40,17 @@ impl Default for PqCachePolicyConfig {
         // exact by default; `IvfMode::Probe` opts into the IVF tier.
         Self { m: 2, b: 6, kmeans_iters: 25, seed: 0xBEEF, ivf: IvfMode::Exact, ivf_n_list: 16 }
     }
+}
+
+/// The trained state a [`PqCachePolicy`] shares across same-prefix
+/// sessions: everything `init` derives deterministically from the middle
+/// keys, keyed by the exact configuration that derived it.
+#[derive(Debug)]
+struct PqSharedState {
+    cfg: PqCachePolicyConfig,
+    books: Vec<Vec<PqCodebook>>,
+    codes: Vec<Vec<PqCodes>>,
+    ivf: Vec<Vec<IvfIndex>>,
 }
 
 /// Product-quantization-based selective attention.
@@ -274,6 +288,42 @@ impl SelectionPolicy for PqCachePolicy {
         // GPU-resident after the first step, so codes dominate.
         ((middle_len * self.cfg.m * self.cfg.b as usize) as u64).div_ceil(8)
     }
+
+    /// Snapshot the trained codebooks/codes/IVF tiers. Training is
+    /// deterministically seeded per (layer, head), so the snapshot equals
+    /// what any same-configured policy would train over the same middle
+    /// keys — importing it skips the k-means without changing a bit.
+    fn export_shared(&self) -> Option<SharedPolicyState> {
+        if self.books.is_empty() {
+            return None;
+        }
+        Some(SharedPolicyState::new(
+            self.name(),
+            Arc::new(PqSharedState {
+                cfg: self.cfg,
+                books: self.books.clone(),
+                codes: self.codes.clone(),
+                ivf: self.ivf.clone(),
+            }),
+        ))
+    }
+
+    /// Adopt a snapshot exported by a same-configured [`PqCachePolicy`].
+    /// Any configuration difference (sub-spaces, bits, iteration budget,
+    /// seed, IVF routing) rejects the import — the trained state would not
+    /// match what this policy's `init` produces.
+    fn import_shared(&mut self, state: &SharedPolicyState) -> bool {
+        let Some(shared) = state.state().downcast_ref::<PqSharedState>() else {
+            return false;
+        };
+        if shared.cfg != self.cfg {
+            return false;
+        }
+        self.books = shared.books.clone();
+        self.codes = shared.codes.clone();
+        self.ivf = shared.ivf.clone();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +503,73 @@ mod tests {
             skewed > built + 0.3,
             "skewed appends must raise the meter: {built:.2} -> {skewed:.2}"
         );
+    }
+
+    #[test]
+    fn imported_shared_state_is_bit_identical_to_training() {
+        // The prefix-sharing contract: adopting an exported snapshot must
+        // select exactly what a freshly-trained policy selects, including
+        // after evictions, in both routing modes.
+        for ivf in [IvfMode::Exact, IvfMode::Probe(3)] {
+            let init = synthetic_init(2, 2, 150, 16, &[], 41);
+            let mk = || {
+                PqCachePolicy::new(PqCachePolicyConfig { ivf, ivf_n_list: 4, ..cfg(2, 6, 12) })
+            };
+            let mut trained = mk();
+            trained.init(&init);
+            let snapshot = trained.export_shared().expect("trained policy exports");
+            let mut adopted = mk();
+            assert!(adopted.import_shared(&snapshot), "same config must import");
+
+            let mut rng = Rng64::new(43);
+            for step in 0..6 {
+                if step == 3 {
+                    let key: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+                    trained.on_evict(0, 1, &key, 150);
+                    adopted.on_evict(0, 1, &key, 150);
+                }
+                let q = Matrix::randn(2, 16, 1.0, &mut rng);
+                for (l, h, mid) in [(0usize, 1usize, 150usize), (1, 0, 150)] {
+                    let ctx = PolicyContext {
+                        layer: l,
+                        kv_head: h,
+                        queries: &q,
+                        budget: 20,
+                        middle_len: mid + usize::from(step >= 3 && l == 0 && h == 1),
+                    };
+                    assert_eq!(
+                        trained.select(&ctx),
+                        adopted.select(&ctx),
+                        "import diverged at step {step} ({ivf:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_config_and_untrained_export() {
+        let init = synthetic_init(1, 1, 80, 16, &[], 45);
+        let untrained = PqCachePolicy::new(cfg(2, 6, 10));
+        assert!(untrained.export_shared().is_none(), "nothing to share before init");
+        let mut trained = PqCachePolicy::new(cfg(2, 6, 10));
+        trained.init(&init);
+        let snap = trained.export_shared().expect("export");
+        // Different m: reject and leave the importer untouched.
+        let mut other = PqCachePolicy::new(cfg(4, 6, 10));
+        assert!(!other.import_shared(&snap));
+        assert!(other.export_shared().is_none(), "rejected import must not mutate");
+        // Different routing mode: reject too.
+        let mut probed = PqCachePolicy::new(PqCachePolicyConfig {
+            ivf: IvfMode::Probe(2),
+            ivf_n_list: 4,
+            ..cfg(2, 6, 10)
+        });
+        assert!(!probed.import_shared(&snap));
+        // A foreign payload under the right name: reject.
+        let fake = SharedPolicyState::new("PQCache", std::sync::Arc::new(17u32));
+        let mut p = PqCachePolicy::new(cfg(2, 6, 10));
+        assert!(!p.import_shared(&fake));
     }
 
     #[test]

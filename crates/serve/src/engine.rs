@@ -20,9 +20,10 @@
 use crate::queue::BoundedQueue;
 use pqc_cache::{BlockCache, CacheBudget, CacheStats};
 use pqc_core::{SelectiveSession, SessionConfig, SessionResources, SessionScratch};
-use pqc_llm::Model;
-use pqc_memhier::{KvTier, TransferStats};
-use pqc_policies::SelectionPolicy;
+use pqc_llm::{Model, PrefillOutput};
+use pqc_memhier::{KvTier, PrefixCacheStats, SharingStats, TransferStats, DEFAULT_PAGE_TOKENS};
+use pqc_policies::{SelectionPolicy, SharedPolicyState};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How requests map onto shards.
@@ -67,6 +68,13 @@ pub struct ServeConfig {
     /// shard workers are the parallelism axis, and nesting head threads
     /// under every worker oversubscribes the host.
     pub prefill_parallel: bool,
+    /// Share host KV pages and trained PQ/IVF state across sessions whose
+    /// prompts are identical (vLLM-style prefix caching on the paged tier).
+    /// On by default — sharing is exact, so results are bit-identical to a
+    /// cold start; turn off to model a fleet without prefix reuse.
+    pub prefix_cache: bool,
+    /// Host-tier page size in tokens (the paged `KvTier` granularity).
+    pub page_tokens: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +88,8 @@ impl Default for ServeConfig {
             cache_budget_sessions: None,
             record_trace: false,
             prefill_parallel: false,
+            prefix_cache: true,
+            page_tokens: DEFAULT_PAGE_TOKENS,
         }
     }
 }
@@ -90,6 +100,7 @@ impl ServeConfig {
         assert!(self.shards > 0, "need at least one shard");
         assert!(self.max_active_per_shard > 0, "need at least one session slot per shard");
         assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        assert!(self.page_tokens > 0, "page size must be positive");
         if self.assignment == ShardAssignment::RoundRobin {
             assert!(
                 self.queue_capacity >= self.shards,
@@ -117,6 +128,16 @@ pub struct ServeRequest {
     pub policy: Box<dyn SelectionPolicy + Send>,
 }
 
+/// What the first session to serve a prompt leaves behind in the tier's
+/// prefix registry, alongside the refcounted KV pages: the deterministic
+/// prefill output (logits, score captures) and the trained PQ/IVF policy
+/// snapshot. Later sessions with the same prompt adopt all three and skip
+/// prefill, offload, and clustering entirely.
+struct SharedPrefix {
+    prefill: PrefillOutput,
+    policy: Option<SharedPolicyState>,
+}
+
 /// Per-step evidence captured when [`ServeConfig::record_trace`] is set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepTrace {
@@ -139,6 +160,9 @@ pub struct Completion {
     pub transfer: TransferStats,
     /// This session's GPU block-cache stats.
     pub cache: CacheStats,
+    /// Prefix-sharing stats: prompt tokens adopted from the prefix cache
+    /// and copy-on-write page copies this session triggered.
+    pub sharing: SharingStats,
     /// Per-step trace (empty unless [`ServeConfig::record_trace`]).
     pub trace: Vec<StepTrace>,
 }
@@ -168,6 +192,16 @@ pub struct ServeReport {
     pub aggregate_transfer: TransferStats,
     /// Highest queue occupancy observed (≤ the configured bound).
     pub queue_high_water: usize,
+    /// Prefix-cache registry counters (lookups, full/partial hits, entries).
+    pub prefix: PrefixCacheStats,
+    /// Tier-wide sharing aggregate (equals the sum of per-completion
+    /// [`Completion::sharing`]).
+    pub aggregate_sharing: SharingStats,
+    /// Peak host-tier footprint over the run: distinct pages held at the
+    /// busiest instant × page bytes. With prefix sharing on, a fleet of
+    /// identical prompts peaks near O(unique tokens) instead of
+    /// O(sessions × tokens).
+    pub peak_host_bytes: u64,
     /// Per-shard scheduling stats.
     pub shards: Vec<ShardStats>,
     /// Wall-clock time of the whole run.
@@ -221,7 +255,8 @@ impl ServeEngine {
     pub fn run(model: &Model, cfg: &ServeConfig, requests: Vec<ServeRequest>) -> ServeReport {
         cfg.validate();
         let mcfg = model.config();
-        let tier = KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let tier =
+            KvTier::with_pages(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim, cfg.page_tokens, None);
         let budget_sessions = cfg.cache_budget_sessions.unwrap_or_else(|| cfg.peak_sessions());
         let budget = CacheBudget::for_tokens(
             cfg.session.cache.capacity_tokens * budget_sessions,
@@ -276,6 +311,9 @@ impl ServeEngine {
         ServeReport {
             completions,
             aggregate_transfer: tier.aggregate_stats(),
+            prefix: tier.prefix_stats(),
+            aggregate_sharing: tier.aggregate_sharing(),
+            peak_host_bytes: tier.allocator().peak_resident_bytes(),
             // Sum of per-queue high waters: an upper bound on peak global
             // occupancy, itself bounded by the configured capacity.
             queue_high_water: queues.iter().map(BoundedQueue::high_water).sum(),
@@ -353,18 +391,53 @@ impl ServeEngine {
         tier: &KvTier,
         budget: &CacheBudget,
     ) -> Active<'m> {
-        let mut opts = SelectiveSession::prefill_options(&cfg.session, req.tokens.len());
-        opts.parallel = cfg.prefill_parallel;
-        let prefill = model.prefill(&req.tokens, &opts);
-        let resources = SessionResources {
-            store: tier.new_namespace(),
-            cache: BlockCache::with_budget(
+        let cache = || {
+            BlockCache::with_budget(
                 cfg.session.cache.capacity_tokens,
                 cfg.session.cache.block_size,
                 cfg.session.cache.policy(),
                 budget.clone(),
-            ),
+            )
         };
+
+        // Prefix-cache fast path: an identical prompt already served means
+        // the pages, prefill output, and trained policy state are all in
+        // the tier — adopt them instead of recomputing. Only a full-prompt
+        // hit qualifies; a partial hit would still need a partial prefill,
+        // which the dense model here cannot resume mid-prompt.
+        if cfg.prefix_cache {
+            if let Some(hit) = tier.lookup_prefix(&req.tokens) {
+                if hit.len() == req.tokens.len() {
+                    if let Some(shared) = hit.payload().downcast_ref::<SharedPrefix>() {
+                        let resources = SessionResources {
+                            store: tier.new_namespace_with_prefix(&hit),
+                            cache: cache(),
+                        };
+                        let start = SelectiveSession::start_from_shared_prefix(
+                            model,
+                            req.policy,
+                            cfg.session,
+                            &shared.prefill,
+                            resources,
+                            shared.policy.as_ref(),
+                        );
+                        return Active {
+                            id: req.id,
+                            session: start.session,
+                            next: pqc_tensor::argmax(&start.logits) as u32,
+                            remaining: req.decode_steps,
+                            generated: Vec::with_capacity(req.decode_steps),
+                            trace: Vec::new(),
+                        };
+                    }
+                }
+            }
+        }
+
+        let mut opts = SelectiveSession::prefill_options(&cfg.session, req.tokens.len());
+        opts.parallel = cfg.prefill_parallel;
+        let prefill = model.prefill(&req.tokens, &opts);
+        let resources = SessionResources { store: tier.new_namespace(), cache: cache() };
         let start = SelectiveSession::start_from_prefill_in(
             model,
             req.policy,
@@ -372,6 +445,14 @@ impl ServeEngine {
             &prefill,
             resources,
         );
+        if cfg.prefix_cache {
+            // First server of this prompt donates its pages + policy state.
+            // Racing registrants are benign: first wins, the loser just
+            // keeps its private copy.
+            let payload =
+                Arc::new(SharedPrefix { policy: start.session.export_policy_state(), prefill });
+            let _ = tier.register_prefix(&req.tokens, start.session.store(), payload);
+        }
         Active {
             id: req.id,
             session: start.session,
@@ -393,6 +474,7 @@ impl ServeEngine {
                     generated: a.generated,
                     transfer: a.session.transfer_stats(),
                     cache: a.session.cache_stats(),
+                    sharing: a.session.sharing_stats(),
                     trace: a.trace,
                 });
             } else {
@@ -582,6 +664,58 @@ mod tests {
         for (i, c) in report.completions.iter().enumerate() {
             assert_eq!(c.generated.len(), 4 + i % 3);
         }
+    }
+
+    #[test]
+    fn prefix_cache_shares_pages_across_identical_prompts() {
+        // One shard, sequential admission, four identical prompts: the
+        // first session registers the prefix, the other three adopt it.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(64, 7);
+        let reqs = || {
+            (0..4)
+                .map(|i| ServeRequest {
+                    id: i as u64,
+                    tokens: toks.clone(),
+                    decode_steps: 5,
+                    policy: Box::new(PqCachePolicy::default()) as _,
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 4,
+            queue_capacity: 8,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let shared = ServeEngine::run(&model, &cfg, reqs());
+        assert_eq!(shared.completions.len(), 4);
+        assert_eq!(shared.prefix.lookups, 4);
+        assert_eq!(shared.prefix.full_hits, 3);
+        assert_eq!(shared.prefix.entries, 1);
+        assert_eq!(shared.aggregate_sharing.prefix_hit_tokens, 3 * toks.len() as u64);
+        // Everyone decodes the same continuation...
+        for c in &shared.completions[1..] {
+            assert_eq!(c.generated, shared.completions[0].generated);
+            // ...and adopters skip the offload the cold session paid.
+            assert!(c.sharing.prefix_hit_tokens == toks.len() as u64);
+            assert!(c.transfer.d2h_bytes < shared.completions[0].transfer.d2h_bytes);
+        }
+        // Sharing off: same tokens, four full offloads, bigger host peak.
+        let cold =
+            ServeEngine::run(&model, &ServeConfig { prefix_cache: false, ..cfg }, reqs());
+        assert_eq!(cold.prefix.lookups, 0);
+        assert_eq!(cold.aggregate_sharing, SharingStats::default());
+        for (a, b) in shared.completions.iter().zip(cold.completions.iter()) {
+            assert_eq!(a.generated, b.generated, "prefix sharing changed results");
+        }
+        assert!(
+            shared.peak_host_bytes < cold.peak_host_bytes,
+            "sharing must shrink the host peak: {} vs {}",
+            shared.peak_host_bytes,
+            cold.peak_host_bytes
+        );
     }
 
     #[test]

@@ -12,9 +12,14 @@
 //! (`SessionScratch`) instead of per session.
 //!
 //! Shared resources are explicitly multi-tenant:
-//! - the host KV tier is a [`pqc_memhier::KvTier`]: one namespace per
-//!   session (offsets are namespace-local) with engine-wide aggregate
-//!   transfer accounting;
+//! - the host KV tier is a paged [`pqc_memhier::KvTier`]: one namespace per
+//!   session (offsets are namespace-local) over a tier-global refcounted
+//!   page pool, with engine-wide aggregate transfer accounting;
+//! - identical prompts share pages *and* trained PQ/IVF state through the
+//!   tier's prefix registry ([`ServeConfig::prefix_cache`], on by default):
+//!   the first session to serve a prompt donates its page tables, prefill
+//!   output, and policy snapshot; later sessions adopt them copy-on-write
+//!   and skip prefill, offload, and clustering — bit-identically;
 //! - GPU cache capacity is a [`pqc_cache::CacheBudget`] shared by every
 //!   session's shard-local [`pqc_cache::BlockCache`].
 //!

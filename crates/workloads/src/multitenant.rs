@@ -127,6 +127,52 @@ pub fn multi_tenant_trace(cfg: &TraceConfig) -> TenantTrace {
     TenantTrace { requests }
 }
 
+/// Generate a shared-prefix fleet: `cfg.sessions` requests partitioned into
+/// `groups` prompt groups, every request in a group carrying an **identical**
+/// prompt (the group's canonical workload). This is the traffic shape that
+/// exercises the serve engine's prefix cache — system prompts, few-shot
+/// preambles, or fan-out agents all issue the same prefix many times — and
+/// the expected full-hit rate is exactly `(sessions - groups) / sessions`
+/// under sequential admission.
+///
+/// Arrival ticks and decode lengths still churn like [`multi_tenant_trace`];
+/// only the prompt content is deduplicated. Requests round-robin over the
+/// groups so hits interleave with misses instead of trailing them.
+pub fn shared_prefix_trace(cfg: &TraceConfig, groups: usize) -> TenantTrace {
+    assert!(groups > 0, "need at least one prompt group");
+    assert!(groups <= cfg.sessions, "more prompt groups than sessions");
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(cfg.decode_steps.0 <= cfg.decode_steps.1, "decode range inverted");
+    assert!(cfg.prompt_mix.iter().sum::<f64>() > 0.0, "mixture weights all zero");
+    let mut rng = Rng64::new(cfg.seed ^ 0x5AA5_F00D);
+    let mix: Vec<f64> = cfg.prompt_mix.to_vec();
+    // One canonical workload per group, rotated over the task families.
+    let canon: Vec<Workload> = (0..groups as u64)
+        .map(|g| {
+            let tier = rng.weighted(&mix);
+            let s = cfg.prompt_lens[tier].max(64);
+            let wseed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(g);
+            match g % 3 {
+                0 => needle(s, 0.25 + 0.5 * rng.uniform(), &cfg.layout, wseed),
+                1 => qa(s, 2, QuestionPosition::End, &cfg.layout, wseed),
+                _ => aggregation(s, 4, &cfg.layout, wseed),
+            }
+        })
+        .collect();
+    let mut tick = 0u64;
+    let mut requests = Vec::with_capacity(cfg.sessions);
+    for id in 0..cfg.sessions as u64 {
+        let u = rng.uniform();
+        let gap = (-(1.0 - u).ln() / cfg.arrival_rate).round() as u64;
+        tick += gap;
+        let workload = canon[(id as usize) % groups].clone();
+        let (lo, hi) = cfg.decode_steps;
+        let decode_steps = lo + rng.below(hi - lo + 1);
+        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps });
+    }
+    TenantTrace { requests }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +246,40 @@ mod tests {
     #[should_panic(expected = "arrival rate")]
     fn zero_rate_rejected() {
         let _ = multi_tenant_trace(&TraceConfig { arrival_rate: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn shared_prefix_trace_dedups_prompts_per_group() {
+        let t = shared_prefix_trace(&cfg(), 4);
+        assert_eq!(t.requests.len(), 200);
+        // Exactly 4 distinct prompts, assigned round-robin by id.
+        let mut distinct = std::collections::HashSet::new();
+        for r in &t.requests {
+            assert_eq!(
+                r.workload.tokens,
+                t.requests[(r.id % 4) as usize].workload.tokens,
+                "request {} left its prompt group",
+                r.id
+            );
+            distinct.insert(r.workload.tokens.clone());
+        }
+        assert_eq!(distinct.len(), 4, "groups must carry distinct prompts");
+        // Churn survives dedup: decode lengths and arrival gaps still vary.
+        let min = t.requests.iter().map(|r| r.decode_steps).min().unwrap();
+        let max = t.requests.iter().map(|r| r.decode_steps).max().unwrap();
+        assert!(max > min, "decode lengths degenerate");
+        assert!(t.requests.last().unwrap().arrival_tick > 0, "arrivals degenerate");
+        // Deterministic in the seed.
+        let again = shared_prefix_trace(&cfg(), 4);
+        for (a, b) in t.requests.iter().zip(again.requests.iter()) {
+            assert_eq!(a.workload.tokens, b.workload.tokens);
+            assert_eq!(a.decode_steps, b.decode_steps);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more prompt groups than sessions")]
+    fn oversized_group_count_rejected() {
+        let _ = shared_prefix_trace(&TraceConfig { sessions: 2, ..Default::default() }, 3);
     }
 }

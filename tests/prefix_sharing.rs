@@ -1,0 +1,208 @@
+//! Prefix-cache battery: shared-prefix fleets must be **bit-identical** to
+//! cold-started ones while sharing host pages and trained PQ/IVF state.
+//!
+//! The serving contract extends serve-vs-sequential equivalence: turning
+//! the prefix cache on (the default) changes *cost* — host residency,
+//! offload traffic, clustering work — but never *results*. A fleet of N
+//! sessions over G distinct prompts keeps ~O(G × tokens) host bytes
+//! resident instead of O(N × tokens), registers G prefixes, full-hits the
+//! other N−G admissions, and still decodes every session exactly as
+//! `SelectiveSession::decode` would alone.
+
+use pqcache::core::{CacheConfig, SelectiveSession, SessionConfig};
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::policies::{PqCachePolicy, SelectionPolicy, StreamingLlmPolicy};
+use pqcache::serve::{ServeConfig, ServeEngine, ServeRequest};
+use pqcache::tensor::{argmax, Rng64};
+use pqcache::workloads::{shared_prefix_trace, TraceConfig, VocabLayout};
+
+const DECODE_STEPS: usize = 6;
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        n_init: 2,
+        n_local: 8,
+        token_ratio: 0.25,
+        comm_fraction: 1.0 / 16.0,
+        obs_window: 8,
+        cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+        ivf: pqcache::core::IvfMode::Exact,
+    }
+}
+
+fn prompt(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.below(200) as u32).collect()
+}
+
+/// A fleet of `n` sessions spread over `groups` identical prompts,
+/// round-robin so hits interleave with misses.
+fn fleet(n: usize, groups: usize, policy: fn(usize) -> Box<dyn SelectionPolicy + Send>) -> Vec<ServeRequest> {
+    let prompts: Vec<Vec<u32>> = (0..groups).map(|g| prompt(96, 0xA11CE + g as u64)).collect();
+    (0..n)
+        .map(|i| ServeRequest {
+            id: i as u64,
+            tokens: prompts[i % groups].clone(),
+            decode_steps: DECODE_STEPS,
+            policy: policy(i),
+        })
+        .collect()
+}
+
+fn pq_only(_i: usize) -> Box<dyn SelectionPolicy + Send> {
+    Box::new(PqCachePolicy::default())
+}
+
+fn mixed(i: usize) -> Box<dyn SelectionPolicy + Send> {
+    // StreamingLlm exports no shared policy state — hit sessions fall back
+    // to re-initialising from the shared prefill, which must be equivalent.
+    if i % 3 == 2 {
+        Box::new(StreamingLlmPolicy)
+    } else {
+        Box::new(PqCachePolicy::default())
+    }
+}
+
+fn serve_cfg(shards: usize, fleet_size: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        max_active_per_shard: fleet_size.div_ceil(shards),
+        queue_capacity: fleet_size.max(2),
+        session: session_cfg(),
+        record_trace: true,
+        ..Default::default()
+    }
+}
+
+/// Shared-prefix fleets decode bit-identically to standalone sessions —
+/// logits, selected sets, and tokens — at 1 and 2 shards, with mixed
+/// policies (with and without exportable shared state).
+#[test]
+fn shared_prefix_fleet_matches_sequential() {
+    let model = Model::new(LlmConfig::tiny());
+    let n = 9;
+    // Sequential reference: every session cold, alone, via decode().
+    let reference: Vec<(Vec<u32>, Vec<Vec<f32>>)> = fleet(n, 3, mixed)
+        .into_iter()
+        .map(|req| {
+            let start = SelectiveSession::start(&model, req.policy, session_cfg(), &req.tokens);
+            let mut session = start.session;
+            let mut next = argmax(&start.logits) as u32;
+            let mut generated = Vec::new();
+            let mut logits = Vec::new();
+            for _ in 0..DECODE_STEPS {
+                generated.push(next);
+                let dec = session.decode(next);
+                logits.push(dec.logits.clone());
+                next = dec.greedy();
+            }
+            (generated, logits)
+        })
+        .collect();
+
+    for shards in [1, 2] {
+        let report = ServeEngine::run(&model, &serve_cfg(shards, n), fleet(n, 3, mixed));
+        assert_eq!(report.completions.len(), n);
+        for (i, c) in report.completions.iter().enumerate() {
+            assert_eq!(c.generated, reference[i].0, "session {i} tokens under {shards} shards");
+            for (step, tr) in c.trace.iter().enumerate() {
+                assert_eq!(
+                    tr.logits, reference[i].1[step],
+                    "session {i} step {step} logits under {shards} shards"
+                );
+            }
+        }
+        // At one shard admission is sequential, so exactly the first
+        // member of each group is cold and everyone else full-hits.
+        if shards == 1 {
+            assert_eq!(report.prefix.full_hits, (n - 3) as u64);
+        }
+    }
+}
+
+/// Sequential admission (1 shard): exact hit accounting, O(unique-tokens)
+/// host residency, and the d2h saving the hits imply.
+#[test]
+fn prefix_hit_rate_and_host_residency() {
+    let model = Model::new(LlmConfig::tiny());
+    let (n, groups) = (16, 2);
+    let cfg = serve_cfg(1, n); // whole fleet concurrently resident
+    let shared = ServeEngine::run(&model, &cfg, fleet(n, groups, pq_only));
+    assert_eq!(shared.prefix.lookups, n as u64);
+    assert_eq!(shared.prefix.entries, groups);
+    assert_eq!(shared.prefix.full_hits, (n - groups) as u64);
+    let rate = shared.prefix.full_hit_rate();
+    assert!(rate > 0.85, "hit rate {rate}");
+    assert_eq!(shared.aggregate_sharing.prefix_hit_tokens, ((n - groups) * 96) as u64);
+    // Per-completion sharing sums to the aggregate.
+    let sum_hit: u64 = shared.completions.iter().map(|c| c.sharing.prefix_hit_tokens).sum();
+    let sum_cow: u64 = shared.completions.iter().map(|c| c.sharing.cow_copies).sum();
+    assert_eq!(sum_hit, shared.aggregate_sharing.prefix_hit_tokens);
+    assert!(sum_cow <= shared.aggregate_sharing.cow_copies, "registry CoWs excluded");
+
+    let cold = ServeEngine::run(
+        &model,
+        &ServeConfig { prefix_cache: false, ..cfg },
+        fleet(n, groups, pq_only),
+    );
+    // Results identical; host peak at least halved (the acceptance gate);
+    // offload traffic reduced by exactly the shared prompts.
+    for (a, b) in shared.completions.iter().zip(cold.completions.iter()) {
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.transfer.h2d_bytes, b.transfer.h2d_bytes, "fetch traffic must not change");
+    }
+    let dedup = cold.peak_host_bytes as f64 / shared.peak_host_bytes as f64;
+    assert!(dedup >= 2.0, "dedup factor {dedup:.2} (cold {} shared {})", cold.peak_host_bytes, shared.peak_host_bytes);
+    assert!(
+        shared.aggregate_transfer.d2h_bytes < cold.aggregate_transfer.d2h_bytes,
+        "sharing must reduce offload traffic"
+    );
+    assert_eq!(cold.prefix.lookups, 0, "disabled cache must not be consulted");
+}
+
+/// The workloads generator end-to-end: a `shared_prefix_trace` fleet hits
+/// per its group structure and same-group sessions agree on their common
+/// decoded prefix.
+#[test]
+fn shared_prefix_trace_drives_the_cache() {
+    let model = Model::new(LlmConfig::tiny());
+    let (n, groups) = (12, 3);
+    let trace = shared_prefix_trace(
+        &TraceConfig {
+            sessions: n,
+            prompt_lens: [96, 128, 160],
+            decode_steps: (3, 9),
+            layout: VocabLayout::for_vocab(256),
+            ..Default::default()
+        },
+        groups,
+    );
+    let requests: Vec<ServeRequest> = trace
+        .requests
+        .iter()
+        .map(|r| ServeRequest {
+            id: r.id,
+            tokens: r.workload.tokens.clone(),
+            decode_steps: r.decode_steps,
+            policy: Box::new(PqCachePolicy::default()),
+        })
+        .collect();
+    let report = ServeEngine::run(&model, &serve_cfg(1, n), requests);
+    assert_eq!(report.prefix.entries, groups);
+    assert_eq!(report.prefix.full_hits, (n - groups) as u64);
+    // Greedy decode is deterministic: same prompt ⇒ same continuation, so
+    // every session in a group shares the common generated prefix.
+    for g in 0..groups {
+        let members: Vec<_> =
+            report.completions.iter().filter(|c| (c.id as usize) % groups == g).collect();
+        let first = &members[0];
+        for m in &members[1..] {
+            let k = first.generated.len().min(m.generated.len());
+            assert_eq!(
+                first.generated[..k],
+                m.generated[..k],
+                "group {g} sessions diverged on their common prefix"
+            );
+        }
+    }
+}

@@ -358,3 +358,138 @@ proptest! {
         prop_assert!(dense.max_abs_diff(&covered) < 1e-5);
     }
 }
+
+/// One scripted action against the forked-namespace fleet.
+#[derive(Debug, Clone, Copy)]
+enum PageOp {
+    /// Clone the store at `target % live` (bounded by a fleet cap).
+    Fork { target: usize },
+    /// Append one token to the store at `target % live`.
+    Append { target: usize, seed: u64 },
+    /// Drop the store at `target % live` (never below one survivor).
+    Drop { target: usize },
+}
+
+fn page_op_strategy() -> impl Strategy<Value = PageOp> {
+    // kind 0 → fork, 1..=3 → append (weighted 3×), 4 → drop.
+    (0usize..5, 0usize..8, 0u64..(1 << 62)).prop_map(|(kind, target, seed)| match kind {
+        0 => PageOp::Fork { target },
+        1..=3 => PageOp::Append { target, seed },
+        _ => PageOp::Drop { target },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Refcounted pages + copy-on-write under random fork/append/drop
+    /// interleavings: no namespace ever observes another's writes, every
+    /// store always materialises exactly its mirror-model rows, and the
+    /// pool drains to zero pages once the last namespace drops.
+    #[test]
+    fn paged_cow_never_corrupts_forked_namespaces(
+        page_tokens in 1usize..5,
+        init_rows in 1usize..7,
+        ops in proptest::collection::vec(page_op_strategy(), 1..40),
+        data_seed in 0u64..(1 << 62),
+    ) {
+        use pqcache::memhier::{HostKvStore, KvTier};
+        const DIM: usize = 4;
+        let tier = KvTier::with_pages(1, 1, DIM, page_tokens, None);
+        let mut rng = Rng64::new(data_seed);
+        let mut row = |tag: u64| -> Vec<f32> {
+            let mut r = Rng64::new(rng.below(1 << 30) as u64 ^ tag);
+            (0..DIM).map(|_| r.normal_f32(0.0, 1.0)).collect()
+        };
+
+        // Seed one namespace with `init_rows` offloaded rows, then let the
+        // script fork/append/drop. Mirror every store with plain Vecs.
+        type Mirror = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+        let mut stores: Vec<HostKvStore> = vec![tier.new_namespace()];
+        let init_k: Vec<Vec<f32>> = (0..init_rows).map(|i| row(i as u64)).collect();
+        let init_v: Vec<Vec<f32>> = (0..init_rows).map(|i| row(0x1000 + i as u64)).collect();
+        let flat = |rows: &[Vec<f32>]| Matrix::from_vec(rows.len(), DIM, rows.concat());
+        stores[0].offload(0, 0, flat(&init_k), flat(&init_v));
+        let mut mirrors: Vec<Mirror> = vec![(init_k.clone(), init_v.clone())];
+
+        for op in &ops {
+            match *op {
+                PageOp::Fork { target } if stores.len() < 6 => {
+                    let t = target % stores.len();
+                    stores.push(stores[t].clone());
+                    let m = mirrors[t].clone();
+                    mirrors.push(m);
+                }
+                PageOp::Fork { .. } => {}
+                PageOp::Append { target, seed } => {
+                    let t = target % stores.len();
+                    let (k, v) = (row(seed), row(seed ^ 0xFFFF));
+                    stores[t].append_token(0, 0, &k, &v);
+                    mirrors[t].0.push(k);
+                    mirrors[t].1.push(v);
+                }
+                PageOp::Drop { target } if stores.len() > 1 => {
+                    let t = target % stores.len();
+                    stores.remove(t);
+                    mirrors.remove(t);
+                }
+                PageOp::Drop { .. } => {}
+            }
+            // Every surviving namespace still materialises exactly its own
+            // history — CoW must have isolated all shared tails.
+            for (s, m) in stores.iter().zip(mirrors.iter()) {
+                prop_assert_eq!(s.len(0, 0), m.0.len());
+                let keys = s.keys_matrix(0, 0);
+                let values = s.values_matrix(0, 0);
+                for (r, (mk, mv)) in m.0.iter().zip(m.1.iter()).enumerate() {
+                    for c in 0..DIM {
+                        prop_assert_eq!(keys.get(r, c), mk[c], "key corrupted at ({}, {})", r, c);
+                        prop_assert_eq!(values.get(r, c), mv[c], "value corrupted at ({}, {})", r, c);
+                    }
+                }
+            }
+        }
+
+        // Refcounts return to baseline: dropping every namespace frees the
+        // whole pool (nothing was registered as a shared prefix here).
+        prop_assert!(tier.allocator().pages_in_use() > 0);
+        drop(stores);
+        prop_assert_eq!(tier.allocator().pages_in_use(), 0, "pages leaked after drops");
+    }
+
+    /// Registered prefixes pin pages while namespaces come and go; releasing
+    /// the registration returns the pool to empty.
+    #[test]
+    fn prefix_registration_pins_and_releases_pages(
+        page_tokens in 1usize..5,
+        adopters in 1usize..5,
+        tokens in proptest::collection::vec(0u32..200, 1..24),
+    ) {
+        use pqcache::memhier::KvTier;
+        const DIM: usize = 4;
+        let tier = KvTier::with_pages(1, 1, DIM, page_tokens, None);
+        let mut base = tier.new_namespace();
+        let mut rng = Rng64::new(7);
+        let n = tokens.len();
+        let data: Vec<f32> = (0..n * DIM).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        base.offload(0, 0, Matrix::from_vec(n, DIM, data.clone()), Matrix::from_vec(n, DIM, data));
+        prop_assert!(tier.register_prefix(&tokens, &base, std::sync::Arc::new(())));
+
+        let mut fleet = Vec::new();
+        for _ in 0..adopters {
+            let hit = tier.lookup_prefix(&tokens).expect("registered prefix must hit");
+            prop_assert_eq!(hit.len(), n);
+            fleet.push(tier.new_namespace_with_prefix(&hit));
+        }
+        // Adopters share the base pages: unique residency stays one copy.
+        let one_copy = tier.allocator().pages_in_use();
+        prop_assert_eq!(one_copy, n.div_ceil(page_tokens));
+        drop(fleet);
+        drop(base);
+        // The registry alone still pins the prefix pages...
+        prop_assert_eq!(tier.allocator().pages_in_use(), n.div_ceil(page_tokens));
+        // ...until released.
+        prop_assert!(tier.release_prefix(&tokens));
+        prop_assert_eq!(tier.allocator().pages_in_use(), 0, "registry leaked pages");
+    }
+}
