@@ -121,12 +121,7 @@ fn make_requests(model: &Model, cfg: &Config, prompts: &[Vec<u32>]) -> Vec<Serve
     prompts
         .iter()
         .enumerate()
-        .map(|(i, toks)| ServeRequest {
-            id: i as u64,
-            tokens: toks.clone(),
-            decode_steps: cfg.decode_steps,
-            policy: policy(model),
-        })
+        .map(|(i, toks)| ServeRequest::new(i as u64, toks.clone(), cfg.decode_steps, policy(model)))
         .collect()
 }
 
@@ -144,7 +139,8 @@ fn run_serve(model: &Model, cfg: &Config, prompts: &[Vec<u32>]) -> (u64, f64) {
         session: session_cfg(),
         ..Default::default()
     };
-    let report = ServeEngine::run(model, &serve_cfg, make_requests(model, cfg, prompts));
+    let report =
+        ServeEngine::run(model, &serve_cfg, make_requests(model, cfg, prompts)).expect("config");
     assert_eq!(report.completions.len(), n, "serve lost requests");
     (report.tokens_decoded(), report.wall.as_secs_f64())
 }
@@ -172,7 +168,8 @@ fn run_modeled(model: &Model, cfg: &Config, prompts: &[Vec<u32>]) -> f64 {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let report = ServeEngine::run(model, &serve_cfg, make_requests(model, cfg, &part));
+        let report = ServeEngine::run(model, &serve_cfg, make_requests(model, cfg, &part))
+            .expect("config");
         assert_eq!(report.completions.len(), part.len());
         worst = worst.max(t0.elapsed().as_secs_f64());
     }
@@ -243,15 +240,10 @@ fn bench_long_context(model: &Model, cfg: &Config) -> LongRow {
         let reqs: Vec<ServeRequest> = prompts
             .iter()
             .enumerate()
-            .map(|(i, toks)| ServeRequest {
-                id: i as u64,
-                tokens: toks.clone(),
-                decode_steps,
-                policy: policy(model),
-            })
+            .map(|(i, toks)| ServeRequest::new(i as u64, toks.clone(), decode_steps, policy(model)))
             .collect();
         let t0 = Instant::now();
-        let report = ServeEngine::run(model, &serve_cfg, reqs);
+        let report = ServeEngine::run(model, &serve_cfg, reqs).expect("config");
         assert_eq!(report.completions.len(), sessions, "long-context serve lost requests");
         (report.tokens_decoded(), t0.elapsed().as_secs_f64())
     };
@@ -313,11 +305,8 @@ fn bench_prefix_cache(model: &Model, cfg: &Config) -> PrefixRow {
         trace
             .requests
             .iter()
-            .map(|r| ServeRequest {
-                id: r.id,
-                tokens: r.workload.tokens.clone(),
-                decode_steps: r.decode_steps,
-                policy: policy(model),
+            .map(|r| {
+                ServeRequest::new(r.id, r.workload.tokens.clone(), r.decode_steps, policy(model))
             })
             .collect()
     };
@@ -330,14 +319,15 @@ fn bench_prefix_cache(model: &Model, cfg: &Config) -> PrefixRow {
     };
     let _ = ServeEngine::run(model, &serve_cfg, requests()); // warm-up
     let t0 = Instant::now();
-    let shared = ServeEngine::run(model, &serve_cfg, requests());
+    let shared = ServeEngine::run(model, &serve_cfg, requests()).expect("config");
     let shared_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let cold = ServeEngine::run(
         model,
         &ServeConfig { prefix_cache: false, ..serve_cfg },
         requests(),
-    );
+    )
+    .expect("config");
     let cold_s = t0.elapsed().as_secs_f64();
     for (a, b) in shared.completions.iter().zip(cold.completions.iter()) {
         assert_eq!(a.generated, b.generated, "prefix cache changed results");

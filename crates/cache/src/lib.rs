@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A capacity budget shared by several shard-local [`BlockCache`]s.
@@ -31,12 +31,17 @@ use std::sync::Arc;
 pub struct CacheBudget {
     max_blocks: usize,
     used: Arc<AtomicUsize>,
+    underflow: Arc<AtomicBool>,
 }
 
 impl CacheBudget {
     /// A budget of `max_blocks` resident blocks across all attached caches.
     pub fn new(max_blocks: usize) -> Self {
-        Self { max_blocks, used: Arc::new(AtomicUsize::new(0)) }
+        Self {
+            max_blocks,
+            used: Arc::new(AtomicUsize::new(0)),
+            underflow: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// A budget expressed in tokens, like [`BlockCache::new`]'s capacity.
@@ -67,9 +72,31 @@ impl CacheBudget {
     }
 
     /// Return `n` resident slots claimed with [`CacheBudget::try_acquire`].
+    ///
+    /// Releasing more than was acquired is a caller bug, but a *recoverable*
+    /// one: instead of wrapping the counter (which would silently disable
+    /// the budget for the rest of the run), the count saturates at zero and
+    /// the mismatch is latched in [`CacheBudget::underflow_detected`] so the
+    /// serving layer can surface it in its report.
     pub fn release(&self, n: usize) {
-        let prev = self.used.fetch_sub(n, Ordering::SeqCst);
-        debug_assert!(prev >= n, "budget release underflow");
+        let prev = self
+            .used
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| Some(u.saturating_sub(n)))
+            .expect("fetch_update with Some never fails");
+        if prev < n {
+            self.underflow.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether a release ever exceeded the acquired count (accounting bug
+    /// detected and absorbed; the counter saturated instead of wrapping).
+    pub fn underflow_detected(&self) -> bool {
+        self.underflow.load(Ordering::SeqCst)
+    }
+
+    /// Blocks still available under the budget.
+    pub fn free_blocks(&self) -> usize {
+        self.max_blocks.saturating_sub(self.used_blocks())
     }
 }
 
@@ -578,6 +605,38 @@ mod tests {
         assert_eq!(budget.used_blocks(), 2);
         drop(c);
         assert_eq!(budget.used_blocks(), 0);
+    }
+
+    #[test]
+    fn release_underflow_saturates_and_latches() {
+        // Regression: over-releasing used to wrap the atomic in release
+        // builds (debug_assert only), silently granting the budget
+        // usize::MAX free slots. It must saturate at zero and latch a flag.
+        let b = CacheBudget::new(4);
+        assert!(b.try_acquire());
+        assert!(!b.underflow_detected());
+        b.release(3); // one held, three released
+        assert!(b.underflow_detected(), "underflow must be latched");
+        assert_eq!(b.used_blocks(), 0, "counter must saturate, not wrap");
+        assert_eq!(b.free_blocks(), 4);
+        // The budget keeps functioning after the bug is absorbed.
+        assert!(b.try_acquire());
+        assert_eq!(b.used_blocks(), 1);
+        b.release(1);
+        assert_eq!(b.used_blocks(), 0);
+        assert!(b.underflow_detected(), "flag stays latched");
+    }
+
+    #[test]
+    fn balanced_release_never_flags() {
+        let b = CacheBudget::new(2);
+        assert!(b.try_acquire());
+        assert!(b.try_acquire());
+        assert!(!b.try_acquire());
+        assert_eq!(b.free_blocks(), 0);
+        b.release(2);
+        assert!(!b.underflow_detected());
+        assert_eq!(b.free_blocks(), 2);
     }
 
     #[test]

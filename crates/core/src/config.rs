@@ -4,6 +4,35 @@ use pqc_cache::EvictionPolicy;
 pub use pqc_policies::IvfMode;
 use serde::{Deserialize, Serialize};
 
+/// A rejected configuration: which field was nonsensical and why.
+///
+/// Validation returns this instead of panicking so serving layers can
+/// refuse a bad request (or refuse to start) with a typed error; the
+/// `validate_strict` shims keep the old panic behaviour for tests and
+/// fail-fast callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Human-readable constraint that was violated.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// A rejection of `field`, explained by `message`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        Self { field, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How the GPU block cache is configured.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -100,20 +129,33 @@ impl SessionConfig {
         (self.comm_fraction * s as f64 / 2.0).round() as usize
     }
 
-    /// Validate; panics on nonsensical settings.
-    pub fn validate(&self) {
-        assert!(self.n_init > 0, "need at least one initial token");
-        assert!(self.n_local > 0, "need at least one local token");
-        assert!(
-            self.token_ratio > 0.0 && self.token_ratio <= 1.0,
-            "token_ratio must be in (0, 1]"
-        );
-        assert!(
-            self.comm_fraction >= 0.0 && self.comm_fraction <= 1.0,
-            "comm_fraction must be in [0, 1]"
-        );
+    /// Validate, returning a typed error on nonsensical settings.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_init == 0 {
+            return Err(ConfigError::new("n_init", "need at least one initial token"));
+        }
+        if self.n_local == 0 {
+            return Err(ConfigError::new("n_local", "need at least one local token"));
+        }
+        if !(self.token_ratio > 0.0 && self.token_ratio <= 1.0) {
+            return Err(ConfigError::new("token_ratio", "token_ratio must be in (0, 1]"));
+        }
+        if !(self.comm_fraction >= 0.0 && self.comm_fraction <= 1.0) {
+            return Err(ConfigError::new("comm_fraction", "comm_fraction must be in [0, 1]"));
+        }
         if let IvfMode::Probe(n_probe) = self.ivf {
-            assert!(n_probe >= 1, "ivf probe width must be at least one cell");
+            if n_probe < 1 {
+                return Err(ConfigError::new("ivf", "ivf probe width must be at least one cell"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking [`SessionConfig::validate`] for fail-fast callers; the
+    /// panic message contains the violated constraint.
+    pub fn validate_strict(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{}", e.message);
         }
     }
 }
@@ -144,24 +186,48 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        SessionConfig::default().validate();
+        SessionConfig::default().validate().expect("default config valid");
+        SessionConfig::default().validate_strict();
     }
 
     #[test]
     #[should_panic(expected = "token_ratio")]
     fn zero_ratio_panics() {
-        SessionConfig { token_ratio: 0.0, ..Default::default() }.validate();
+        SessionConfig { token_ratio: 0.0, ..Default::default() }.validate_strict();
     }
 
     #[test]
     #[should_panic(expected = "probe width")]
     fn zero_probe_width_panics() {
-        SessionConfig { ivf: IvfMode::Probe(0), ..Default::default() }.validate();
+        SessionConfig { ivf: IvfMode::Probe(0), ..Default::default() }.validate_strict();
+    }
+
+    #[test]
+    fn invalid_configs_yield_typed_field_errors() {
+        let e = SessionConfig { token_ratio: 1.5, ..Default::default() }
+            .validate()
+            .expect_err("over-1 ratio");
+        assert_eq!(e.field, "token_ratio");
+        assert!(e.to_string().contains("token_ratio must be in (0, 1]"));
+        let e = SessionConfig { n_init: 0, ..Default::default() }
+            .validate()
+            .expect_err("no sink tokens");
+        assert_eq!(e.field, "n_init");
+        let e = SessionConfig { comm_fraction: -0.1, ..Default::default() }
+            .validate()
+            .expect_err("negative comm fraction");
+        assert_eq!(e.field, "comm_fraction");
+        let e = SessionConfig { ivf: IvfMode::Probe(0), ..Default::default() }
+            .validate()
+            .expect_err("zero probe");
+        assert_eq!(e.field, "ivf");
     }
 
     #[test]
     fn probe_config_is_valid() {
-        SessionConfig { ivf: IvfMode::Probe(4), ..Default::default() }.validate();
+        SessionConfig { ivf: IvfMode::Probe(4), ..Default::default() }
+            .validate()
+            .expect("probe config valid");
     }
 
     #[test]

@@ -10,6 +10,8 @@ pub mod config;
 pub mod latency;
 pub mod session;
 
-pub use config::{CacheConfig, IvfMode, SessionConfig};
+pub use config::{CacheConfig, ConfigError, IvfMode, SessionConfig};
 pub use latency::{KmeansIters, LatencyMethod, LatencyModel, PhaseReport};
-pub use session::{SelectiveSession, SessionResources, SessionScratch, SessionStart};
+pub use session::{
+    panic_message, SelectiveSession, SessionResources, SessionScratch, SessionStart, StepError,
+};

@@ -14,10 +14,48 @@
 use crate::config::SessionConfig;
 use pqc_cache::{top_blocks, BlockCache};
 use pqc_llm::{DecodeOutput, DecodeScratch, KvSource, Model, PrefillOptions, PrefillOutput};
-use pqc_memhier::{HostKvStore, SharingStats, TransferStats};
+use pqc_memhier::{HostKvStore, MemError, SharingStats, TransferStats};
 use pqc_policies::{PolicyContext, PolicyInit, PolicyScratch, SelectionPolicy, SharedPolicyState};
 use pqc_tensor::Matrix;
 use std::collections::VecDeque;
+
+/// Why a fallible decode step failed. Either way the session is dead:
+/// a store fault or a panic leaves per-layer state partially mutated, so
+/// the caller must retire the session (the serving layer turns this into
+/// a failed completion), never step it again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// The host KV tier refused an append/fetch (e.g. page exhaustion).
+    Store(MemError),
+    /// The step panicked; the payload's message is preserved.
+    Poisoned {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Store(e) => write!(f, "session store fault: {e}"),
+            StepError::Poisoned { message } => write!(f, "session step panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Stringify a caught panic payload (`&str` / `String` are the common
+/// cases; anything else is labeled opaquely).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The GPU-resident sliding window of one (layer, kv-head): recent tokens'
 /// (key, value) rows.
@@ -59,6 +97,9 @@ pub struct SelectiveSession<'m> {
     /// for a worker-owned scratch by [`SelectiveSession::step_with_scratch`]
     /// so concurrent sessions on one shard share a single set of buffers.
     policy_scratch: PolicyScratch,
+    /// A store fault recorded mid-step (`publish` cannot return errors
+    /// through the `KvSource` trait); drained by the fallible step wrapper.
+    pending_fault: Option<MemError>,
 }
 
 /// Per-worker scratch reused across every session a shard steps: the policy
@@ -130,7 +171,7 @@ impl<'m> SelectiveSession<'m> {
         cfg: SessionConfig,
         tokens: &[u32],
     ) -> SessionStart<'m> {
-        cfg.validate();
+        cfg.validate_strict();
         let s = tokens.len();
         assert!(
             s > cfg.n_init + cfg.n_local,
@@ -140,6 +181,7 @@ impl<'m> SelectiveSession<'m> {
         let prefill = model.prefill(tokens, &Self::prefill_options(&cfg, s));
         let resources = SessionResources::standalone(model, &cfg);
         Self::from_prefill(model, &mut policy, cfg, &prefill, resources, None)
+            .unwrap_or_else(|e| panic!("{e}"))
             .into_start(policy, prefill.logits)
     }
 
@@ -171,14 +213,31 @@ impl<'m> SelectiveSession<'m> {
     /// [`pqc_cache::CacheBudget`].
     pub fn start_from_prefill_in(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
     ) -> SessionStart<'m> {
-        cfg.validate();
-        Self::from_prefill(model, &mut policy, cfg, prefill, resources, None)
-            .into_start(policy, prefill.logits.clone())
+        Self::try_start_from_prefill_in(model, policy, cfg, prefill, resources)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SelectiveSession::start_from_prefill_in`]: on a capped
+    /// host tier the prefill offload can exhaust the page pool; the error
+    /// comes back typed (and the partially-written chains are rolled back)
+    /// so the serving layer can shed the session instead of aborting.
+    /// Config validation still panics — the serving layer validates configs
+    /// up front via [`SessionConfig::validate`].
+    pub fn try_start_from_prefill_in(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+        resources: SessionResources,
+    ) -> Result<SessionStart<'m>, MemError> {
+        cfg.validate_strict();
+        Ok(Self::from_prefill(model, &mut policy, cfg, prefill, resources, None)?
+            .into_start(policy, prefill.logits.clone()))
     }
 
     /// Construct a session over a **shared prompt prefix**: the store may
@@ -192,15 +251,29 @@ impl<'m> SelectiveSession<'m> {
     /// deterministically seeded, so either path decodes bit-identically.
     pub fn start_from_shared_prefix(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
         shared: Option<&SharedPolicyState>,
     ) -> SessionStart<'m> {
-        cfg.validate();
-        Self::from_prefill(model, &mut policy, cfg, prefill, resources, shared)
-            .into_start(policy, prefill.logits.clone())
+        Self::try_start_from_shared_prefix(model, policy, cfg, prefill, resources, shared)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SelectiveSession::start_from_shared_prefix`] — same
+    /// contract as [`SelectiveSession::try_start_from_prefill_in`].
+    pub fn try_start_from_shared_prefix(
+        model: &'m Model,
+        mut policy: Box<dyn SelectionPolicy>,
+        cfg: SessionConfig,
+        prefill: &PrefillOutput,
+        resources: SessionResources,
+        shared: Option<&SharedPolicyState>,
+    ) -> Result<SessionStart<'m>, MemError> {
+        cfg.validate_strict();
+        Ok(Self::from_prefill(model, &mut policy, cfg, prefill, resources, shared)?
+            .into_start(policy, prefill.logits.clone()))
     }
 
     fn from_prefill(
@@ -210,7 +283,7 @@ impl<'m> SelectiveSession<'m> {
         prefill: &PrefillOutput,
         resources: SessionResources,
         shared: Option<&SharedPolicyState>,
-    ) -> SessionParts<'m> {
+    ) -> Result<SessionParts<'m>, MemError> {
         let mcfg = *model.config();
         let s = prefill.kv[0].len();
         assert!(s > cfg.n_init + cfg.n_local, "prompt too short for segmentation");
@@ -273,7 +346,7 @@ impl<'m> SelectiveSession<'m> {
                     if need_middle_keys {
                         mk.push(mid_k.clone());
                     }
-                    store.offload(l, h, mid_k, mid_v); // Step ❶: metered offload
+                    store.try_offload(l, h, mid_k, mid_v)?; // Step ❶: metered offload
                 }
                 let mut dq = VecDeque::with_capacity(cfg.n_local + 1);
                 for i in mid_hi..s {
@@ -318,7 +391,7 @@ impl<'m> SelectiveSession<'m> {
             budget += cfg.compensation_tokens(s);
         }
 
-        SessionParts {
+        Ok(SessionParts {
             model,
             cfg,
             policy_ready,
@@ -331,7 +404,7 @@ impl<'m> SelectiveSession<'m> {
             pos: s,
             n_layers: mcfg.n_layers,
             n_kv_heads: mcfg.n_kv_heads,
-        }
+        })
     }
 
     /// One decode step: runs the model with this session as the KV source.
@@ -361,6 +434,48 @@ impl<'m> SelectiveSession<'m> {
         std::mem::swap(&mut self.sel_scratch, &mut scratch.selection);
         std::mem::swap(&mut self.policy_scratch, &mut scratch.policy);
         out
+    }
+
+    /// Fallible [`SelectiveSession::step_with_scratch`] — the fault-tolerant
+    /// serving hot path. Two failure modes are contained here instead of
+    /// unwinding through the shard worker:
+    ///
+    /// - a host-tier fault latched by `publish` (the `KvSource` trait can't
+    ///   return errors) surfaces as [`StepError::Store`];
+    /// - a panic anywhere in the step is caught and surfaces as
+    ///   [`StepError::Poisoned`] with the payload's message.
+    ///
+    /// The scratch swaps happen *outside* the catch, so the worker's shared
+    /// buffers are always restored — a poisoned session never corrupts the
+    /// scratch other sessions on the shard keep using. On `Err` the session
+    /// must be retired: per-layer state is partially mutated and stepping
+    /// again would produce garbage.
+    pub fn try_step_with_scratch(
+        &mut self,
+        token: u32,
+        scratch: &mut SessionScratch,
+    ) -> Result<DecodeOutput, StepError> {
+        std::mem::swap(&mut self.sel_scratch, &mut scratch.selection);
+        std::mem::swap(&mut self.policy_scratch, &mut scratch.policy);
+        let pos = self.pos;
+        self.pos += 1;
+        self.steps += 1;
+        let model = self.model;
+        let decode = &mut scratch.decode;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.decode_step_with_scratch(token, pos, self, decode)
+        }));
+        std::mem::swap(&mut self.sel_scratch, &mut scratch.selection);
+        std::mem::swap(&mut self.policy_scratch, &mut scratch.policy);
+        // A latched store fault outranks the panic it may have caused
+        // downstream: the injected/root cause is the useful report.
+        if let Some(e) = self.pending_fault.take() {
+            return Err(StepError::Store(e));
+        }
+        match result {
+            Ok(out) => Ok(out),
+            Err(payload) => Err(StepError::Poisoned { message: panic_message(payload.as_ref()) }),
+        }
     }
 
     /// Greedy generation: feeds the argmax of `first_logits`, then each
@@ -530,6 +645,7 @@ impl<'m> SessionParts<'m> {
                 last_selected,
                 sel_scratch: Vec::new(),
                 policy_scratch: PolicyScratch::new(),
+                pending_fault: None,
             },
             logits,
         }
@@ -544,7 +660,16 @@ impl KvSource for SelectiveSession<'_> {
             let (ek, ev) = window.pop_front().expect("non-empty window");
             // The append's returned offset is namespace-local — correct even
             // when several sessions interleave appends into one KvTier.
-            let middle_idx = self.store.append_token(layer, kv_head, &ek, &ev);
+            // `KvSource::publish` cannot return errors, so a store fault is
+            // latched for the fallible step wrapper to surface; the evicted
+            // row is dropped — the session is unrecoverable either way.
+            let middle_idx = match self.store.try_append_token(layer, kv_head, &ek, &ev) {
+                Ok(off) => off,
+                Err(e) => {
+                    self.pending_fault.get_or_insert(e);
+                    return;
+                }
+            };
             if self.policy_ready {
                 self.policy.on_evict(layer, kv_head, &ek, middle_idx);
             } else if layer == self.init_k.len() - 1 && kv_head == self.init_k[0].len() - 1 {
@@ -923,6 +1048,126 @@ mod tests {
         assert!(session.transfer_stats().h2d_bytes > 0);
         let sel = session.last_selected(0, 0);
         assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn try_step_matches_infallible_step_bit_for_bit() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 61);
+        let mk = || SelectiveSession::start(&model, Box::new(PqCachePolicy::default()), cfg(), &toks);
+        let (ra, rb) = (mk(), mk());
+        let mut plain = ra.session;
+        let mut fallible = rb.session;
+        let mut scratch_a = SessionScratch::new();
+        let mut scratch_b = SessionScratch::new();
+        let mut next = pqc_tensor::argmax(&ra.logits) as u32;
+        for step in 0..6 {
+            let p = plain.step_with_scratch(next, &mut scratch_a);
+            let f = fallible
+                .try_step_with_scratch(next, &mut scratch_b)
+                .expect("fault-free step must succeed");
+            assert_eq!(p.logits, f.logits, "step {step}");
+            next = p.greedy();
+        }
+        assert_eq!(plain.transfer_stats(), fallible.transfer_stats());
+    }
+
+    #[test]
+    fn try_step_surfaces_store_fault_on_capped_tier() {
+        // A tier capped to exactly the prefill's page footprint fails the
+        // first decode-step eviction append with a typed store fault.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 62);
+        let c = cfg();
+        let mcfg = model.config();
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        // Find the exact page footprint with an uncapped dry run.
+        let dry = pqc_memhier::KvTier::with_pages(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim, 4, None);
+        let start = SelectiveSession::try_start_from_prefill_in(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            SessionResources {
+                store: dry.new_namespace(),
+                cache: SessionResources::standalone(&model, &c).cache,
+            },
+        )
+        .expect("uncapped start");
+        let footprint = dry.allocator().pages_in_use();
+        drop(start);
+
+        let tier = pqc_memhier::KvTier::with_page_limit(
+            mcfg.n_layers,
+            mcfg.n_kv_heads,
+            mcfg.head_dim,
+            4,
+            None,
+            Some(footprint),
+        );
+        let start = SelectiveSession::try_start_from_prefill_in(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            SessionResources {
+                store: tier.new_namespace(),
+                cache: SessionResources::standalone(&model, &c).cache,
+            },
+        )
+        .expect("prefill exactly fits the cap");
+        let mut session = start.session;
+        let mut scratch = SessionScratch::new();
+        // Middle region is 4-token-page aligned per (layer, head)? Not
+        // necessarily — step until the first page boundary forces an alloc.
+        let mut fault = None;
+        let mut next = pqc_tensor::argmax(&start.logits) as u32;
+        for _ in 0..8 {
+            match session.try_step_with_scratch(next, &mut scratch) {
+                Ok(out) => next = out.greedy(),
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
+        }
+        match fault.expect("capped tier must fault within a page of appends") {
+            StepError::Store(MemError::PageExhausted { max_pages }) => {
+                assert_eq!(max_pages, footprint);
+            }
+            other => panic!("expected PageExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_start_fails_typed_when_prefill_exceeds_cap() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 63);
+        let c = cfg();
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::with_page_limit(
+            mcfg.n_layers,
+            mcfg.n_kv_heads,
+            mcfg.head_dim,
+            4,
+            None,
+            Some(1),
+        );
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let err = SelectiveSession::try_start_from_prefill_in(
+            &model,
+            Box::new(PqCachePolicy::default()),
+            c,
+            &prefill,
+            SessionResources {
+                store: tier.new_namespace(),
+                cache: SessionResources::standalone(&model, &c).cache,
+            },
+        )
+        .map(|_| ())
+        .expect_err("one page cannot hold the prefill middle");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 1 });
+        assert_eq!(tier.allocator().pages_in_use(), 0, "failed start leaks no pages");
     }
 
     #[test]

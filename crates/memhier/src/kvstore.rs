@@ -22,7 +22,7 @@
 //! the serving layer stores the prefill output and trained policy state
 //! there) via [`KvTier::new_namespace_with_prefix`].
 
-use crate::pages::{PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
+use crate::pages::{MemError, PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
 use parking_lot::Mutex;
 use pqc_cache::CacheBudget;
 use pqc_tensor::Matrix;
@@ -234,11 +234,27 @@ impl KvTier {
         page_tokens: usize,
         budget: Option<CacheBudget>,
     ) -> Self {
+        Self::with_page_limit(n_layers, n_kv_heads, head_dim, page_tokens, budget, None)
+    }
+
+    /// Like [`KvTier::with_pages`], additionally capping the tier's pool at
+    /// `max_pages` live pages. At the cap, the fallible store paths
+    /// ([`HostKvStore::try_offload`], [`HostKvStore::try_append_token`])
+    /// return [`MemError::PageExhausted`] instead of growing, letting the
+    /// serving layer shed the session rather than the process.
+    pub fn with_page_limit(
+        n_layers: usize,
+        n_kv_heads: usize,
+        head_dim: usize,
+        page_tokens: usize,
+        budget: Option<CacheBudget>,
+        max_pages: Option<usize>,
+    ) -> Self {
         Self {
             n_layers,
             n_kv_heads,
             head_dim,
-            alloc: PageAllocator::with_budget(page_tokens, head_dim, budget),
+            alloc: PageAllocator::with_limit(page_tokens, head_dim, budget, max_pages),
             aggregate: Arc::new(Mutex::new(TransferStats::default())),
             sharing_aggregate: Arc::new(Mutex::new(SharingStats::default())),
             next_ns: Arc::new(AtomicU64::new(0)),
@@ -541,22 +557,39 @@ impl HostKvStore {
     }
 
     /// Offload the full prefill K/V of one (layer, head): Step ❶.
-    /// Overwrites any prior content for the slot.
+    /// Overwrites any prior content for the slot. Panics on pool
+    /// exhaustion — use [`HostKvStore::try_offload`] on capped tiers.
     pub fn offload(&mut self, layer: usize, head: usize, keys: Matrix, values: Matrix) {
+        self.try_offload(layer, head, keys, values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HostKvStore::offload`]: on pool exhaustion the slot's
+    /// prior content is left intact, nothing is metered, and the error
+    /// reports the pool cap. The new chain is written *before* the old one
+    /// is released, so a failed overwrite never loses data (at the cost of
+    /// transiently holding both chains).
+    pub fn try_offload(
+        &mut self,
+        layer: usize,
+        head: usize,
+        keys: Matrix,
+        values: Matrix,
+    ) -> Result<(), MemError> {
         assert_eq!(keys.shape(), values.shape(), "K/V shape mismatch");
         assert_eq!(keys.cols(), self.head_dim, "head_dim mismatch");
+        let idx = self.slot_index(layer, head);
+        let rows = keys.rows();
+        let pages = self.alloc.try_write_rows(&keys, &values)?;
+        if let Some(old) = self.slots[idx].take() {
+            self.alloc.release_chain(&old.pages);
+        }
+        self.slots[idx] = Some(HeadKv { pages, rows });
         let bytes = (2 * keys.rows() * keys.cols() * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
             st.d2h_bytes += bytes;
             st.d2h_ops += 1;
         });
-        let idx = self.slot_index(layer, head);
-        if let Some(old) = self.slots[idx].take() {
-            self.alloc.release_chain(&old.pages);
-        }
-        let rows = keys.rows();
-        let pages = self.alloc.write_rows(&keys, &values);
-        self.slots[idx] = Some(HeadKv { pages, rows });
+        Ok(())
     }
 
     /// Append a single evicted token's K/V row (Algorithm 2, line 5) and
@@ -567,14 +600,28 @@ impl HostKvStore {
     ///
     /// Appends are page-local: the row lands in the slot's tail page
     /// (copy-on-write if that page is shared, a fresh page if it is full),
-    /// so appending `s` tokens costs O(s·head_dim) total.
+    /// so appending `s` tokens costs O(s·head_dim) total. Panics on pool
+    /// exhaustion — use [`HostKvStore::try_append_token`] on capped tiers.
     pub fn append_token(&mut self, layer: usize, head: usize, key: &[f32], value: &[f32]) -> usize {
+        self.try_append_token(layer, head, key, value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HostKvStore::append_token`]: on pool exhaustion the slot
+    /// is left exactly as it was (no offset consumed, nothing metered) and
+    /// the append is retryable once pages free up.
+    pub fn try_append_token(
+        &mut self,
+        layer: usize,
+        head: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<usize, MemError> {
         assert_eq!(key.len(), self.head_dim);
         assert_eq!(value.len(), self.head_dim);
         let idx = self.slot_index(layer, head);
         let slot = self.slots[idx].get_or_insert_with(HeadKv::default);
         let offset = slot.rows;
-        let cow = self.alloc.append_row(&mut slot.pages, key, value);
+        let cow = self.alloc.try_append_row(&mut slot.pages, key, value)?;
         slot.rows += 1;
         let bytes = (2 * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
@@ -584,25 +631,38 @@ impl HostKvStore {
         if cow {
             self.meter_sharing(|s| s.cow_copies += 1);
         }
-        offset
+        Ok(offset)
     }
 
     /// Fetch the K/V rows of the given token indices: Step ❺. Meters H2D
     /// traffic for exactly the rows moved; a zero-row fetch moves nothing
-    /// and meters nothing (no phantom `h2d_ops`).
+    /// and meters nothing (no phantom `h2d_ops`). Panics when the slot was
+    /// never offloaded — use [`HostKvStore::try_fetch`] to get a typed
+    /// error instead.
     pub fn fetch(&self, layer: usize, head: usize, token_ids: &[usize]) -> (Matrix, Matrix) {
+        self.try_fetch(layer, head, token_ids).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HostKvStore::fetch`]: returns [`MemError::EmptySlot`]
+    /// when the (layer, head) slot holds no data.
+    pub fn try_fetch(
+        &self,
+        layer: usize,
+        head: usize,
+        token_ids: &[usize],
+    ) -> Result<(Matrix, Matrix), MemError> {
         if token_ids.is_empty() {
-            return (Matrix::zeros(0, self.head_dim), Matrix::zeros(0, self.head_dim));
+            return Ok((Matrix::zeros(0, self.head_dim), Matrix::zeros(0, self.head_dim)));
         }
         let idx = self.slot_index(layer, head);
-        let slot = self.slots[idx].as_ref().expect("fetch from empty slot");
+        let slot = self.slots[idx].as_ref().ok_or(MemError::EmptySlot { layer, head })?;
         let (keys, values) = self.alloc.gather(&slot.pages, slot.rows, token_ids);
         let bytes = (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
             st.h2d_bytes += bytes;
             st.h2d_ops += 1;
         });
-        (keys, values)
+        Ok((keys, values))
     }
 
     /// Gather rows *without* metering transfer — host-side access for data
@@ -937,6 +997,74 @@ mod tests {
     fn fetch_empty_panics() {
         let store = HostKvStore::new(1, 1, 4);
         let _ = store.fetch(0, 0, &[0]);
+    }
+
+    #[test]
+    fn capped_tier_append_fails_then_recovers() {
+        // 1 page of 2 tokens: the third append needs a second page.
+        let tier = KvTier::with_page_limit(1, 1, 4, 2, None, Some(1));
+        let mut a = tier.new_namespace();
+        assert_eq!(a.try_append_token(0, 0, &[0.0; 4], &[0.0; 4]), Ok(0));
+        assert_eq!(a.try_append_token(0, 0, &[1.0; 4], &[1.0; 4]), Ok(1));
+        let before = a.stats();
+        let err = a.try_append_token(0, 0, &[2.0; 4], &[2.0; 4]).expect_err("at cap");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 1 });
+        assert_eq!(a.len(0, 0), 2, "failed append consumes no offset");
+        assert_eq!(a.stats(), before, "failed append meters nothing");
+        // Stored data still reads back fine.
+        let (k, _) = a.fetch(0, 0, &[0, 1]);
+        assert_eq!(k.row(1), &[1.0; 4]);
+        // Retiring the namespace frees its pages; a new session fits again.
+        drop(a);
+        let mut b = tier.new_namespace();
+        assert_eq!(b.try_append_token(0, 0, &[9.0; 4], &[9.0; 4]), Ok(0));
+    }
+
+    #[test]
+    fn capped_tier_offload_fails_without_metering() {
+        let tier = KvTier::with_page_limit(1, 1, 4, 2, None, Some(2));
+        let mut ns = tier.new_namespace();
+        // 6 rows need 3 pages; cap is 2.
+        let err = ns
+            .try_offload(0, 0, Matrix::zeros(6, 4), Matrix::zeros(6, 4))
+            .expect_err("over-cap offload");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 2 });
+        assert_eq!(ns.stats(), TransferStats::default(), "failed offload meters nothing");
+        assert_eq!(tier.aggregate_stats(), TransferStats::default());
+        assert_eq!(tier.allocator().pages_in_use(), 0, "failed offload rolled back");
+        // A within-cap offload still works.
+        ns.try_offload(0, 0, Matrix::zeros(4, 4), Matrix::zeros(4, 4)).expect("fits");
+        assert_eq!(ns.len(0, 0), 4);
+    }
+
+    #[test]
+    fn failed_overwrite_keeps_old_slot_contents() {
+        let tier = KvTier::with_page_limit(1, 1, 4, 2, None, Some(3));
+        let mut ns = tier.new_namespace();
+        let mut rng = Rng64::new(5);
+        let k = Matrix::randn(3, 4, 1.0, &mut rng);
+        ns.try_offload(0, 0, k.clone(), Matrix::zeros(3, 4)).expect("fits in 2 pages");
+        // Overwrite needing 3 fresh pages fails (2 already held + 3 > cap)…
+        let err = ns
+            .try_offload(0, 0, Matrix::zeros(6, 4), Matrix::zeros(6, 4))
+            .expect_err("overwrite over cap");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 3 });
+        // …and the original rows survive untouched.
+        assert_eq!(ns.len(0, 0), 3);
+        let (fk, _) = ns.fetch(0, 0, &[0, 2]);
+        assert_eq!(fk.row(0), k.row(0));
+        assert_eq!(fk.row(1), k.row(2));
+    }
+
+    #[test]
+    fn try_fetch_empty_slot_returns_typed_error() {
+        let store = HostKvStore::new(2, 2, 4);
+        let err = store.try_fetch(1, 1, &[0]).expect_err("never offloaded");
+        assert_eq!(err, MemError::EmptySlot { layer: 1, head: 1 });
+        assert!(err.to_string().contains("empty slot"));
+        // Zero-row fetch stays Ok even on an empty slot.
+        let (k, v) = store.try_fetch(1, 1, &[]).expect("empty id list");
+        assert_eq!((k.rows(), v.rows()), (0, 0));
     }
 
     #[test]

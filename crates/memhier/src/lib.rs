@@ -22,5 +22,5 @@ pub use kvstore::{
     token_chain_hash, HostKvStore, KvTier, NamespaceId, PrefixCacheStats, PrefixHit,
     TransferStats, WIRE_BYTES_PER_ELEM,
 };
-pub use pages::{PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
+pub use pages::{MemError, PageAllocator, SharingStats, DEFAULT_PAGE_TOKENS};
 pub use sim::{Event, OpRecord, Resource, SimEngine};

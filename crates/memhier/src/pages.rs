@@ -30,6 +30,46 @@ use crate::kvstore::WIRE_BYTES_PER_ELEM;
 /// Default page size in tokens (rows per page).
 pub const DEFAULT_PAGE_TOKENS: usize = 32;
 
+/// A recoverable memory-tier failure.
+///
+/// The host tier's fallible entry points ([`PageAllocator::try_alloc`],
+/// [`crate::HostKvStore::try_append_token`], [`crate::HostKvStore::try_fetch`])
+/// return these instead of panicking, so the serving layer can fail one
+/// session — not the process — when the tier runs out of pages or is asked
+/// for data that was never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The page pool hit its configured `max_pages` cap with nothing on the
+    /// free list. Freeing any page (session retirement, prefix release)
+    /// makes the pool allocatable again.
+    PageExhausted {
+        /// The configured pool capacity in pages.
+        max_pages: usize,
+    },
+    /// A fetch targeted a (layer, head) slot that was never offloaded.
+    EmptySlot {
+        /// Layer index of the empty slot.
+        layer: usize,
+        /// KV-head index of the empty slot.
+        head: usize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::PageExhausted { max_pages } => {
+                write!(f, "page pool exhausted (max_pages {max_pages})")
+            }
+            MemError::EmptySlot { layer, head } => {
+                write!(f, "fetch from empty slot (layer {layer}, head {head})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// Cumulative sharing statistics, metered alongside [`crate::TransferStats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SharingStats {
@@ -83,6 +123,8 @@ struct Pool {
     cow_copies: u64,
     over_budget: u64,
     budget: Option<CacheBudget>,
+    /// Hard cap on concurrently-live pages; `None` grows unboundedly.
+    max_pages: Option<usize>,
 }
 
 impl Pool {
@@ -92,7 +134,14 @@ impl Pool {
         p
     }
 
-    fn alloc(&mut self) -> u32 {
+    fn try_alloc(&mut self) -> Result<u32, MemError> {
+        // Capacity gate first, before the budget draw: a failed allocation
+        // must not leak a budget slot.
+        if let Some(max) = self.max_pages {
+            if self.in_use >= max {
+                return Err(MemError::PageExhausted { max_pages: max });
+            }
+        }
         let budgeted = match &self.budget {
             Some(b) => {
                 let ok = b.try_acquire();
@@ -122,7 +171,7 @@ impl Pool {
         p.budgeted = budgeted;
         self.in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.in_use);
-        id
+        Ok(id)
     }
 
     fn retain(&mut self, id: u32) {
@@ -182,8 +231,22 @@ impl PageAllocator {
     /// Like [`PageAllocator::new`], optionally drawing page accounting from
     /// a shared [`CacheBudget`] (one budget slot per allocated page).
     pub fn with_budget(page_tokens: usize, head_dim: usize, budget: Option<CacheBudget>) -> Self {
+        Self::with_limit(page_tokens, head_dim, budget, None)
+    }
+
+    /// Like [`PageAllocator::with_budget`], additionally capping the pool at
+    /// `max_pages` concurrently-live pages. Once the cap is reached,
+    /// [`PageAllocator::try_alloc`] (and every fallible path built on it)
+    /// returns [`MemError::PageExhausted`] until a page is freed.
+    pub fn with_limit(
+        page_tokens: usize,
+        head_dim: usize,
+        budget: Option<CacheBudget>,
+        max_pages: Option<usize>,
+    ) -> Self {
         assert!(page_tokens > 0, "page_tokens must be positive");
         assert!(head_dim > 0, "head_dim must be positive");
+        assert!(max_pages != Some(0), "max_pages cap must be positive");
         Self {
             pool: Arc::new(Mutex::new(Pool {
                 page_tokens,
@@ -195,8 +258,31 @@ impl PageAllocator {
                 cow_copies: 0,
                 over_budget: 0,
                 budget,
+                max_pages,
             })),
         }
+    }
+
+    /// The live-page cap, if one was configured.
+    pub fn max_pages(&self) -> Option<usize> {
+        self.pool.lock().max_pages
+    }
+
+    /// Allocate one empty page (refcount 1), failing — not panicking — when
+    /// the pool is at its configured cap. Pair with
+    /// [`PageAllocator::release_page`].
+    pub fn try_alloc(&self) -> Result<u32, MemError> {
+        self.pool.lock().try_alloc()
+    }
+
+    /// Bump the refcount of a live page.
+    pub fn retain_page(&self, id: u32) {
+        self.pool.lock().retain(id);
+    }
+
+    /// Drop one reference to a live page, recycling it at refcount zero.
+    pub fn release_page(&self, id: u32) {
+        self.pool.lock().release(id);
     }
 
     /// Rows per page.
@@ -280,32 +366,54 @@ impl PageAllocator {
     }
 
     /// Write a full K/V matrix pair into freshly-allocated pages and return
-    /// the page chain.
-    pub(crate) fn write_rows(&self, keys: &Matrix, values: &Matrix) -> Vec<u32> {
+    /// the page chain. On pool exhaustion mid-write, every page already
+    /// allocated for this chain is released before the error returns — a
+    /// failed bulk write leaves the pool exactly as it found it.
+    pub(crate) fn try_write_rows(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Vec<u32>, MemError> {
         let mut pool = self.pool.lock();
         debug_assert_eq!(keys.cols(), pool.head_dim);
         let pt = pool.page_tokens;
         let mut chain = Vec::with_capacity(keys.rows().div_ceil(pt));
         for r in 0..keys.rows() {
             if r % pt == 0 {
-                chain.push(pool.alloc());
+                match pool.try_alloc() {
+                    Ok(id) => chain.push(id),
+                    Err(e) => {
+                        for &id in &chain {
+                            pool.release(id);
+                        }
+                        return Err(e);
+                    }
+                }
             }
             let id = *chain.last().expect("chain non-empty");
             pool.push_row(id, keys.row(r), values.row(r));
         }
-        chain
+        Ok(chain)
     }
 
     /// Append one row to a page chain, allocating a new tail page or
-    /// copying a shared one as needed. Returns `true` when the append
-    /// triggered a copy-on-write of the tail page.
-    pub(crate) fn append_row(&self, chain: &mut Vec<u32>, key: &[f32], value: &[f32]) -> bool {
+    /// copying a shared one as needed. Returns `Ok(true)` when the append
+    /// triggered a copy-on-write of the tail page. On pool exhaustion the
+    /// chain is left untouched (the allocation is attempted before any
+    /// chain or refcount mutation), so a failed append is retryable after
+    /// pages free up.
+    pub(crate) fn try_append_row(
+        &self,
+        chain: &mut Vec<u32>,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<bool, MemError> {
         let mut pool = self.pool.lock();
         debug_assert_eq!(key.len(), pool.head_dim);
         let mut cow = false;
         match chain.last().copied() {
             None => {
-                let id = pool.alloc();
+                let id = pool.try_alloc()?;
                 pool.push_row(id, key, value);
                 chain.push(id);
             }
@@ -317,13 +425,13 @@ impl PageAllocator {
                 if rows == pool.page_tokens {
                     // Full tail stays shared (or private) untouched; grow the
                     // chain with a fresh page.
-                    let id = pool.alloc();
+                    let id = pool.try_alloc()?;
                     pool.push_row(id, key, value);
                     chain.push(id);
                 } else if rc > 1 {
                     // Shared, partially-filled tail: copy-on-write. The
                     // other referents keep the frozen original.
-                    let id = pool.alloc();
+                    let id = pool.try_alloc()?;
                     let (k, v, rows) = {
                         let p = pool.page(tail);
                         (p.k.clone(), p.v.clone(), p.rows)
@@ -344,7 +452,7 @@ impl PageAllocator {
                 }
             }
         }
-        cow
+        Ok(cow)
     }
 
     /// Gather `ids` (logical offsets into a chain of `rows` rows) into
@@ -386,17 +494,25 @@ impl PageAllocator {
 mod tests {
     use super::*;
 
+    fn write_rows(alloc: &PageAllocator, k: &Matrix, v: &Matrix) -> Vec<u32> {
+        alloc.try_write_rows(k, v).expect("write_rows in uncapped test pool")
+    }
+
+    fn append_row(alloc: &PageAllocator, chain: &mut Vec<u32>, k: &[f32], v: &[f32]) -> bool {
+        alloc.try_append_row(chain, k, v).expect("append_row in uncapped test pool")
+    }
+
     #[test]
     fn alloc_release_recycles_pages() {
         let alloc = PageAllocator::new(4, 2);
-        let chain = alloc.write_rows(&Matrix::zeros(10, 2), &Matrix::zeros(10, 2));
+        let chain = write_rows(&alloc, &Matrix::zeros(10, 2), &Matrix::zeros(10, 2));
         assert_eq!(chain.len(), 3); // ceil(10/4)
         assert_eq!(alloc.pages_in_use(), 3);
         alloc.release_chain(&chain);
         assert_eq!(alloc.pages_in_use(), 0);
         assert_eq!(alloc.free_pages(), 3);
         // Reuse from the free list, not fresh slots.
-        let chain2 = alloc.write_rows(&Matrix::zeros(4, 2), &Matrix::zeros(4, 2));
+        let chain2 = write_rows(&alloc, &Matrix::zeros(4, 2), &Matrix::zeros(4, 2));
         assert_eq!(alloc.pages_in_use(), 1);
         assert_eq!(alloc.free_pages(), 2);
         assert_eq!(alloc.peak_pages_in_use(), 3);
@@ -408,13 +524,13 @@ mod tests {
         let alloc = PageAllocator::new(4, 1);
         let mut a = Vec::new();
         for i in 0..3 {
-            alloc.append_row(&mut a, &[i as f32], &[10.0 + i as f32]);
+            append_row(&alloc, &mut a, &[i as f32], &[10.0 + i as f32]);
         }
         // Fork: b shares a's pages.
         let b = a.clone();
         alloc.retain_chain(&b);
         // a appends into the shared, partially-filled tail → CoW.
-        assert!(alloc.append_row(&mut a, &[3.0], &[13.0]));
+        assert!(append_row(&alloc, &mut a, &[3.0], &[13.0]));
         assert_eq!(alloc.cow_copies(), 1);
         assert_ne!(a[0], b[0], "writer must have a private tail page");
         let (ka, _) = alloc.gather(&a, 4, &[0, 1, 2, 3]);
@@ -433,11 +549,11 @@ mod tests {
     fn full_shared_tail_appends_without_copy() {
         let alloc = PageAllocator::new(2, 1);
         let mut a = Vec::new();
-        alloc.append_row(&mut a, &[0.0], &[0.0]);
-        alloc.append_row(&mut a, &[1.0], &[1.0]); // page now full
+        append_row(&alloc, &mut a, &[0.0], &[0.0]);
+        append_row(&alloc, &mut a, &[1.0], &[1.0]); // page now full
         let b = a.clone();
         alloc.retain_chain(&b);
-        assert!(!alloc.append_row(&mut a, &[2.0], &[2.0]), "full page needs no CoW");
+        assert!(!append_row(&alloc, &mut a, &[2.0], &[2.0]), "full page needs no CoW");
         assert_eq!(alloc.cow_copies(), 0);
         assert_eq!(a.len(), 2);
         assert_eq!(a[0], b[0], "full page stays shared");
@@ -449,18 +565,101 @@ mod tests {
     fn budget_counts_pages_and_releases_on_free() {
         let budget = CacheBudget::new(2);
         let alloc = PageAllocator::with_budget(2, 1, Some(budget.clone()));
-        let chain = alloc.write_rows(&Matrix::zeros(4, 1), &Matrix::zeros(4, 1));
+        let chain = write_rows(&alloc, &Matrix::zeros(4, 1), &Matrix::zeros(4, 1));
         assert_eq!(budget.used_blocks(), 2);
         assert_eq!(alloc.over_budget_allocs(), 0);
         // Third page exceeds the budget: allocation still succeeds (host
         // tier never drops data) but the overflow is counted.
-        let extra = alloc.write_rows(&Matrix::zeros(1, 1), &Matrix::zeros(1, 1));
+        let extra = write_rows(&alloc, &Matrix::zeros(1, 1), &Matrix::zeros(1, 1));
         assert_eq!(alloc.pages_in_use(), 3);
         assert_eq!(budget.used_blocks(), 2);
         assert_eq!(alloc.over_budget_allocs(), 1);
         alloc.release_chain(&chain);
         alloc.release_chain(&extra);
         assert_eq!(budget.used_blocks(), 0, "budget slots returned on free");
+    }
+
+    #[test]
+    fn try_alloc_errors_at_cap_and_recovers_after_free() {
+        let alloc = PageAllocator::with_limit(4, 2, None, Some(2));
+        assert_eq!(alloc.max_pages(), Some(2));
+        let a = alloc.try_alloc().expect("first page fits");
+        let b = alloc.try_alloc().expect("second page fits");
+        assert_eq!(
+            alloc.try_alloc(),
+            Err(MemError::PageExhausted { max_pages: 2 }),
+            "cap reached: allocation must fail, not panic"
+        );
+        alloc.release_page(a);
+        let c = alloc.try_alloc().expect("freed page recycles");
+        assert_eq!(c, a, "recycled id comes off the free list");
+        alloc.release_page(b);
+        alloc.release_page(c);
+        assert_eq!(alloc.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn failed_bulk_write_rolls_back_partial_chain() {
+        let budget = CacheBudget::new(8);
+        let alloc = PageAllocator::with_limit(2, 1, Some(budget.clone()), Some(2));
+        // 6 rows need 3 pages but the cap is 2: the write must fail and
+        // release the 2 pages (and budget slots) it had already claimed.
+        let err = alloc
+            .try_write_rows(&Matrix::zeros(6, 1), &Matrix::zeros(6, 1))
+            .expect_err("over-cap bulk write must fail");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 2 });
+        assert_eq!(alloc.pages_in_use(), 0, "partial chain rolled back");
+        assert_eq!(budget.used_blocks(), 0, "budget slots returned on rollback");
+        // The pool is still usable afterwards.
+        let chain = alloc
+            .try_write_rows(&Matrix::zeros(4, 1), &Matrix::zeros(4, 1))
+            .expect("within-cap write succeeds after rollback");
+        alloc.release_chain(&chain);
+    }
+
+    #[test]
+    fn failed_append_leaves_chain_untouched() {
+        let alloc = PageAllocator::with_limit(2, 1, None, Some(1));
+        let mut chain = Vec::new();
+        alloc.try_append_row(&mut chain, &[0.0], &[0.0]).expect("fits");
+        alloc.try_append_row(&mut chain, &[1.0], &[1.0]).expect("fits");
+        let before = chain.clone();
+        // Tail full, next append needs a second page: over cap.
+        let err = alloc.try_append_row(&mut chain, &[2.0], &[2.0]).expect_err("at cap");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 1 });
+        assert_eq!(chain, before, "failed append must not mutate the chain");
+        // Retry succeeds once space frees up.
+        alloc.release_chain(&before);
+        let mut fresh = Vec::new();
+        alloc.try_append_row(&mut fresh, &[2.0], &[2.0]).expect("retry after free");
+        alloc.release_chain(&fresh);
+    }
+
+    #[test]
+    fn capped_cow_fails_cleanly_on_shared_tail() {
+        let alloc = PageAllocator::with_limit(4, 1, None, Some(1));
+        let mut a = Vec::new();
+        alloc.try_append_row(&mut a, &[0.0], &[0.0]).expect("fits");
+        let b = a.clone();
+        alloc.retain_chain(&b);
+        // CoW of the shared partial tail needs a second live page: over cap.
+        let err = alloc.try_append_row(&mut a, &[1.0], &[1.0]).expect_err("at cap");
+        assert_eq!(err, MemError::PageExhausted { max_pages: 1 });
+        assert_eq!(a, b, "reader and writer still share the frozen tail");
+        assert_eq!(alloc.cow_copies(), 0);
+        let (kb, _) = alloc.gather(&b, 1, &[0]);
+        assert_eq!(kb.row(0), &[0.0], "shared data intact after failed CoW");
+        alloc.release_chain(&a);
+        alloc.release_chain(&b);
+        assert_eq!(alloc.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn mem_error_display_mentions_empty_slot() {
+        let e = MemError::EmptySlot { layer: 1, head: 2 };
+        assert!(e.to_string().contains("empty slot"));
+        let p = MemError::PageExhausted { max_pages: 7 };
+        assert!(p.to_string().contains("exhausted"));
     }
 
     #[test]

@@ -31,10 +31,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod error;
+pub mod faults;
 mod queue;
 
 pub use engine::{
     Completion, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment, ShardStats,
     StepTrace,
 };
+pub use error::{FailureCause, RetryPolicy, ServeError};
+pub use faults::{AdmissionReject, FaultPlan, InjectedPanic, SessionPanic, ShardStall};
 pub use queue::BoundedQueue;

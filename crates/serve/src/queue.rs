@@ -5,9 +5,15 @@
 //! back-pressure: a producer pushing into a full queue blocks until a
 //! worker drains a slot, so request bursts never balloon memory. The queue
 //! records its high-water mark so tests can assert the bound held.
+//!
+//! Locking is **poison-tolerant**: every acquisition recovers the guard via
+//! [`PoisonError::into_inner`]. The queue's invariants (a `VecDeque`, a
+//! flag, a counter) hold after any partial critical section, so a worker
+//! that panicked while holding the lock must not cascade into
+//! `.expect("queue lock")` panics in every other shard.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -40,10 +46,16 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
+    /// Acquire the state lock, recovering from poison: the queue's
+    /// invariants survive any interrupted critical section.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Enqueue, blocking while the queue is at capacity. Returns the item
     /// back if the queue was closed before a slot freed up.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.lock();
         loop {
             if st.closed {
                 return Err(item);
@@ -54,13 +66,13 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.not_full.wait(st).expect("queue wait");
+            st = self.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Dequeue without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.lock();
         let item = st.items.pop_front();
         if item.is_some() {
             self.not_full.notify_one();
@@ -71,7 +83,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking until an item arrives. Returns `None` only when
     /// the queue is closed *and* drained — the worker shutdown signal.
     pub fn pop_wait(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
                 self.not_full.notify_one();
@@ -80,14 +92,14 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue wait");
+            st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Close the queue: already-queued items still drain, new pushes fail,
     /// and blocked poppers wake up.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.lock();
         st.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -95,7 +107,17 @@ impl<T> BoundedQueue<T> {
 
     /// Maximum queue length ever observed (≤ capacity by construction).
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("queue lock").high_water
+        self.lock().high_water
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -145,6 +167,64 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(got, vec![0, 1, 2]);
         assert!(q.high_water() <= 2);
+    }
+
+    #[test]
+    fn close_while_producers_blocked_drains_and_unblocks() {
+        // Producers blocked on a full queue must wake on close, get their
+        // items back as Err, and consumers must still drain exactly the
+        // items that made it in — no deadlock, no loss, no duplication.
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(100u32).unwrap();
+        q.push(101).unwrap();
+        let producers: Vec<_> = (0..3)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.push(200 + i))
+            })
+            .collect();
+        // Give the producers time to park on the full queue (close must
+        // wake them whether or not they reached the wait yet).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        let mut bounced = 0;
+        for p in producers {
+            match p.join().unwrap() {
+                Ok(()) => panic!("push into a closed full queue must fail"),
+                Err(v) => {
+                    assert!((200..203).contains(&v));
+                    bounced += 1;
+                }
+            }
+        }
+        assert_eq!(bounced, 3, "every blocked producer must get its item back");
+        // The queued items still drain after close.
+        assert_eq!(q.pop_wait(), Some(100));
+        assert_eq!(q.pop_wait(), Some(101));
+        assert_eq!(q.pop_wait(), None, "drained + closed signals shutdown");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_cascade() {
+        // A consumer that panics while holding the queue lock poisons the
+        // std Mutex; every later operation must recover and keep working.
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1u32).unwrap();
+        let qp = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = qp.state.lock().unwrap();
+            panic!("poison the queue lock");
+        })
+        .join();
+        assert!(q.state.is_poisoned(), "test setup: lock must be poisoned");
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.high_water(), 2);
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop_wait(), None);
     }
 
     #[test]

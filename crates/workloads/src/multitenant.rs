@@ -173,6 +173,41 @@ pub fn shared_prefix_trace(cfg: &TraceConfig, groups: usize) -> TenantTrace {
     TenantTrace { requests }
 }
 
+/// Pick deterministic chaos victims from a trace: roughly `frac` of the
+/// requests (at least one), each paired with a panic step inside its own
+/// decode range. The output is plain `(request_id, panic_step)` data — the
+/// serve layer turns it into fault-plan entries — chosen by seeded
+/// reservoir-free sampling so the same `(trace, seed, frac)` always marks
+/// the same victims, which is what lets a chaos battery replay a storm and
+/// compare survivors across runs.
+pub fn chaos_victims(trace: &TenantTrace, seed: u64, frac: f64) -> Vec<(u64, u64)> {
+    assert!((0.0..=1.0).contains(&frac), "victim fraction must be in [0, 1]");
+    if trace.requests.is_empty() || frac == 0.0 {
+        return Vec::new();
+    }
+    let want = ((trace.requests.len() as f64 * frac).round() as usize)
+        .clamp(1, trace.requests.len());
+    let mut rng = Rng64::new(seed ^ 0xC0A5_7A1E);
+    // Sample without replacement by shuffling indices with seeded swaps.
+    let mut order: Vec<usize> = (0..trace.requests.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.below(i + 1));
+    }
+    let mut victims: Vec<(u64, u64)> = order[..want]
+        .iter()
+        .map(|&i| {
+            let r = &trace.requests[i];
+            // A panic step strictly inside the decode range (step 0 when
+            // the request decodes nothing — it then fails at admission
+            // depth instead, which the battery tolerates).
+            let step = if r.decode_steps > 0 { rng.below(r.decode_steps) as u64 } else { 0 };
+            (r.id, step)
+        })
+        .collect();
+    victims.sort_unstable();
+    victims
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +316,27 @@ mod tests {
     #[should_panic(expected = "more prompt groups than sessions")]
     fn oversized_group_count_rejected() {
         let _ = shared_prefix_trace(&TraceConfig { sessions: 2, ..Default::default() }, 3);
+    }
+
+    #[test]
+    fn chaos_victims_are_deterministic_and_in_range() {
+        let t = multi_tenant_trace(&cfg());
+        let a = chaos_victims(&t, 42, 0.1);
+        let b = chaos_victims(&t, 42, 0.1);
+        assert_eq!(a, b, "same seed must mark the same victims");
+        assert_eq!(a.len(), 20, "10% of 200 requests");
+        let ids: std::collections::HashSet<u64> = a.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), a.len(), "victims must be distinct requests");
+        for &(id, step) in &a {
+            let r = &t.requests[id as usize];
+            assert_eq!(r.id, id);
+            assert!((step as usize) < r.decode_steps.max(1), "panic step outside decode range");
+        }
+        let c = chaos_victims(&t, 43, 0.1);
+        assert_ne!(a, c, "seed must matter");
+        assert!(chaos_victims(&t, 42, 0.0).is_empty());
+        assert_eq!(chaos_victims(&t, 42, 1.0).len(), 200);
+        // Tiny fractions still mark at least one victim.
+        assert_eq!(chaos_victims(&t, 42, 0.0001).len(), 1);
     }
 }

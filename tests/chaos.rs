@@ -1,0 +1,407 @@
+//! Chaos battery: deterministic fault injection against the serve engine.
+//!
+//! The fault-tolerance contract, asserted end to end: under injected
+//! allocator exhaustion, session panics, shard stalls, admission-reject
+//! bursts, and deadline expiry, `ServeEngine::run` (a) never aborts or
+//! deadlocks — it always returns a report; (b) converts every injected
+//! fault into a failed `Completion` carrying the exact planned
+//! `FailureCause` (`injected = true`, the right class, the right step);
+//! and (c) leaves every *surviving* session bit-identical — logits and
+//! tokens — to the same session run alone through
+//! `SelectiveSession::decode` with no fault plan at all.
+//!
+//! Every plan is seeded, every injection point is keyed on deterministic
+//! state (request ids, step counts, tick counts), so each scenario also
+//! replays identically run over run.
+
+use pqcache::core::{CacheConfig, SelectiveSession, SessionConfig};
+use pqcache::llm::{LlmConfig, Model};
+use pqcache::policies::{PqCachePolicy, SelectionPolicy};
+use pqcache::serve::{
+    FaultPlan, ServeConfig, ServeEngine, ServeError, ServeReport, ServeRequest, ShardAssignment,
+};
+use pqcache::tensor::{argmax, Rng64};
+use pqcache::workloads::{chaos_victims, multi_tenant_trace, TenantTrace, TraceConfig, VocabLayout};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Liveness bound: chaos runs take seconds; a deadlock hangs forever.
+const WALL_LIMIT: Duration = Duration::from_secs(240);
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        n_init: 2,
+        n_local: 8,
+        token_ratio: 0.25,
+        comm_fraction: 1.0 / 16.0,
+        obs_window: 8,
+        cache: CacheConfig { capacity_tokens: 64, block_size: 8, lfu: true, k_cache_blocks: 4 },
+        ivf: pqcache::core::IvfMode::Exact,
+    }
+}
+
+fn prompt(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.below(200) as u32).collect()
+}
+
+fn policy() -> Box<dyn SelectionPolicy + Send> {
+    Box::new(PqCachePolicy::default())
+}
+
+/// Run the engine on a watchdog thread; a deadlock fails the test at the
+/// wall-clock bound instead of hanging CI forever. "Never aborts" includes
+/// "never hangs".
+fn run_with_watchdog(cfg: ServeConfig, requests: Vec<ServeRequest>) -> ServeReport {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let model = Model::new(LlmConfig::tiny());
+        let report = ServeEngine::run(&model, &cfg, requests).expect("valid config");
+        let _ = tx.send(report);
+    });
+    match rx.recv_timeout(WALL_LIMIT) {
+        Ok(report) => report,
+        Err(_) => panic!("serve engine did not finish within {WALL_LIMIT:?} under chaos"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation + survivor bit-identity (the tentpole property).
+// ---------------------------------------------------------------------------
+
+const FLEET: usize = 6;
+const STEPS: usize = 8;
+
+/// Distinct prompts (no prefix sharing) with mixed lengths.
+fn fleet_prompts() -> Vec<Vec<u32>> {
+    (0..FLEET).map(|i| prompt(64 + 16 * (i % 3), 0xC4A05 + i as u64)).collect()
+}
+
+/// Fault-free sequential reference: each session alone via `decode()`.
+fn sequential_reference(model: &Model) -> Vec<(Vec<u32>, Vec<Vec<f32>>)> {
+    fleet_prompts()
+        .iter()
+        .map(|toks| {
+            let start = SelectiveSession::start(model, policy(), session_cfg(), toks);
+            let mut session = start.session;
+            let mut next = argmax(&start.logits) as u32;
+            let (mut generated, mut logits) = (Vec::new(), Vec::new());
+            for _ in 0..STEPS {
+                generated.push(next);
+                let dec = session.decode(next);
+                logits.push(dec.logits.clone());
+                next = dec.greedy();
+            }
+            (generated, logits)
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panics_are_isolated_and_survivors_bit_identical() {
+    let model = Model::new(LlmConfig::tiny());
+    let reference = sequential_reference(&model);
+
+    // Session 2 dies mid-decode (step 3) while sharing a shard — and its
+    // scratch buffers — with live neighbours; session 4 dies before its
+    // first step. Everyone else must not notice.
+    let plan = FaultPlan::seeded(0xFA).with_session_panic(2, 3).with_session_panic(4, 0);
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 2,
+        queue_capacity: FLEET,
+        session: session_cfg(),
+        record_trace: true,
+        faults: Some(plan),
+        ..Default::default()
+    };
+    let requests: Vec<ServeRequest> = fleet_prompts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, toks)| ServeRequest::new(i as u64, toks, STEPS, policy()))
+        .collect();
+    let report = run_with_watchdog(cfg, requests);
+
+    assert_eq!(report.completions.len(), FLEET, "every request must complete, pass or fail");
+    assert_eq!(report.worker_panics, 0, "injected panics must be caught per-session");
+    assert_eq!(report.failures().count(), 2);
+
+    for i in 0..FLEET as u64 {
+        let c = report.completion(i).expect("completion present");
+        let (ref_tokens, ref_logits) = &reference[i as usize];
+        match i {
+            2 | 4 => {
+                let planned_step = if i == 2 { 3u64 } else { 0 };
+                let cause = c.failure.as_ref().expect("victim must carry a cause");
+                assert!(cause.injected, "session {i}: cause must be marked injected");
+                assert_eq!(cause.step, planned_step);
+                match &cause.error {
+                    ServeError::SessionPoisoned { message } => {
+                        assert!(
+                            message.contains(&format!("request {i} at step {planned_step}")),
+                            "payload round-trip: {message}"
+                        );
+                    }
+                    other => panic!("session {i}: unexpected cause {other:?}"),
+                }
+                // Pre-panic progress is still bit-identical to the reference.
+                assert_eq!(c.generated.len(), planned_step as usize);
+                assert_eq!(c.generated[..], ref_tokens[..planned_step as usize]);
+                for (step, tr) in c.trace.iter().enumerate() {
+                    assert_eq!(tr.logits, ref_logits[step], "victim {i} pre-panic step {step}");
+                }
+            }
+            _ => {
+                assert!(c.is_success(), "survivor {i} failed: {:?}", c.failure);
+                assert_eq!(&c.generated, ref_tokens, "survivor {i} tokens diverged");
+                assert_eq!(c.trace.len(), STEPS);
+                for (step, tr) in c.trace.iter().enumerate() {
+                    assert_eq!(
+                        tr.logits, ref_logits[step],
+                        "survivor {i} step {step} logits diverged after a shard-mate panic"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocator exhaustion: sessions fail, the engine does not.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn page_exhaustion_fails_sessions_not_the_engine() {
+    // A page pool far too small for the fleet: allocations fail mid-prefill
+    // or mid-decode. The engine must shed the starved sessions with a typed
+    // cause and return normally — never unwrap, never abort.
+    let plan = FaultPlan::seeded(0x9A6E).with_page_limit(4);
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 4,
+        queue_capacity: FLEET,
+        session: session_cfg(),
+        faults: Some(plan),
+        ..Default::default()
+    };
+    let mk_requests = || -> Vec<ServeRequest> {
+        fleet_prompts()
+            .into_iter()
+            .enumerate()
+            .map(|(i, toks)| ServeRequest::new(i as u64, toks, STEPS, policy()))
+            .collect()
+    };
+    let report = run_with_watchdog(cfg.clone(), mk_requests());
+
+    assert_eq!(report.completions.len(), FLEET);
+    assert_eq!(report.worker_panics, 0);
+    let failures: Vec<_> = report.failures().collect();
+    assert!(!failures.is_empty(), "a 4-page pool cannot serve this fleet");
+    for c in &failures {
+        let cause = c.failure.as_ref().unwrap();
+        assert!(cause.injected, "cap came from the plan, so the fault is injected");
+        assert!(
+            matches!(cause.error, ServeError::PageExhausted { max_pages: 4 }),
+            "request {}: unexpected cause {:?}",
+            c.id,
+            cause.error
+        );
+    }
+
+    // Deterministic replay: the same plan starves the same sessions.
+    let again = run_with_watchdog(cfg, mk_requests());
+    let ids = |r: &ServeReport| -> Vec<u64> {
+        let mut v: Vec<u64> = r.failures().map(|c| c.id).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&report), ids(&again), "failure set must replay identically");
+}
+
+// ---------------------------------------------------------------------------
+// Admission-reject bursts: bounded retry, then typed shedding.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn admission_burst_sheds_typed_and_retries_recover() {
+    // Request 1 is rejected more times than its retry budget allows — shed
+    // with `Admission` after 1 + max_retries attempts. Request 2 is
+    // rejected twice — exactly its budget — and must recover.
+    let plan = FaultPlan::seeded(0xBEEF)
+        .with_admission_rejects(1, 10)
+        .with_admission_rejects(2, 2);
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 2,
+        queue_capacity: FLEET,
+        session: session_cfg(),
+        faults: Some(plan),
+        ..Default::default()
+    };
+    let requests: Vec<ServeRequest> = fleet_prompts()
+        .into_iter()
+        .enumerate()
+        .map(|(i, toks)| ServeRequest::new(i as u64, toks, STEPS, policy()))
+        .collect();
+    let report = run_with_watchdog(cfg, requests);
+
+    assert_eq!(report.completions.len(), FLEET);
+    let shed = report.completion(1).unwrap();
+    let cause = shed.failure.as_ref().expect("request 1 must be shed");
+    assert!(cause.injected);
+    assert!(
+        matches!(cause.error, ServeError::Admission { attempts: 3 }),
+        "default policy = initial attempt + 2 retries, got {:?}",
+        cause.error
+    );
+    assert!(shed.generated.is_empty(), "shed requests never decode");
+    assert_eq!(cause.step, 0);
+
+    let recovered = report.completion(2).unwrap();
+    assert!(recovered.is_success(), "2 rejections fit the retry budget: {:?}", recovered.failure);
+    assert_eq!(recovered.retries, 2);
+    assert_eq!(recovered.generated.len(), STEPS);
+
+    // Load-shedding is metered: the shed request's never-produced decode
+    // tokens, and both victims' retry attempts, show up in the report.
+    assert_eq!(report.total_shed_tokens(), STEPS as u64);
+    assert!(report.shards[0].retries >= 4, "2 retries each for ids 1 and 2");
+    for i in [0u64, 3, 4, 5] {
+        assert!(report.completion(i).unwrap().is_success(), "bystander {i} harmed");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines: slow sessions are reaped, fast ones finish.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadline_expiry_reaps_slow_sessions_only() {
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 2,
+        queue_capacity: 4,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let requests = vec![
+        // Wants 40 steps but is only allowed 3 ticks after admission.
+        ServeRequest::new(0, prompt(64, 0xD0), 40, policy()).with_deadline(3),
+        ServeRequest::new(1, prompt(80, 0xD1), 6, policy()),
+    ];
+    let report = run_with_watchdog(cfg, requests);
+
+    let reaped = report.completion(0).unwrap();
+    let cause = reaped.failure.as_ref().expect("deadline must reap request 0");
+    assert!(!cause.injected, "deadlines are policy, not injected faults");
+    match cause.error {
+        ServeError::DeadlineExceeded { deadline_ticks, elapsed_ticks } => {
+            assert_eq!(deadline_ticks, 3);
+            assert!(elapsed_ticks >= 3);
+        }
+        ref other => panic!("unexpected cause {other:?}"),
+    }
+    assert!(reaped.generated.len() < 40, "reaped session must not finish");
+    assert_eq!(cause.step, reaped.generated.len() as u64);
+
+    let fast = report.completion(1).unwrap();
+    assert!(fast.is_success());
+    assert_eq!(fast.generated.len(), 6, "undeadlined neighbour must finish");
+}
+
+// ---------------------------------------------------------------------------
+// The storm: everything at once, across shards, replayed twice.
+// ---------------------------------------------------------------------------
+
+const STORM_SESSIONS: usize = 32;
+
+fn storm_trace() -> TenantTrace {
+    multi_tenant_trace(&TraceConfig {
+        sessions: STORM_SESSIONS,
+        arrival_rate: 2.0,
+        prompt_lens: [64, 80, 96],
+        prompt_mix: [0.5, 0.3, 0.2],
+        decode_steps: (2, 10),
+        layout: VocabLayout::for_vocab(256),
+        seed: 0xC405,
+    })
+}
+
+#[test]
+fn chaos_storm_never_aborts_and_replays_identically() {
+    let trace = storm_trace();
+    let victims = chaos_victims(&trace, 0xFEED, 0.25);
+    assert_eq!(victims.len(), STORM_SESSIONS / 4);
+    let victim_ids: HashMap<u64, u64> = victims.iter().copied().collect();
+
+    // Two non-victims take recoverable admission-reject bursts.
+    let bystanders: Vec<u64> = (0..STORM_SESSIONS as u64)
+        .filter(|id| !victim_ids.contains_key(id))
+        .take(2)
+        .collect();
+    let mut plan = FaultPlan::seeded(0xFEED)
+        .with_stall(0, 2, 2)
+        .with_stall(1, 4, 1)
+        .with_admission_rejects(bystanders[0], 1)
+        .with_admission_rejects(bystanders[1], 2);
+    for &(id, step) in &victims {
+        plan = plan.with_session_panic(id, step);
+    }
+
+    let cfg = ServeConfig {
+        shards: 2,
+        max_active_per_shard: 4,
+        queue_capacity: 8,
+        assignment: ShardAssignment::RoundRobin,
+        session: session_cfg(),
+        faults: Some(plan),
+        ..Default::default()
+    };
+    let mk_requests = || -> Vec<ServeRequest> {
+        storm_trace()
+            .requests
+            .into_iter()
+            .map(|r| ServeRequest::new(r.id, r.workload.tokens, r.decode_steps, policy()))
+            .collect()
+    };
+    let report = run_with_watchdog(cfg.clone(), mk_requests());
+
+    // (a) Never aborts: the run returned, no worker died, accounting clean.
+    assert_eq!(report.completions.len(), STORM_SESSIONS, "requests lost in the storm");
+    assert_eq!(report.worker_panics, 0);
+    assert!(!report.budget_underflow);
+    assert!(report.total_degraded_steps() > 0, "stalls must be metered as degradation");
+
+    // (b) Every victim fails with exactly its planned, injected cause;
+    //     every non-victim finishes its full decode.
+    let expected_steps: HashMap<u64, usize> =
+        trace.requests.iter().map(|r| (r.id, r.decode_steps)).collect();
+    for c in &report.completions {
+        match victim_ids.get(&c.id) {
+            Some(&step) => {
+                let cause = c.failure.as_ref().unwrap_or_else(|| panic!("victim {} survived", c.id));
+                assert!(cause.injected);
+                assert_eq!(cause.step, step, "victim {} died at the wrong step", c.id);
+                assert_eq!(cause.error.class(), "session_poisoned");
+                assert_eq!(c.generated.len(), step as usize);
+            }
+            None => {
+                assert!(c.is_success(), "bystander {} harmed: {:?}", c.id, c.failure);
+                assert_eq!(c.generated.len(), expected_steps[&c.id], "bystander {} cut short", c.id);
+            }
+        }
+    }
+    let recovered = report.completion(bystanders[1]).unwrap();
+    assert_eq!(recovered.retries, 2, "rejected-then-admitted bystander must meter its retries");
+
+    // (c) Deterministic replay: same plan, same storm, same outcome.
+    let again = run_with_watchdog(cfg, mk_requests());
+    let outcome = |r: &ServeReport| -> HashMap<u64, (Vec<u32>, Option<&'static str>)> {
+        r.completions
+            .iter()
+            .map(|c| (c.id, (c.generated.clone(), c.failure.as_ref().map(|f| f.error.class()))))
+            .collect()
+    };
+    assert_eq!(outcome(&report), outcome(&again), "chaos must replay bit-identically");
+}

@@ -40,12 +40,7 @@ fn prompt(n: usize, seed: u64) -> Vec<u32> {
 fn fleet(n: usize, groups: usize, policy: fn(usize) -> Box<dyn SelectionPolicy + Send>) -> Vec<ServeRequest> {
     let prompts: Vec<Vec<u32>> = (0..groups).map(|g| prompt(96, 0xA11CE + g as u64)).collect();
     (0..n)
-        .map(|i| ServeRequest {
-            id: i as u64,
-            tokens: prompts[i % groups].clone(),
-            decode_steps: DECODE_STEPS,
-            policy: policy(i),
-        })
+        .map(|i| ServeRequest::new(i as u64, prompts[i % groups].clone(), DECODE_STEPS, policy(i)))
         .collect()
 }
 
@@ -101,7 +96,8 @@ fn shared_prefix_fleet_matches_sequential() {
         .collect();
 
     for shards in [1, 2] {
-        let report = ServeEngine::run(&model, &serve_cfg(shards, n), fleet(n, 3, mixed));
+        let report =
+            ServeEngine::run(&model, &serve_cfg(shards, n), fleet(n, 3, mixed)).expect("valid config");
         assert_eq!(report.completions.len(), n);
         for (i, c) in report.completions.iter().enumerate() {
             assert_eq!(c.generated, reference[i].0, "session {i} tokens under {shards} shards");
@@ -127,7 +123,7 @@ fn prefix_hit_rate_and_host_residency() {
     let model = Model::new(LlmConfig::tiny());
     let (n, groups) = (16, 2);
     let cfg = serve_cfg(1, n); // whole fleet concurrently resident
-    let shared = ServeEngine::run(&model, &cfg, fleet(n, groups, pq_only));
+    let shared = ServeEngine::run(&model, &cfg, fleet(n, groups, pq_only)).expect("valid config");
     assert_eq!(shared.prefix.lookups, n as u64);
     assert_eq!(shared.prefix.entries, groups);
     assert_eq!(shared.prefix.full_hits, (n - groups) as u64);
@@ -144,7 +140,8 @@ fn prefix_hit_rate_and_host_residency() {
         &model,
         &ServeConfig { prefix_cache: false, ..cfg },
         fleet(n, groups, pq_only),
-    );
+    )
+    .expect("valid config");
     // Results identical; host peak at least halved (the acceptance gate);
     // offload traffic reduced by exactly the shared prompts.
     for (a, b) in shared.completions.iter().zip(cold.completions.iter()) {
@@ -180,14 +177,16 @@ fn shared_prefix_trace_drives_the_cache() {
     let requests: Vec<ServeRequest> = trace
         .requests
         .iter()
-        .map(|r| ServeRequest {
-            id: r.id,
-            tokens: r.workload.tokens.clone(),
-            decode_steps: r.decode_steps,
-            policy: Box::new(PqCachePolicy::default()),
+        .map(|r| {
+            ServeRequest::new(
+                r.id,
+                r.workload.tokens.clone(),
+                r.decode_steps,
+                Box::new(PqCachePolicy::default()),
+            )
         })
         .collect();
-    let report = ServeEngine::run(&model, &serve_cfg(1, n), requests);
+    let report = ServeEngine::run(&model, &serve_cfg(1, n), requests).expect("valid config");
     assert_eq!(report.prefix.entries, groups);
     assert_eq!(report.prefix.full_hits, (n - groups) as u64);
     // Greedy decode is deterministic: same prompt ⇒ same continuation, so

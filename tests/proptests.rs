@@ -493,3 +493,97 @@ proptest! {
         prop_assert_eq!(tier.allocator().pages_in_use(), 0, "registry leaked pages");
     }
 }
+
+/// One scripted action against a capped allocator.
+#[derive(Debug, Clone, Copy)]
+enum AllocOp {
+    /// Request one page (may correctly fail at the cap).
+    Alloc,
+    /// Bump the refcount of the live page at `target % live`.
+    Retain { target: usize },
+    /// Drop one reference from the live page at `target % live`.
+    Release { target: usize },
+}
+
+fn alloc_op_strategy() -> impl Strategy<Value = AllocOp> {
+    // kind 0..=1 → alloc (weighted 2×), 2 → retain, 3..=4 → release.
+    (0usize..5, 0usize..8).prop_map(|(kind, target)| match kind {
+        0 | 1 => AllocOp::Alloc,
+        2 => AllocOp::Retain { target },
+        _ => AllocOp::Release { target },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved alloc/retain/release against a capped pool, mirrored by
+    /// a plain refcount map: a live page id is never re-issued (the
+    /// double-free / aliasing hazard), `try_alloc` fails — with the right
+    /// cap in the error — exactly when the pool is full, live counts always
+    /// agree with the model, and a fully-released pool recycles every page.
+    #[test]
+    fn capped_allocator_never_double_frees(
+        cap in 1usize..6,
+        ops in proptest::collection::vec(alloc_op_strategy(), 1..60),
+    ) {
+        use pqcache::memhier::{MemError, PageAllocator};
+        use std::collections::BTreeMap;
+        let alloc = PageAllocator::with_limit(2, 4, None, Some(cap));
+        // Mirror model: live page id → refcount.
+        let mut refs: BTreeMap<u32, u32> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                AllocOp::Alloc => match alloc.try_alloc() {
+                    Ok(id) => {
+                        prop_assert!(refs.len() < cap, "alloc succeeded at the cap");
+                        prop_assert!(
+                            !refs.contains_key(&id),
+                            "live page {} re-issued: aliased double ownership", id
+                        );
+                        refs.insert(id, 1);
+                    }
+                    Err(MemError::PageExhausted { max_pages }) => {
+                        prop_assert_eq!(max_pages, cap, "error must name the configured cap");
+                        prop_assert_eq!(refs.len(), cap, "alloc failed below the cap");
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+                },
+                AllocOp::Retain { target } if !refs.is_empty() => {
+                    let id = *refs.keys().nth(target % refs.len()).unwrap();
+                    alloc.retain_page(id);
+                    *refs.get_mut(&id).unwrap() += 1;
+                }
+                AllocOp::Release { target } if !refs.is_empty() => {
+                    let id = *refs.keys().nth(target % refs.len()).unwrap();
+                    alloc.release_page(id);
+                    let n = refs.get_mut(&id).unwrap();
+                    *n -= 1;
+                    if *n == 0 {
+                        refs.remove(&id);
+                    }
+                }
+                AllocOp::Retain { .. } | AllocOp::Release { .. } => {}
+            }
+            prop_assert_eq!(alloc.pages_in_use(), refs.len(), "live count diverged from model");
+            prop_assert!(alloc.pages_in_use() <= cap, "cap breached");
+        }
+
+        // Drain every remaining reference: the pool must return to empty —
+        // no page lost to a premature free, none pinned by a leaked count.
+        for (id, n) in std::mem::take(&mut refs) {
+            for _ in 0..n {
+                alloc.release_page(id);
+            }
+        }
+        prop_assert_eq!(alloc.pages_in_use(), 0, "references drained but pages still live");
+
+        // And the freed pages are actually reusable: a full cap's worth of
+        // allocations succeeds again, then the cap re-engages.
+        for _ in 0..cap {
+            prop_assert!(alloc.try_alloc().is_ok(), "released page not recycled");
+        }
+        prop_assert!(alloc.try_alloc().is_err(), "cap must re-engage after recycling");
+    }
+}

@@ -96,14 +96,9 @@ fn serve_fleet(model: &Model, shards: usize) -> Vec<Completion> {
     let requests: Vec<ServeRequest> = fixture_prompts()
         .into_iter()
         .enumerate()
-        .map(|(i, tokens)| ServeRequest {
-            id: i as u64,
-            tokens,
-            decode_steps: DECODE_STEPS,
-            policy: make_policy(i),
-        })
+        .map(|(i, tokens)| ServeRequest::new(i as u64, tokens, DECODE_STEPS, make_policy(i)))
         .collect();
-    let report = ServeEngine::run(model, &cfg, requests);
+    let report = ServeEngine::run(model, &cfg, requests).expect("valid config");
     assert_eq!(report.completions.len(), N_SESSIONS);
 
     // Aggregate accounting: the tier-wide meter must equal the sum of

@@ -56,11 +56,13 @@ fn stress_requests() -> Vec<ServeRequest> {
     stress_trace()
         .requests
         .into_iter()
-        .map(|r| ServeRequest {
-            id: r.id,
-            tokens: r.workload.tokens,
-            decode_steps: r.decode_steps,
-            policy: Box::new(PqCachePolicy::default()),
+        .map(|r| {
+            ServeRequest::new(
+                r.id,
+                r.workload.tokens,
+                r.decode_steps,
+                Box::new(PqCachePolicy::default()),
+            )
         })
         .collect()
 }
@@ -75,7 +77,7 @@ fn run_with_watchdog(cfg: ServeConfig, requests: Vec<ServeRequest>) -> ServeRepo
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let model = Model::new(LlmConfig::tiny());
-        let report = ServeEngine::run(&model, &cfg, requests);
+        let report = ServeEngine::run(&model, &cfg, requests).expect("valid config");
         let _ = tx.send(report);
     });
     match rx.recv_timeout(WALL_LIMIT) {
