@@ -32,7 +32,9 @@
 
 use pqc_core::{IvfMode, SelectiveSession, SessionConfig};
 use pqc_llm::{LlmConfig, Model, PrefillOptions};
-use pqc_serve::{ServeConfig, ServeEngine, ServeRequest, ShardAssignment};
+use pqc_serve::{
+    Percentiles, Priority, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment,
+};
 use pqc_workloads::{shared_prefix_trace, MethodSpec, TraceConfig, VocabLayout};
 use std::time::Instant;
 
@@ -350,6 +352,88 @@ fn bench_prefix_cache(model: &Model, cfg: &Config) -> PrefixRow {
     }
 }
 
+/// The SLO-tail comparison: one long low-priority prompt sharing a shard
+/// with a stream of short high-priority requests, fair-share monolithic vs
+/// chunked + priority scheduling.
+struct SloRow {
+    long_prompt: usize,
+    short_prompt: usize,
+    shorts: usize,
+    chunk_tokens: usize,
+    fair_short_p99_ttft_s: f64,
+    slo_short_p99_ttft_s: f64,
+}
+
+impl SloRow {
+    fn ttft_speedup(&self) -> f64 {
+        self.fair_short_p99_ttft_s / self.slo_short_p99_ttft_s.max(1e-9)
+    }
+}
+
+/// One shard, two slots, a long prompt arriving first and `shorts` short
+/// latency-sensitive requests queued behind it. **Fair share** (monolithic
+/// prefill, one priority class) makes every short request eat the long
+/// prefill head-of-line; **SLO scheduling** (chunked prefill + `High` on
+/// the shorts) admits the shorts first and advances their chunks ahead of
+/// the long prompt's, so the short class's TTFT tail collapses while every
+/// request still decodes bit-identical tokens. The gate is the p99-TTFT
+/// ratio of the short class.
+fn bench_slo_tail(model: &Model, cfg: &Config) -> SloRow {
+    let (long_len, short_len, chunk) = if cfg.quick { (768, 48, 96) } else { (4096, 64, 256) };
+    let shorts = 6usize;
+    let decode = if cfg.quick { 4 } else { 8 };
+    let long_toks = prompt(long_len, 0x510A);
+    let short_toks: Vec<Vec<u32>> =
+        (0..shorts).map(|i| prompt(short_len, 0x510B + i as u64)).collect();
+    let requests = |slo: bool| -> Vec<ServeRequest> {
+        let mut reqs =
+            vec![ServeRequest::new(0, long_toks.clone(), decode, policy(model))
+                .with_priority(if slo { Priority::Low } else { Priority::Normal })];
+        for (i, toks) in short_toks.iter().enumerate() {
+            reqs.push(
+                ServeRequest::new(1 + i as u64, toks.clone(), decode, policy(model))
+                    .with_priority(if slo { Priority::High } else { Priority::Normal }),
+            );
+        }
+        reqs
+    };
+    let fair_cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 2,
+        queue_capacity: 1 + shorts,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let slo_cfg = ServeConfig { prefill_chunk_tokens: Some(chunk), ..fair_cfg.clone() };
+    let _ = ServeEngine::run(model, &fair_cfg, requests(false)); // warm-up
+    let fair = ServeEngine::run(model, &fair_cfg, requests(false)).expect("config");
+    let slo = ServeEngine::run(model, &slo_cfg, requests(true)).expect("config");
+    // Scheduling must never change results: bit-identical decodes per id.
+    for (a, b) in fair.completions.iter().zip(slo.completions.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.generated, b.generated, "SLO scheduling changed request {}", a.id);
+    }
+    // The short class's TTFT tail (id 0 is the long prompt).
+    let short_p99 = |r: &ServeReport| -> f64 {
+        let ttfts: Vec<f64> = r
+            .completions
+            .iter()
+            .filter(|c| c.id != 0)
+            .map(|c| c.ttft_wall.expect("short request must reach a first token").as_secs_f64())
+            .collect();
+        assert_eq!(ttfts.len(), shorts);
+        Percentiles::from_samples(&ttfts).p99
+    };
+    SloRow {
+        long_prompt: long_len,
+        short_prompt: short_len,
+        shorts,
+        chunk_tokens: chunk,
+        fair_short_p99_ttft_s: short_p99(&fair),
+        slo_short_p99_ttft_s: short_p99(&slo),
+    }
+}
+
 fn write_json(
     path: &std::path::Path,
     mode: &str,
@@ -357,6 +441,7 @@ fn write_json(
     rows: &[Row],
     long: &LongRow,
     prefix: &PrefixRow,
+    slo: &SloRow,
 ) {
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -426,7 +511,7 @@ fn write_json(
          \"d2h_saving\": {:.3}, \"shared_wall_s\": {:.4}, \"cold_wall_s\": {:.4}, \
          \"note\": \"{} sessions over {} identical prompts, 1 shard (sequential admission \
          => exactly groups misses); peak bytes compare O(unique tokens) vs O(sessions x \
-         tokens); gates: hit_rate >= 0.9 and dedup_factor >= 2.0 in full mode\"}}\n",
+         tokens); gates: hit_rate >= 0.9 and dedup_factor >= 2.0 in full mode\"}},\n",
         prefix.sessions,
         prefix.groups,
         prefix.page_tokens,
@@ -445,6 +530,25 @@ fn write_json(
         prefix.cold_s,
         prefix.sessions,
         prefix.groups,
+    ));
+    out.push_str(&format!(
+        "  \"slo_tail\": {{\"long_prompt\": {}, \"short_prompt\": {}, \"shorts\": {}, \
+         \"chunk_tokens\": {}, \"fair_short_p99_ttft_s\": {:.6}, \
+         \"slo_short_p99_ttft_s\": {:.6}, \"ttft_speedup\": {:.3}, \
+         \"note\": \"{} short high-priority requests queued behind a {}-token prompt on 1 \
+         shard / 2 slots; fair share is monolithic single-class admission, SLO is chunked \
+         prefill ({} tokens/tick) + priority scheduling; p99 TTFT of the short class, \
+         decodes bit-identical across both runs; gate: ttft_speedup >= 5.0 in full mode\"}}\n",
+        slo.long_prompt,
+        slo.short_prompt,
+        slo.shorts,
+        slo.chunk_tokens,
+        slo.fair_short_p99_ttft_s,
+        slo.slo_short_p99_ttft_s,
+        slo.ttft_speedup(),
+        slo.shorts,
+        slo.long_prompt,
+        slo.chunk_tokens,
     ));
     out.push_str("}\n");
     std::fs::write(path, out).expect("write BENCH_serve.json");
@@ -467,6 +571,7 @@ fn main() {
     let rows: Vec<Row> = fleet_sizes.iter().map(|&n| bench_fleet(&model, &cfg, n)).collect();
     let long = bench_long_context(&model, &cfg);
     let prefix = bench_prefix_cache(&model, &cfg);
+    let slo = bench_slo_tail(&model, &cfg);
 
     println!(
         "{:>8} {:>7} {:>8} {:>12} {:>12} {:>14} {:>10} {:>12}",
@@ -512,6 +617,18 @@ fn main() {
         100.0 * prefix.d2h_saving()
     );
 
+    println!(
+        "\nslo tail ({} shorts of {} tokens behind a {}-token prompt, {}-token chunks): \
+         short-class p99 TTFT {:.4}s fair-share -> {:.4}s SLO ({:.1}x sooner)",
+        slo.shorts,
+        slo.short_prompt,
+        slo.long_prompt,
+        slo.chunk_tokens,
+        slo.fair_short_p99_ttft_s,
+        slo.slo_short_p99_ttft_s,
+        slo.ttft_speedup()
+    );
+
     // Acceptance gate: ≥ 2× aggregate tokens/sec at 8 sessions. The
     // modeled number is hardware-independent and gates in full mode; the
     // wall-clock number additionally gates when the host has the cores to
@@ -551,11 +668,21 @@ fn main() {
         gate_failed = true;
     }
 
+    // SLO gate: the high-priority short class must reach its first token at
+    // least 5× sooner (p99) under chunked + priority scheduling than under
+    // fair share. A ratio of wall times on the same host, so the gate is
+    // hardware-independent.
+    let slo_speedup = slo.ttft_speedup();
+    if slo_speedup < 5.0 {
+        println!("GATE MISS: SLO short-class p99 TTFT speedup {slo_speedup:.2}x below 5.0x");
+        gate_failed = true;
+    }
+
     let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| {
         format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"))
     });
     let path = std::path::PathBuf::from(path);
-    write_json(&path, mode, cores, &rows, &long, &prefix);
+    write_json(&path, mode, cores, &rows, &long, &prefix, &slo);
     println!("\nwrote {}", path.display());
     if gate_failed && !quick {
         std::process::exit(1);

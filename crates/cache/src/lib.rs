@@ -127,6 +127,25 @@ pub struct CacheStats {
     pub management_ops: u64,
 }
 
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.token_lookups += rhs.token_lookups;
+        self.token_hits += rhs.token_hits;
+        self.token_misses += rhs.token_misses;
+        self.insertions += rhs.insertions;
+        self.evictions += rhs.evictions;
+        self.management_ops += rhs.management_ops;
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
 impl CacheStats {
     /// Token-level hit rate in `[0, 1]`; 0 when nothing was looked up.
     pub fn hit_rate(&self) -> f64 {

@@ -14,4 +14,5 @@ pub use config::{CacheConfig, ConfigError, IvfMode, SessionConfig};
 pub use latency::{KmeansIters, LatencyMethod, LatencyModel, PhaseReport};
 pub use session::{
     panic_message, SelectiveSession, SessionResources, SessionScratch, SessionStart, StepError,
+    SuspendError, SuspendedSession,
 };

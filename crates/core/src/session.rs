@@ -581,6 +581,87 @@ impl<'m> SelectiveSession<'m> {
         self.policy_ready = true;
     }
 
+    /// Preempt this session: offload its GPU-resident state (initial segment
+    /// plus local window) into a fresh namespace of `tier` — the metered D2H
+    /// path — pin every host page it owns against recycling, and release its
+    /// GPU block cache (freeing the budget slots for whoever preempted it).
+    ///
+    /// The returned [`SuspendedSession`] holds no model borrow and can be
+    /// parked indefinitely; [`SuspendedSession::resume`] restores a session
+    /// that decodes **bit-identically** to one that was never suspended
+    /// (the block cache only meters transfers — it never changes gathered
+    /// data — so resuming with a cold cache alters metering, not logits).
+    ///
+    /// Must be called between decode steps (panics if a store fault is
+    /// pending). On pool exhaustion the session comes back **intact** inside
+    /// the error — preemption failure is recoverable, the victim just keeps
+    /// running — along with the D2H already metered into the abandoned swap
+    /// namespace so the caller's transfer accounting stays exact.
+    // The Err variant is deliberately large: preemption failure must hand the
+    // intact victim session (plus the already-metered D2H) back to the caller
+    // so it can keep decoding — boxing would buy nothing but an allocation on
+    // a path that exists precisely because allocation just failed.
+    #[allow(clippy::result_large_err)]
+    pub fn suspend(self, tier: &pqc_memhier::KvTier) -> Result<SuspendedSession, SuspendError<'m>> {
+        assert!(
+            self.pending_fault.is_none(),
+            "cannot suspend a session with a pending store fault"
+        );
+        let mcfg = self.model.config();
+        let dh = mcfg.head_dim;
+        let mut swap = tier.new_namespace();
+        for l in 0..mcfg.n_layers {
+            for h in 0..mcfg.n_kv_heads {
+                let window = &self.local[l][h];
+                assert_eq!(
+                    window.len(),
+                    self.cfg.n_local,
+                    "suspend must run between steps (local window full)"
+                );
+                let rows = self.cfg.n_init + window.len();
+                let mut k = Matrix::zeros(rows, dh);
+                let mut v = Matrix::zeros(rows, dh);
+                for i in 0..self.cfg.n_init {
+                    k.copy_row_from(i, self.init_k[l][h].row(i));
+                    v.copy_row_from(i, self.init_v[l][h].row(i));
+                }
+                for (i, (wk, wv)) in window.iter().enumerate() {
+                    k.copy_row_from(self.cfg.n_init + i, wk);
+                    v.copy_row_from(self.cfg.n_init + i, wv);
+                }
+                if let Err(error) = swap.try_offload(l, h, k, v) {
+                    let swap_transfer = swap.stats();
+                    drop(swap); // releases the partial chains
+                    return Err(SuspendError { session: self, error, swap_transfer });
+                }
+            }
+        }
+        let SelectiveSession {
+            cfg,
+            policy,
+            policy_ready,
+            budget_middle,
+            store,
+            pos,
+            steps,
+            policy_comm_bytes,
+            last_selected,
+            ..
+        } = self; // init/local/cache drop here; the cache frees its budget slots
+        Ok(SuspendedSession {
+            cfg,
+            policy,
+            policy_ready,
+            budget_middle,
+            store: PinnedStore::new(store),
+            swap: PinnedStore::new(swap),
+            pos,
+            steps,
+            policy_comm_bytes,
+            last_selected,
+        })
+    }
+
     fn maybe_lazy_init(&mut self) {
         if self.policy_ready {
             return;
@@ -649,6 +730,190 @@ impl<'m> SessionParts<'m> {
             },
             logits,
         }
+    }
+}
+
+/// A failed [`SelectiveSession::suspend`]: the swap offload exhausted the
+/// page pool. The session is returned **unharmed** — the caller can keep
+/// decoding it — and `swap_transfer` reports the D2H metered into the
+/// abandoned swap namespace before the failure (its pages are already
+/// released), so engine-level aggregate accounting still closes.
+pub struct SuspendError<'m> {
+    /// The victim, exactly as it was before the suspend attempt.
+    pub session: SelectiveSession<'m>,
+    /// The store fault that aborted the offload.
+    pub error: MemError,
+    /// Transfer already metered into the abandoned swap namespace.
+    pub swap_transfer: TransferStats,
+}
+
+impl std::fmt::Debug for SuspendError<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuspendError")
+            .field("error", &self.error)
+            .field("swap_transfer", &self.swap_transfer)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A host store whose pages are pinned against recycling for as long as
+/// this wrapper lives. Unpins on [`PinnedStore::into_inner`] or drop, so a
+/// parked session that is discarded (e.g. deadline-reaped) never trips the
+/// allocator's pinned-release panic.
+struct PinnedStore(Option<HostKvStore>);
+
+impl PinnedStore {
+    fn new(store: HostKvStore) -> Self {
+        store.pin_pages();
+        Self(Some(store))
+    }
+
+    fn get(&self) -> &HostKvStore {
+        self.0.as_ref().expect("store present until into_inner")
+    }
+
+    fn into_inner(mut self) -> HostKvStore {
+        let store = self.0.take().expect("store present until into_inner");
+        store.unpin_pages();
+        store
+    }
+}
+
+impl Drop for PinnedStore {
+    fn drop(&mut self) {
+        if let Some(store) = self.0.take() {
+            store.unpin_pages();
+        }
+    }
+}
+
+/// A preempted session parked off-GPU: its middle region stays in its host
+/// namespace, its initial segment + local window live in a swap namespace,
+/// and every page is pinned. Holds no model borrow and no GPU cache.
+/// Produced by [`SelectiveSession::suspend`]; revived by
+/// [`SuspendedSession::resume`]. Dropping it without resuming unpins and
+/// releases everything cleanly.
+pub struct SuspendedSession {
+    cfg: SessionConfig,
+    policy: Box<dyn SelectionPolicy>,
+    policy_ready: bool,
+    budget_middle: usize,
+    /// The untouched middle-region namespace (pinned).
+    store: PinnedStore,
+    /// Swap namespace holding, per (layer, head), `n_init` initial rows
+    /// followed by `n_local` local-window rows (pinned).
+    swap: PinnedStore,
+    pos: usize,
+    steps: u64,
+    policy_comm_bytes: u64,
+    last_selected: Vec<Vec<Vec<usize>>>,
+}
+
+impl std::fmt::Debug for SuspendedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuspendedSession")
+            .field("pos", &self.pos)
+            .field("steps", &self.steps)
+            .field("middle_len", &self.middle_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SuspendedSession {
+    /// Next absolute position the resumed session will decode.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Decode steps taken before suspension.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Middle tokens parked on the host (layer 0 as representative).
+    pub fn middle_len(&self) -> usize {
+        self.store.get().len(0, 0)
+    }
+
+    /// Host transfer of the middle-region namespace — the same stats
+    /// [`SelectiveSession::transfer_stats`] would report, available while
+    /// parked so a reaped session's completion still carries its traffic.
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.store.get().stats()
+    }
+
+    /// Sharing stats of the middle-region namespace (see
+    /// [`SelectiveSession::sharing_stats`]).
+    pub fn sharing_stats(&self) -> SharingStats {
+        self.store.get().sharing_stats()
+    }
+
+    /// Swap-namespace transfer so far (the suspend-time D2H offload).
+    /// After [`SuspendedSession::resume`] the returned stats also cover the
+    /// resume-time H2D fetch; callers fold them into the session's
+    /// completion so engine-aggregate accounting stays exact.
+    pub fn swap_stats(&self) -> TransferStats {
+        self.swap.get().stats()
+    }
+
+    /// Revive the session: fetch the initial segment + local window back
+    /// from the swap namespace (metered H2D), unpin everything, release the
+    /// swap pages, and rebuild the session around a fresh (empty) block
+    /// cache. Returns the session plus the swap namespace's total transfer
+    /// (suspend D2H + resume H2D) for the caller's accounting.
+    ///
+    /// `model` must be the model the session was started with; the cache
+    /// must be empty (it starts cold — metering changes, logits do not).
+    pub fn resume(self, model: &Model, cache: BlockCache) -> (SelectiveSession<'_>, TransferStats) {
+        let mcfg = model.config();
+        assert!(cache.is_empty(), "resume cache must start empty");
+        let n_init = self.cfg.n_init;
+        let n_local = self.cfg.n_local;
+        let ids: Vec<usize> = (0..n_init + n_local).collect();
+        let mut init_k = Vec::with_capacity(mcfg.n_layers);
+        let mut init_v = Vec::with_capacity(mcfg.n_layers);
+        let mut local = Vec::with_capacity(mcfg.n_layers);
+        for l in 0..mcfg.n_layers {
+            let mut ik = Vec::with_capacity(mcfg.n_kv_heads);
+            let mut iv = Vec::with_capacity(mcfg.n_kv_heads);
+            let mut ll = Vec::with_capacity(mcfg.n_kv_heads);
+            for h in 0..mcfg.n_kv_heads {
+                let (k, v) = self.swap.get().fetch(l, h, &ids);
+                ik.push(k.slice_rows(0, n_init));
+                iv.push(v.slice_rows(0, n_init));
+                let mut dq = VecDeque::with_capacity(n_local + 1);
+                for i in n_init..n_init + n_local {
+                    dq.push_back((k.row(i).to_vec(), v.row(i).to_vec()));
+                }
+                ll.push(dq);
+            }
+            init_k.push(ik);
+            init_v.push(iv);
+            local.push(ll);
+        }
+        let swap = self.swap.into_inner(); // unpin BEFORE the chains release
+        let swap_transfer = swap.stats();
+        drop(swap);
+        let session = SelectiveSession {
+            model,
+            cfg: self.cfg,
+            policy: self.policy,
+            policy_ready: self.policy_ready,
+            budget_middle: self.budget_middle,
+            init_k,
+            init_v,
+            local,
+            store: self.store.into_inner(),
+            cache,
+            pos: self.pos,
+            steps: self.steps,
+            policy_comm_bytes: self.policy_comm_bytes,
+            last_selected: self.last_selected,
+            sel_scratch: Vec::new(),
+            policy_scratch: PolicyScratch::new(),
+            pending_fault: None,
+        };
+        (session, swap_transfer)
     }
 }
 
@@ -1168,6 +1433,201 @@ mod tests {
         .expect_err("one page cannot hold the prefill middle");
         assert_eq!(err, MemError::PageExhausted { max_pages: 1 });
         assert_eq!(tier.allocator().pages_in_use(), 0, "failed start leaks no pages");
+    }
+
+    /// Twin-session harness for the suspend/resume battery: both sessions
+    /// start from one prefill inside `tier`, decode `warm` steps in
+    /// lockstep, then the closure takes over.
+    fn tiered_twins<'m>(
+        model: &'m Model,
+        tier: &pqc_memhier::KvTier,
+        toks: &[u32],
+        warm: usize,
+    ) -> (SelectiveSession<'m>, SelectiveSession<'m>, u32) {
+        let c = cfg();
+        let prefill = model.prefill(toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let mk = || {
+            SelectiveSession::start_from_prefill_in(
+                model,
+                Box::new(PqCachePolicy::default()),
+                c,
+                &prefill,
+                SessionResources {
+                    store: tier.new_namespace(),
+                    cache: SessionResources::standalone(model, &c).cache,
+                },
+            )
+        };
+        let (sa, sb) = (mk(), mk());
+        let mut a = sa.session;
+        let mut b = sb.session;
+        let mut next = pqc_tensor::argmax(&sa.logits) as u32;
+        for _ in 0..warm {
+            let da = a.decode(next);
+            let db = b.decode(next);
+            assert_eq!(da.logits, db.logits, "twins diverged during warmup");
+            next = da.greedy();
+        }
+        (a, b, next)
+    }
+
+    #[test]
+    fn suspend_resume_decodes_bit_identically_to_uninterrupted_twin() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 71);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let (mut a, b, mut next) = tiered_twins(&model, &tier, &toks, 4);
+
+        let mid_before = b.middle_len();
+        let pos_before = b.store().len(0, 0);
+        let suspended = b.suspend(&tier).expect("uncapped tier");
+        assert_eq!(suspended.middle_len(), mid_before);
+        assert_eq!(suspended.steps(), 4);
+        let sw = suspended.swap_stats();
+        assert!(sw.d2h_bytes > 0, "suspend must meter the swap offload");
+        assert_eq!(sw.h2d_bytes, 0, "nothing fetched yet");
+
+        let c = cfg();
+        let cache = SessionResources::standalone(&model, &c).cache;
+        let (mut b, swap_transfer) = suspended.resume(&model, cache);
+        assert!(swap_transfer.h2d_bytes > 0, "resume must meter the swap fetch");
+        assert_eq!(swap_transfer.d2h_bytes, sw.d2h_bytes);
+        assert_eq!(b.middle_len(), mid_before, "middle region untouched by the round trip");
+        assert_eq!(b.store().len(0, 0), pos_before, "namespace offsets preserved");
+
+        // Post-resume decode must match the never-suspended twin bit for bit
+        // (the cold cache changes metering only, never gathered data).
+        for step in 0..6 {
+            let da = a.decode(next);
+            let db = b.decode(next);
+            assert_eq!(da.logits, db.logits, "step {step} after resume");
+            assert_eq!(
+                a.selected_snapshot(),
+                b.selected_snapshot(),
+                "step {step} selections (trained policy state must survive)"
+            );
+            next = da.greedy();
+        }
+        assert_eq!(a.middle_len(), b.middle_len());
+    }
+
+    #[test]
+    fn suspend_pins_pages_and_discard_releases_them() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 72);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let (a, b, _) = tiered_twins(&model, &tier, &toks, 3);
+        drop(a);
+        let resident = tier.allocator().pages_in_use();
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+
+        let suspended = b.suspend(&tier).expect("uncapped tier");
+        // Middle pages + swap pages are all pinned; the swap grew the pool.
+        assert!(tier.allocator().pages_in_use() > resident, "swap namespace allocates");
+        assert_eq!(
+            tier.allocator().pinned_pages(),
+            tier.allocator().pages_in_use(),
+            "every page the parked session owns is pinned"
+        );
+
+        // Discarding a parked session (deadline reaping) unpins then
+        // releases everything — no pinned-release panic, no leaks.
+        drop(suspended);
+        assert_eq!(tier.allocator().pages_in_use(), 0);
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn resume_after_resume_round_trips_again() {
+        // Two suspend/resume cycles back to back: state survives repeated
+        // parking (the engine may preempt the same victim more than once).
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 73);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let (mut a, mut b, mut next) = tiered_twins(&model, &tier, &toks, 2);
+        let c = cfg();
+        let mut swap_total = TransferStats::default();
+        for cycle in 0..2 {
+            let suspended = b.suspend(&tier).expect("uncapped tier");
+            let cache = SessionResources::standalone(&model, &c).cache;
+            let (revived, sw) = suspended.resume(&model, cache);
+            b = revived;
+            swap_total += sw;
+            for step in 0..3 {
+                let da = a.decode(next);
+                let db = b.decode(next);
+                assert_eq!(da.logits, db.logits, "cycle {cycle} step {step}");
+                next = da.greedy();
+            }
+        }
+        // Swap traffic is symmetric: every offloaded byte is fetched back.
+        assert_eq!(swap_total.d2h_bytes, swap_total.h2d_bytes);
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+        // Aggregate accounting closes: tier-wide = both sessions' middle
+        // traffic + the swap round trips.
+        assert_eq!(
+            tier.aggregate_stats(),
+            a.transfer_stats() + b.transfer_stats() + swap_total
+        );
+    }
+
+    #[test]
+    fn failed_suspend_returns_the_session_intact() {
+        // Cap the tier at the session's exact footprint: the swap offload
+        // cannot allocate, suspend fails recoverably, and the returned
+        // victim keeps decoding bit-identically to an untouched twin.
+        // page_tokens = 8 with a 62-row middle leaves tail-page slack, so
+        // the post-failure decode step appends without allocating.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(72, 74);
+        let c = cfg();
+        let mcfg = model.config();
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let mk = |tier: &pqc_memhier::KvTier| {
+            SelectiveSession::try_start_from_prefill_in(
+                &model,
+                Box::new(PqCachePolicy::default()),
+                c,
+                &prefill,
+                SessionResources {
+                    store: tier.new_namespace(),
+                    cache: SessionResources::standalone(&model, &c).cache,
+                },
+            )
+        };
+        let dry_tier =
+            pqc_memhier::KvTier::with_pages(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim, 8, None);
+        let dry = mk(&dry_tier).expect("uncapped start");
+        let mut twin = dry.session;
+        let mut next = pqc_tensor::argmax(&dry.logits) as u32;
+        next = twin.decode(next).greedy();
+        let footprint = dry_tier.allocator().pages_in_use();
+
+        let capped = pqc_memhier::KvTier::with_page_limit(
+            mcfg.n_layers,
+            mcfg.n_kv_heads,
+            mcfg.head_dim,
+            8,
+            None,
+            Some(footprint),
+        );
+        let start = mk(&capped).expect("prefill fits the cap");
+        let mut victim = start.session;
+        let mut vnext = pqc_tensor::argmax(&start.logits) as u32;
+        vnext = victim.decode(vnext).greedy();
+        assert_eq!(next, vnext);
+
+        let err = victim.suspend(&capped).expect_err("swap offload must exhaust the cap");
+        assert!(matches!(err.error, MemError::PageExhausted { .. }));
+        assert_eq!(capped.allocator().pinned_pages(), 0, "failed suspend pins nothing");
+        assert_eq!(capped.allocator().pages_in_use(), footprint, "partial swap fully released");
+        let mut victim = err.session;
+        let a = twin.decode(next);
+        let b = victim.decode(vnext);
+        assert_eq!(a.logits, b.logits, "victim must decode unharmed after the failed suspend");
     }
 
     #[test]

@@ -133,6 +133,27 @@ impl ScoreCapture {
         }
     }
 
+    /// Fold `other` into `self`: slot-wise sums of `accum`/`window_accum`
+    /// (in ascending key order) and concatenated samples.
+    ///
+    /// This is how per-(kv-head, query-in-group) captures combine into the
+    /// per-kv-head capture the policies consume. Both the monolithic and the
+    /// chunked prefill record one capture per group member and merge them in
+    /// ascending group order, so the floating-point accumulation order —
+    /// and therefore every capture bit — is independent of how prefill was
+    /// chunked.
+    pub fn merge(&mut self, other: &ScoreCapture) {
+        assert_eq!(self.accum.len(), other.accum.len(), "capture length mismatch");
+        assert_eq!(self.window, other.window, "capture window mismatch");
+        for (a, &b) in self.accum.iter_mut().zip(other.accum.iter()) {
+            *a += b;
+        }
+        for (a, &b) in self.window_accum.iter_mut().zip(other.window_accum.iter()) {
+            *a += b;
+        }
+        self.samples.extend(other.samples.iter().cloned());
+    }
+
     /// Record a sparse row given the allowed key indices and their
     /// probabilities; the dense scatter goes through one reusable scratch
     /// buffer instead of a fresh allocation per masked row.
@@ -555,6 +576,70 @@ fn causal_attention_capture(
     }
 }
 
+/// Causal prefill attention for one **chunk** of query rows against the
+/// full key prefix: query row `r` of `q` sits at absolute position
+/// `row_offset + r` and attends keys `0..=row_offset + r` of `k`/`v`
+/// (whose rows `0..row_offset + q.rows()` must already be populated).
+///
+/// This is the chunked-prefill kernel. It runs the *same* per-row two-pass
+/// sweep as the capturing monolithic path (`causal_attention_capture`) —
+/// per-row scaled dots over the allowed keys, `softmax`, per-key `axpy` —
+/// so a prefill split into chunks at any boundaries produces bit-identical
+/// outputs and bit-identical capture statistics to the unchunked capturing
+/// prefill: every per-row operation touches only that row, and the capture
+/// accumulates rows in ascending order regardless of chunk boundaries.
+/// `s_total` is the full prompt length (it anchors the capture's
+/// observation window, which must not depend on chunking).
+pub fn causal_attention_rows(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    row_offset: usize,
+    s_total: usize,
+    pattern: PrefillPattern,
+    capture: Option<&mut ScoreCapture>,
+) -> Matrix {
+    let (rows, dh) = q.shape();
+    assert_eq!(k.cols(), dh);
+    assert_eq!(k.shape(), v.shape());
+    assert!(row_offset + rows <= s_total, "chunk extends past the prompt");
+    assert!(k.rows() >= row_offset + rows, "key prefix shorter than the chunk needs");
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut out = Matrix::zeros(rows, dh);
+    let mut scores: Vec<f32> = Vec::with_capacity(row_offset + rows);
+    let mut allowed: Vec<usize> = Vec::with_capacity(row_offset + rows);
+    let mut cap = capture;
+    if let Some(c) = cap.as_deref_mut() {
+        c.prepare();
+    }
+
+    for r in 0..rows {
+        let i = row_offset + r;
+        scores.clear();
+        allowed.clear();
+        let qi = q.row(r);
+        for j in 0..=i {
+            if pattern.allows(i, j) {
+                allowed.push(j);
+                scores.push(dot(qi, k.row(j)) * scale);
+            }
+        }
+        softmax_inplace(&mut scores);
+        let orow = out.row_mut(r);
+        for (&j, &p) in allowed.iter().zip(scores.iter()) {
+            axpy(orow, v.row(j), p);
+        }
+        if let Some(c) = cap.as_deref_mut() {
+            if allowed.len() == i + 1 {
+                c.record(i, &scores, s_total);
+            } else {
+                c.record_sparse(i, &allowed, &scores, s_total);
+            }
+        }
+    }
+    out
+}
+
 /// Decode-time attention of a single query vector over an arbitrary set of
 /// gathered keys/values (the selective-attention kernel, Step ❻).
 pub fn attend_selected(query: &[f32], keys: &Matrix, values: &Matrix) -> Vec<f32> {
@@ -784,6 +869,67 @@ mod tests {
         assert_eq!(logits.len(), 4);
         let expect = dot(q.row(2), k.row(1)) / 4.0;
         assert!((logits[1] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunked_rows_match_monolithic_capture_bits() {
+        // Any chunking of the query rows must reproduce the capturing
+        // monolithic sweep exactly: outputs, accumulators, and samples.
+        for (s, chunk) in [(10usize, 3usize), (16, 1), (7, 16), (12, 4), (9, 9)] {
+            for pattern in
+                [PrefillPattern::Dense, PrefillPattern::AShape { init: 2, local: 3 }]
+            {
+                let (q, k, v) = rand_mats(s, 8, 0xC0 + s as u64);
+                let mut cap_mono = ScoreCapture::new(s, 4.min(s));
+                cap_mono.sample_rows = vec![2, s - 1];
+                let mono = causal_attention(&q, &k, &v, pattern, Some(&mut cap_mono));
+
+                let mut cap_chunk = ScoreCapture::new(s, 4.min(s));
+                cap_chunk.sample_rows = vec![2, s - 1];
+                let mut done = 0;
+                let mut out = Matrix::zeros(s, 8);
+                while done < s {
+                    let hi = (done + chunk).min(s);
+                    let qc = q.slice_rows(done, hi);
+                    let oc = causal_attention_rows(
+                        &qc,
+                        &k,
+                        &v,
+                        done,
+                        s,
+                        pattern,
+                        Some(&mut cap_chunk),
+                    );
+                    for r in done..hi {
+                        out.row_mut(r).copy_from_slice(oc.row(r - done));
+                    }
+                    done = hi;
+                }
+                assert_eq!(out, mono, "s={s} chunk={chunk} {pattern:?} outputs");
+                assert_eq!(cap_chunk.accum, cap_mono.accum, "s={s} chunk={chunk} accum");
+                assert_eq!(cap_chunk.window_accum, cap_mono.window_accum);
+                assert_eq!(cap_chunk.samples, cap_mono.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sums_slots_and_concatenates_samples() {
+        let mut a = ScoreCapture::new(4, 2);
+        a.accum = vec![1.0, 2.0, 3.0, 4.0];
+        a.window_accum = vec![0.5; 4];
+        a.samples = vec![(1, vec![0.25; 2])];
+        let mut b = ScoreCapture::new(4, 2);
+        b.accum = vec![10.0, 20.0, 30.0, 40.0];
+        b.window_accum = vec![1.5; 4];
+        b.samples = vec![(1, vec![0.75; 2]), (3, vec![0.1; 4])];
+        a.merge(&b);
+        assert_eq!(a.accum, vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(a.window_accum, vec![2.0; 4]);
+        assert_eq!(
+            a.samples,
+            vec![(1, vec![0.25; 2]), (1, vec![0.75; 2]), (3, vec![0.1; 4])]
+        );
     }
 
     #[test]

@@ -20,12 +20,12 @@ pub mod rope;
 pub mod weights;
 
 pub use attention::{
-    attend_selected, attend_selected_into, causal_attention, exact_logits, PrefillPattern,
-    ScoreCapture,
+    attend_selected, attend_selected_into, causal_attention, causal_attention_rows, exact_logits,
+    PrefillPattern, ScoreCapture,
 };
 pub use config::LlmConfig;
 pub use model::{
     slice_head, DecodeOutput, DecodeScratch, FullKvSource, KvSource, LayerKv, Model,
-    PrefillOptions, PrefillOutput,
+    PrefillJob, PrefillOptions, PrefillOutput,
 };
 pub use weights::{rms_norm, ModelWeights};

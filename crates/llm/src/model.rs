@@ -228,23 +228,36 @@ impl Model {
             }
 
             // Attention per kv head (each serves `group` query heads).
+            // Each group member records into its **own** capture; the
+            // per-kv-head capture the policies consume is the ascending-g
+            // merge of those. Chunked prefill ([`PrefillJob`]) builds the
+            // identical per-(kvh, g) captures row by row and merges them in
+            // the same order, which is what makes capture bits independent
+            // of chunking.
             let jobs: Vec<usize> = (0..cfg.n_kv_heads).collect();
             let run_head = |kvh: usize| -> (Vec<Matrix>, Option<ScoreCapture>) {
-                let mut cap = opts.capture_window.map(|win| {
-                    let mut c = ScoreCapture::new(s, win.min(s));
-                    c.sample_rows = opts.sample_rows.clone();
-                    c
-                });
+                let mut cap: Option<ScoreCapture> = None;
                 let mut outs = Vec::with_capacity(group);
                 for g in 0..group {
                     let qh = &q_heads[kvh * group + g];
+                    let mut gcap = opts.capture_window.map(|win| {
+                        let mut c = ScoreCapture::new(s, win.min(s));
+                        c.sample_rows = opts.sample_rows.clone();
+                        c
+                    });
                     outs.push(causal_attention(
                         qh,
                         &k_heads[kvh],
                         &v_heads[kvh],
                         opts.pattern,
-                        cap.as_mut(),
+                        gcap.as_mut(),
                     ));
+                    if let Some(gc) = gcap {
+                        match cap.as_mut() {
+                            Some(c) => c.merge(&gc),
+                            None => cap = Some(gc),
+                        }
+                    }
                 }
                 (outs, cap)
             };
@@ -375,6 +388,58 @@ impl Model {
         DecodeOutput { logits, hidden: x }
     }
 
+    /// Begin an incremental (chunked) prefill over `tokens`. The returned
+    /// [`PrefillJob`] processes the prompt in caller-budgeted chunks via
+    /// [`PrefillJob::advance`]; once done, [`PrefillJob::finish`] yields a
+    /// [`PrefillOutput`] **bit-identical** to the capturing monolithic
+    /// [`Model::prefill`] (same logits, same KV rows, same capture
+    /// statistics) for every chunk schedule — the property the SLO
+    /// scheduler's chunked-prefill interleaving rests on.
+    ///
+    /// Note the qualifier *capturing*: the job always takes the per-row
+    /// two-pass attention sweep (the one capture requires), so it matches
+    /// `prefill` whenever `opts.capture_window` is set — which the session
+    /// layer's prefills always do. A non-capturing monolithic prefill uses
+    /// the tiled online kernel and agrees only to float tolerance.
+    pub fn begin_prefill(&self, tokens: &[u32], opts: &PrefillOptions) -> PrefillJob<'_> {
+        assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let cfg = &self.cfg;
+        let s = tokens.len();
+        let dh = cfg.head_dim;
+        let kv = (0..cfg.n_layers)
+            .map(|_| LayerKv {
+                keys: vec![Matrix::zeros(s, dh); cfg.n_kv_heads],
+                values: vec![Matrix::zeros(s, dh); cfg.n_kv_heads],
+            })
+            .collect();
+        let captures = opts.capture_window.map(|win| {
+            (0..cfg.n_layers)
+                .map(|_| {
+                    (0..cfg.n_kv_heads)
+                        .map(|_| {
+                            (0..cfg.group_size())
+                                .map(|_| {
+                                    let mut c = ScoreCapture::new(s, win.min(s));
+                                    c.sample_rows = opts.sample_rows.clone();
+                                    c
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        PrefillJob {
+            model: self,
+            tokens: tokens.to_vec(),
+            opts: opts.clone(),
+            pos: 0,
+            kv,
+            captures,
+            last_hidden: Vec::new(),
+        }
+    }
+
     /// Reference generation with exact full attention: prefill then `steps`
     /// greedy decode steps. Returns the generated token ids.
     pub fn generate_full(&self, tokens: &[u32], steps: usize) -> Vec<u32> {
@@ -388,6 +453,177 @@ impl Model {
             next = dec.greedy();
         }
         out
+    }
+}
+
+/// An in-flight chunked prefill (see [`Model::begin_prefill`]).
+///
+/// The transformer's prefill is row-local given the KV of earlier rows:
+/// embeddings, RMSNorm, the QKV/output/FFN matmuls, and residual adds all
+/// operate per row, RoPE depends only on a row's absolute position, and
+/// causal attention for row `i` reads keys `0..=i` — which this job keeps
+/// materialised across chunks. Each [`PrefillJob::advance`] therefore
+/// reproduces exactly the operations the monolithic capturing prefill would
+/// have run for those rows, in the same order, on the same inputs.
+#[derive(Debug)]
+pub struct PrefillJob<'m> {
+    model: &'m Model,
+    tokens: Vec<u32>,
+    opts: PrefillOptions,
+    /// Prompt rows completed so far.
+    pos: usize,
+    /// Per-layer KV, preallocated at `(s, d_h)` and filled progressively.
+    kv: Vec<LayerKv>,
+    /// Per-`[layer][kv_head][group_member]` captures, merged at finish.
+    captures: Option<Vec<Vec<Vec<ScoreCapture>>>>,
+    /// Final-layer hidden state of the last token (set by the final chunk).
+    last_hidden: Vec<f32>,
+}
+
+impl PrefillJob<'_> {
+    /// Total prompt length.
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Prompt rows completed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every prompt row has been processed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.tokens.len()
+    }
+
+    /// Process up to `budget` further prompt rows (at least one) through
+    /// every layer. Returns the number of rows processed (0 once done).
+    pub fn advance(&mut self, budget: usize) -> usize {
+        assert!(budget > 0, "chunk budget must be positive");
+        if self.is_done() {
+            return 0;
+        }
+        let cfg = &self.model.cfg;
+        let dh = cfg.head_dim;
+        let group = cfg.group_size();
+        let s = self.tokens.len();
+        let c0 = self.pos;
+        let c1 = (c0 + budget).min(s);
+
+        let mut x = self.model.embed(&self.tokens[c0..c1]);
+        for l in 0..cfg.n_layers {
+            let w = &self.model.weights.layers[l];
+            let xn = rms_norm_rows(&x);
+            let q_all = xn.matmul(&w.wq);
+            let k_all = xn.matmul(&w.wk);
+            let v_all = xn.matmul(&w.wv);
+
+            let mut q_heads: Vec<Matrix> =
+                (0..cfg.n_heads).map(|h| slice_head(&q_all, h, dh)).collect();
+            for q in q_heads.iter_mut() {
+                apply_rope_rows(q, c0, cfg.rope_theta);
+            }
+            // Write the chunk's roped K and V rows into the stored KV at
+            // their absolute offsets; attention then reads keys `0..=i`
+            // from the store, exactly like the monolithic pass.
+            for kvh in 0..cfg.n_kv_heads {
+                let mut k_chunk = slice_head(&k_all, kvh, dh);
+                apply_rope_rows(&mut k_chunk, c0, cfg.rope_theta);
+                let v_chunk = slice_head(&v_all, kvh, dh);
+                let lk = &mut self.kv[l];
+                for r in 0..c1 - c0 {
+                    lk.keys[kvh].row_mut(c0 + r).copy_from_slice(k_chunk.row(r));
+                    lk.values[kvh].row_mut(c0 + r).copy_from_slice(v_chunk.row(r));
+                }
+            }
+
+            let layer_kv = &self.kv[l];
+            let pattern = self.opts.pattern;
+            let run_head = |kvh: usize, caps: Option<&mut Vec<ScoreCapture>>| -> Vec<Matrix> {
+                let mut caps = caps;
+                let mut outs = Vec::with_capacity(group);
+                for g in 0..group {
+                    outs.push(crate::attention::causal_attention_rows(
+                        &q_heads[kvh * group + g],
+                        &layer_kv.keys[kvh],
+                        &layer_kv.values[kvh],
+                        c0,
+                        s,
+                        pattern,
+                        caps.as_deref_mut().map(|v| &mut v[g]),
+                    ));
+                }
+                outs
+            };
+
+            // Per-kv-head capture refs, splittable across worker threads.
+            let mut cap_refs: Vec<Option<&mut Vec<ScoreCapture>>> = match self.captures.as_mut()
+            {
+                Some(c) => c[l].iter_mut().map(Some).collect(),
+                None => (0..cfg.n_kv_heads).map(|_| None).collect(),
+            };
+            let results: Vec<Vec<Matrix>> = if self.opts.parallel && cfg.n_kv_heads > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = cap_refs
+                        .drain(..)
+                        .enumerate()
+                        .map(|(kvh, caps)| scope.spawn(move || run_head(kvh, caps)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("head worker")).collect()
+                })
+            } else {
+                cap_refs.drain(..).enumerate().map(|(kvh, caps)| run_head(kvh, caps)).collect()
+            };
+
+            let mut concat = Matrix::zeros(c1 - c0, cfg.n_heads * dh);
+            for (kvh, outs) in results.into_iter().enumerate() {
+                for (g, o) in outs.into_iter().enumerate() {
+                    write_head(&mut concat, &o, kvh * group + g, dh);
+                }
+            }
+
+            let attn_proj = concat.matmul(&w.wo);
+            x.add_assign(&attn_proj);
+
+            let xn2 = rms_norm_rows(&x);
+            let mut inner = xn2.matmul(&w.w1);
+            inner.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+            let ffn = inner.matmul(&w.w2);
+            x.add_assign(&ffn);
+        }
+
+        self.pos = c1;
+        if c1 == s {
+            self.last_hidden = x.row(c1 - c0 - 1).to_vec();
+        }
+        c1 - c0
+    }
+
+    /// Consume the finished job into a [`PrefillOutput`]. Panics unless
+    /// every row was processed ([`PrefillJob::is_done`]).
+    pub fn finish(self) -> PrefillOutput {
+        assert!(self.is_done(), "finish() before the prompt was fully prefilled");
+        // Merge each kv head's per-group captures in ascending group order —
+        // the same merge the monolithic path performs, so the bits agree.
+        let captures = self.captures.map(|layers| {
+            layers
+                .into_iter()
+                .map(|heads| {
+                    heads
+                        .into_iter()
+                        .map(|mut groups| {
+                            let mut base = groups.remove(0);
+                            for gc in &groups {
+                                base.merge(gc);
+                            }
+                            base
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        let logits = self.model.logits(&self.last_hidden);
+        PrefillOutput { kv: self.kv, last_hidden: self.last_hidden, logits, captures }
     }
 }
 
@@ -573,6 +809,110 @@ mod tests {
         // Each kv head accumulates mass from `group` query heads × s rows.
         let total: f32 = caps[0][0].accum.iter().sum();
         assert!((total - 2.0 * 10.0).abs() < 1e-3, "total {total}");
+    }
+
+    /// Drive a PrefillJob to completion with a fixed chunk budget.
+    fn run_chunked(model: &Model, t: &[u32], opts: &PrefillOptions, chunk: usize) -> PrefillOutput {
+        let mut job = model.begin_prefill(t, opts);
+        assert_eq!(job.total_tokens(), t.len());
+        while !job.is_done() {
+            let before = job.pos();
+            let n = job.advance(chunk);
+            assert_eq!(job.pos(), before + n);
+            assert!(n > 0);
+        }
+        assert_eq!(job.advance(chunk), 0, "advance after done is a no-op");
+        job.finish()
+    }
+
+    fn assert_prefill_bits_equal(a: &PrefillOutput, b: &PrefillOutput, tag: &str) {
+        assert_eq!(a.logits, b.logits, "{tag}: logits");
+        assert_eq!(a.last_hidden, b.last_hidden, "{tag}: last_hidden");
+        for (l, (la, lb)) in a.kv.iter().zip(b.kv.iter()).enumerate() {
+            assert_eq!(la.keys, lb.keys, "{tag}: layer {l} keys");
+            assert_eq!(la.values, lb.values, "{tag}: layer {l} values");
+        }
+        let (ca, cb) = (a.captures.as_ref(), b.captures.as_ref());
+        assert_eq!(ca.is_some(), cb.is_some(), "{tag}: capture presence");
+        if let (Some(ca), Some(cb)) = (ca, cb) {
+            for (l, (ha, hb)) in ca.iter().zip(cb.iter()).enumerate() {
+                for (h, (xa, xb)) in ha.iter().zip(hb.iter()).enumerate() {
+                    assert_eq!(xa.accum, xb.accum, "{tag}: capture accum l{l} h{h}");
+                    assert_eq!(xa.window_accum, xb.window_accum, "{tag}: window l{l} h{h}");
+                    assert_eq!(xa.samples, xb.samples, "{tag}: samples l{l} h{h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_monolithic_capture_prefill() {
+        // The chunked-prefill contract: for every chunk budget — including 1
+        // token, a budget larger than the prompt, and uneven tails — the
+        // job's logits, KV rows, and capture statistics equal the capturing
+        // monolithic prefill's bit for bit.
+        let model = Model::new(LlmConfig::tiny());
+        for s in [1usize, 5, 16, 33] {
+            let t = toks(s, 0x11 + s as u64);
+            let opts = PrefillOptions {
+                capture_window: Some(8),
+                sample_rows: vec![0, s - 1],
+                parallel: false,
+                ..Default::default()
+            };
+            let mono = model.prefill(&t, &opts);
+            for chunk in [1usize, 3, 7, s, s + 10] {
+                let chunked = run_chunked(&model, &t, &opts, chunk);
+                assert_prefill_bits_equal(&mono, &chunked, &format!("s={s} chunk={chunk}"));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_parallel_matches_serial() {
+        // Head-parallel chunk execution must not change bits: each (kv head,
+        // group member) owns its outputs and captures.
+        let model = Model::new(LlmConfig::tiny());
+        let t = toks(24, 0x77);
+        let base =
+            PrefillOptions { capture_window: Some(6), parallel: false, ..Default::default() };
+        let serial = run_chunked(&model, &t, &base, 5);
+        let par = run_chunked(
+            &model,
+            &t,
+            &PrefillOptions { parallel: true, ..base.clone() },
+            5,
+        );
+        assert_prefill_bits_equal(&serial, &par, "parallel vs serial chunked");
+        // And both still equal the monolithic capture prefill.
+        let mono = model.prefill(&t, &base);
+        assert_prefill_bits_equal(&mono, &par, "mono vs parallel chunked");
+    }
+
+    #[test]
+    fn chunked_prefill_sparse_pattern_matches_monolithic() {
+        let model = Model::new(LlmConfig::tiny());
+        let t = toks(20, 0x88);
+        let opts = PrefillOptions {
+            pattern: PrefillPattern::AShape { init: 2, local: 4 },
+            capture_window: Some(4),
+            parallel: false,
+            ..Default::default()
+        };
+        let mono = model.prefill(&t, &opts);
+        for chunk in [1usize, 4, 6] {
+            let chunked = run_chunked(&model, &t, &opts, chunk);
+            assert_prefill_bits_equal(&mono, &chunked, &format!("ashape chunk={chunk}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the prompt was fully prefilled")]
+    fn finishing_unfinished_job_panics() {
+        let model = Model::new(LlmConfig::tiny());
+        let mut job = model.begin_prefill(&toks(10, 1), &PrefillOptions::default());
+        job.advance(4);
+        let _ = job.finish();
     }
 
     #[test]

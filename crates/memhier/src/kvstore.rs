@@ -724,6 +724,25 @@ impl HostKvStore {
     pub fn reset_stats(&self) {
         *self.stats.lock() = TransferStats::default();
     }
+
+    /// Pin every page this namespace references (suspend path: a preempted
+    /// session's KV must stay resident while it is parked). Pair with
+    /// [`HostKvStore::unpin_pages`] before the store is dropped or its
+    /// chains are released — a pinned page whose refcount drains to zero
+    /// panics.
+    pub fn pin_pages(&self) {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.pin_chain(&slot.pages);
+        }
+    }
+
+    /// Remove one pin layer from every page this namespace references
+    /// (resume/retire path).
+    pub fn unpin_pages(&self) {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.unpin_chain(&slot.pages);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -983,6 +1002,25 @@ mod tests {
         let (store, _, _) = store_with_data(10, 4);
         store.reset_stats();
         assert_eq!(store.stats(), TransferStats::default());
+    }
+
+    #[test]
+    fn store_pin_pages_blocks_recycling_until_unpinned() {
+        let tier = KvTier::with_pages(1, 1, 4, 8, None);
+        let mut store = tier.new_namespace();
+        let mut rng = Rng64::new(7);
+        let k = Matrix::randn(20, 4, 1.0, &mut rng);
+        let v = Matrix::randn(20, 4, 1.0, &mut rng);
+        store.offload(0, 0, k.clone(), v.clone());
+        store.pin_pages();
+        assert_eq!(tier.allocator().pinned_pages(), 3, "ceil(20/8) pages pinned");
+        store.unpin_pages();
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+        // Data survives the pin/unpin round trip bit-for-bit.
+        assert_eq!(store.keys_matrix(0, 0), k);
+        assert_eq!(store.values_matrix(0, 0), v);
+        drop(store);
+        assert_eq!(tier.allocator().pages_in_use(), 0);
     }
 
     #[test]

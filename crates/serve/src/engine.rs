@@ -31,20 +31,41 @@
 
 use crate::error::{FailureCause, RetryPolicy, ServeError};
 use crate::faults::{FaultPlan, InjectedPanic};
+use crate::latency::LatencySummary;
 use crate::queue::BoundedQueue;
 use pqc_cache::{BlockCache, CacheBudget, CacheStats};
 use pqc_core::{
     panic_message, ConfigError, SelectiveSession, SessionConfig, SessionResources, SessionScratch,
-    StepError,
+    StepError, SuspendedSession,
 };
-use pqc_llm::{Model, PrefillOutput};
+use pqc_llm::{Model, PrefillJob, PrefillOutput};
 use pqc_memhier::{
     KvTier, MemError, PrefixCacheStats, SharingStats, TransferStats, DEFAULT_PAGE_TOKENS,
 };
 use pqc_policies::{SelectionPolicy, SharedPolicyState};
+use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Scheduling class of a request. Admission pops the highest class first
+/// (FIFO within a class), and a queued request **strictly** outranking a
+/// running session preempts it: the victim is suspended through the paged
+/// host tier ([`SelectiveSession::suspend`]) and resumed later — bit
+/// identically — once a slot frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work: preempted by anything higher whenever slots are
+    /// contended.
+    Low,
+    /// The default class; FIFO among itself, never preempts `Low`… unless
+    /// slots are contended.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: skips the queue and claims a slot from a
+    /// lower-class session when none is free.
+    High,
+}
 
 /// How requests map onto shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +116,14 @@ pub struct ServeConfig {
     pub prefix_cache: bool,
     /// Host-tier page size in tokens (the paged `KvTier` granularity).
     pub page_tokens: usize,
+    /// Chunked prefill: cap prompt rows prefilled per scheduler tick.
+    /// `None` (the default) prefills each prompt monolithically at
+    /// admission — decode on the shard halts for the whole prompt. `Some`
+    /// splits prefill into tick-sized chunks interleaved with ready decode
+    /// steps, bounding head-of-line blocking: a long prompt no longer
+    /// freezes its neighbours' TPOT. Chunking never changes results —
+    /// prefill is chunk-invariant by construction (`Model::begin_prefill`).
+    pub prefill_chunk_tokens: Option<usize>,
     /// Deterministic fault-injection plan (chaos testing). `None` injects
     /// nothing; real faults flow through the same reporting paths either
     /// way.
@@ -114,6 +143,7 @@ impl Default for ServeConfig {
             prefill_parallel: false,
             prefix_cache: true,
             page_tokens: DEFAULT_PAGE_TOKENS,
+            prefill_chunk_tokens: None,
             faults: None,
         }
     }
@@ -136,6 +166,12 @@ impl ServeConfig {
         }
         if self.page_tokens == 0 {
             return Err(ConfigError::new("page_tokens", "page size must be positive"));
+        }
+        if self.prefill_chunk_tokens == Some(0) {
+            return Err(ConfigError::new(
+                "prefill_chunk_tokens",
+                "chunk budget must be positive (use None for monolithic prefill)",
+            ));
         }
         if self.assignment == ShardAssignment::RoundRobin && self.queue_capacity < self.shards {
             return Err(ConfigError::new(
@@ -181,17 +217,30 @@ pub struct ServeRequest {
     pub deadline: Option<u64>,
     /// Bounded-retry policy applied when admission rejects the request.
     pub retry: RetryPolicy,
+    /// Scheduling class. `Normal` (the default) keeps exact FIFO among
+    /// itself; `High` is admitted first and may preempt a strictly
+    /// lower-class running session when no slot is free.
+    pub priority: Priority,
 }
 
 impl ServeRequest {
-    /// A request with no deadline and the default retry policy.
+    /// A request with no deadline, normal priority, and the default retry
+    /// policy.
     pub fn new(
         id: u64,
         tokens: Vec<u32>,
         decode_steps: usize,
         policy: Box<dyn SelectionPolicy + Send>,
     ) -> Self {
-        Self { id, tokens, decode_steps, policy, deadline: None, retry: RetryPolicy::default() }
+        Self {
+            id,
+            tokens,
+            decode_steps,
+            policy,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            priority: Priority::default(),
+        }
     }
 
     /// Set a deadline in scheduler ticks.
@@ -203,6 +252,12 @@ impl ServeRequest {
     /// Override the admission retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Set the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -250,6 +305,21 @@ pub struct Completion {
     pub failure: Option<FailureCause>,
     /// Admission retries this request consumed before being served or shed.
     pub retries: u32,
+    /// Scheduling class the request ran at.
+    pub priority: Priority,
+    /// Time-to-first-token, wall clock from batch arrival (includes queue
+    /// wait and head-of-line blocking). `None` when the request never
+    /// produced a first token (shed, or reaped mid-prefill).
+    pub ttft_wall: Option<Duration>,
+    /// Time-to-first-token in scheduler ticks from admission: 0 for
+    /// monolithic or prefix-adopted prefill (one admission event), the
+    /// chunk-tick count under chunked prefill. Deterministic run over run.
+    pub ttft_ticks: Option<u64>,
+    /// Mean wall time per decoded token. `None` when nothing was decoded.
+    pub tpot_wall: Option<Duration>,
+    /// Times this session was preempted (suspended to the host tier and
+    /// later resumed) by a higher-priority request.
+    pub preemptions: u32,
 }
 
 impl Completion {
@@ -276,6 +346,12 @@ pub struct ShardStats {
     pub degraded_steps: u64,
     /// Admission retries performed (re-attempts after a rejection).
     pub retries: u64,
+    /// Priority preemptions performed: a running session suspended through
+    /// the paged host tier to free its slot for a higher-class request.
+    pub preemptions: u64,
+    /// Prefill chunks executed (0 unless
+    /// [`ServeConfig::prefill_chunk_tokens`] is set).
+    pub prefill_chunks: u64,
     /// Wall time spent prefilling + decoding (excludes queue waits).
     /// Caveat: on a host with fewer cores than shards this includes time
     /// preempted by sibling workers — use a per-shard single-thread run
@@ -315,6 +391,9 @@ pub struct ServeReport {
     /// unless something escapes the per-session isolation; the engine
     /// absorbs the loss and still reports).
     pub worker_panics: u64,
+    /// TTFT/TPOT percentile summary across completions (only requests that
+    /// reached the respective event contribute — see [`LatencySummary`]).
+    pub latency: LatencySummary,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -350,6 +429,11 @@ impl ServeReport {
         self.shards.iter().map(|s| s.degraded_steps).sum()
     }
 
+    /// Total priority preemptions across shards.
+    pub fn total_preemptions(&self) -> u64 {
+        self.shards.iter().map(|s| s.preemptions).sum()
+    }
+
     /// The busiest shard's occupied time — the modelled wall-clock of the
     /// run on a host with one core per shard (shards share nothing on the
     /// decode path, so their busy intervals overlap there).
@@ -370,12 +454,114 @@ struct Active<'m> {
     admitted_tick: u64,
     deadline: Option<u64>,
     retries: u32,
+    priority: Priority,
+    /// Set when the first token became known (end of prefill / adoption).
+    ttft_wall: Option<Duration>,
+    ttft_ticks: Option<u64>,
+    /// Wall time spent in this session's decode steps.
+    decode_wall: Duration,
+    /// Transfer metered outside the live session's namespace: suspend/
+    /// resume swap traffic from earlier preemption round trips.
+    extra_transfer: TransferStats,
+    /// Cache stats from caches dropped by earlier suspends (a resume binds
+    /// a fresh budget-backed cache).
+    extra_cache: CacheStats,
+    preemptions: u32,
+}
+
+/// A request whose prompt is mid-prefill under chunked admission: it holds
+/// a session slot (its KV is being built) but has no session yet.
+struct Prefilling<'m> {
+    id: u64,
+    job: PrefillJob<'m>,
+    tokens: Vec<u32>,
+    policy: Box<dyn SelectionPolicy + Send>,
+    decode_steps: usize,
+    admitted_tick: u64,
+    deadline: Option<u64>,
+    retries: u32,
+    priority: Priority,
+}
+
+/// A preempted session parked in the paged host tier: its pages sit pinned
+/// off-slot until a slot frees (or its deadline reaps it while parked).
+struct Parked {
+    id: u64,
+    suspended: SuspendedSession,
+    next: u32,
+    remaining: usize,
+    generated: Vec<u32>,
+    trace: Vec<StepTrace>,
+    admitted_tick: u64,
+    deadline: Option<u64>,
+    retries: u32,
+    priority: Priority,
+    ttft_wall: Option<Duration>,
+    ttft_ticks: Option<u64>,
+    decode_wall: Duration,
+    extra_transfer: TransferStats,
+    extra_cache: CacheStats,
+    preemptions: u32,
 }
 
 /// A request waiting out its admission-retry backoff.
 struct Waiting {
     req: ServeRequest,
     not_before: u64,
+}
+
+/// Index of the highest-priority entry; the earliest index wins ties, so a
+/// uniform-priority pool keeps stable order. `None` when empty.
+fn best_by_priority<T>(items: &[T], priority: impl Fn(&T) -> Priority) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, item) in items.iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some(b) => priority(item) > priority(&items[b]),
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Index of the strongest matured retry (earliest index wins ties).
+fn best_matured(waiting: &[Waiting], now: u64) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, w) in waiting.iter().enumerate() {
+        if w.not_before > now {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => w.req.priority > waiting[b].req.priority,
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// The preemption victim for an arrival of class `qp`: the weakest
+/// strictly-lower-priority running session. Among equals the most recently
+/// admitted loses (older sessions keep their progress), then the highest
+/// id — a total, deterministic order.
+fn victim_index(active: &[Active<'_>], qp: Priority) -> Option<usize> {
+    active
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.priority < qp && a.remaining > 0)
+        .min_by_key(|(_, a)| (a.priority, Reverse(a.admitted_tick), Reverse(a.id)))
+        .map(|(i, _)| i)
+}
+
+/// Where [`ServeEngine::try_admit`] lands a request: straight into decode
+/// (monolithic or prefix-adopted prefill) or into the chunked-prefill set.
+enum Admit<'m> {
+    Active(Box<Active<'m>>),
+    Prefilling(Box<Prefilling<'m>>),
 }
 
 struct ShardOutput {
@@ -439,7 +625,9 @@ impl ServeEngine {
                     let queue = &queues[shard % queues.len()];
                     let tier = tier.clone();
                     let budget = budget.clone();
-                    scope.spawn(move || Self::worker(model, cfg, plan, shard, queue, tier, budget))
+                    scope.spawn(move || {
+                        Self::worker(model, cfg, plan, shard, queue, tier, budget, start)
+                    })
                 })
                 .collect();
 
@@ -484,7 +672,20 @@ impl ServeEngine {
         });
 
         completions.sort_by_key(|c| c.id);
+        let (mut ttft_wall, mut ttft_ticks, mut tpot_wall) = (Vec::new(), Vec::new(), Vec::new());
+        for c in &completions {
+            if let Some(d) = c.ttft_wall {
+                ttft_wall.push(d.as_secs_f64());
+            }
+            if let Some(t) = c.ttft_ticks {
+                ttft_ticks.push(t as f64);
+            }
+            if let Some(d) = c.tpot_wall {
+                tpot_wall.push(d.as_secs_f64());
+            }
+        }
         Ok(ServeReport {
+            latency: LatencySummary::new(&ttft_wall, &ttft_ticks, &tpot_wall),
             completions,
             aggregate_transfer: tier.aggregate_stats(),
             prefix: tier.prefix_stats(),
@@ -500,6 +701,7 @@ impl ServeEngine {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker<'m>(
         model: &'m Model,
         cfg: &ServeConfig,
@@ -508,9 +710,12 @@ impl ServeEngine {
         queue: &BoundedQueue<ServeRequest>,
         tier: KvTier,
         budget: CacheBudget,
+        epoch: Instant,
     ) -> ShardOutput {
         let mut scratch = SessionScratch::new();
         let mut active: Vec<Active<'m>> = Vec::new();
+        let mut prefilling: Vec<Prefilling<'m>> = Vec::new();
+        let mut parked: Vec<Parked> = Vec::new();
         let mut completions = Vec::new();
         let mut stats = ShardStats::default();
         // Injected-admission-reject bookkeeping: rejections consumed per
@@ -520,17 +725,36 @@ impl ServeEngine {
         let mut stall_remaining: u64 = 0;
 
         loop {
-            // Admission: fill free slots — matured retries first, then the
-            // queue. Block only when fully idle; a shard with live sessions
-            // or pending retries keeps ticking while the queue is empty.
+            // Admission: fill free slots (occupied by decoding + prefilling
+            // sessions; parked sessions hold pinned pages, not slots).
+            // Order: resume preempted work, then matured retries, then the
+            // queue — highest priority first, FIFO within a class. Block
+            // only when fully idle; a shard with live sessions or pending
+            // retries keeps ticking while the queue is empty.
             let mut drained = false;
-            while active.len() < cfg.max_active_per_shard {
-                let req = if let Some(i) =
-                    waiting.iter().position(|w| w.not_before <= stats.ticks)
-                {
+            while active.len() + prefilling.len() < cfg.max_active_per_shard {
+                if let Some(pi) = best_by_priority(&parked, |p: &Parked| p.priority) {
+                    // A queued request strictly outranking every parked
+                    // session is admitted first; otherwise resume.
+                    let outranked = queue
+                        .max_key(|r| r.priority)
+                        .is_some_and(|qp| qp > parked[pi].priority);
+                    if !outranked {
+                        let p = parked.swap_remove(pi);
+                        let t0 = Instant::now();
+                        active.push(Self::reactivate(model, cfg, p, &budget));
+                        stats.busy += t0.elapsed();
+                        continue;
+                    }
+                }
+                let req = if let Some(i) = best_matured(&waiting, stats.ticks) {
                     waiting.swap_remove(i).req
-                } else if active.is_empty() && waiting.is_empty() {
-                    match queue.pop_wait() {
+                } else if active.is_empty()
+                    && prefilling.is_empty()
+                    && parked.is_empty()
+                    && waiting.is_empty()
+                {
+                    match queue.pop_wait_max_by_key(|r| r.priority) {
                         Some(r) => r,
                         None => {
                             drained = true;
@@ -538,85 +762,139 @@ impl ServeEngine {
                         }
                     }
                 } else {
-                    match queue.try_pop() {
+                    match queue.try_pop_max_by_key(|r| r.priority) {
                         Some(r) => r,
                         None => break,
                     }
                 };
 
-                // Injected queue-full burst: reject the attempt, retry per
-                // the request's policy, shed when retries run out.
-                let planned = plan.rejections(req.id);
-                if planned > 0 {
-                    let consumed = rejected.entry(req.id).or_insert(0);
-                    if *consumed < planned {
-                        *consumed += 1;
-                        let attempts = *consumed;
-                        if attempts > req.retry.max_retries {
-                            stats.failed += 1;
-                            stats.shed_tokens += req.decode_steps as u64;
-                            completions.push(Self::shed(
-                                &req,
-                                shard,
-                                ServeError::Admission { attempts },
-                                true,
-                                attempts.saturating_sub(1),
-                            ));
-                            continue;
-                        }
-                        stats.retries += 1;
-                        let backoff = req.retry.backoff(plan.seed ^ req.id, attempts);
-                        waiting.push(Waiting { req, not_before: stats.ticks + backoff });
-                        continue;
-                    }
-                }
-
-                let (id, decode_steps) = (req.id, req.decode_steps);
-                let retries = rejected.get(&id).copied().unwrap_or(0);
+                let Some(req) = Self::screen(
+                    req,
+                    plan,
+                    &mut rejected,
+                    &mut waiting,
+                    &mut completions,
+                    &mut stats,
+                    shard,
+                ) else {
+                    continue;
+                };
+                let retries = rejected.get(&req.id).copied().unwrap_or(0);
                 let t0 = Instant::now();
-                match Self::try_admit(model, cfg, req, &tier, &budget, stats.ticks, retries) {
-                    Ok(a) => {
-                        active.push(a);
-                        stats.admitted += 1;
-                    }
-                    Err(e) => {
-                        // Prefill offload exhausted the page pool: shed this
-                        // session, keep serving everyone else.
-                        let injected = plan.page_limit.is_some()
-                            && matches!(e, MemError::PageExhausted { .. });
-                        stats.failed += 1;
-                        stats.shed_tokens += decode_steps as u64;
-                        completions.push(Completion {
-                            id,
-                            shard,
-                            generated: Vec::new(),
-                            transfer: TransferStats::default(),
-                            cache: CacheStats::default(),
-                            sharing: SharingStats::default(),
-                            trace: Vec::new(),
-                            failure: Some(FailureCause { error: e.into(), injected, step: 0 }),
-                            retries,
-                        });
-                    }
-                }
+                Self::admit_into(
+                    model,
+                    cfg,
+                    plan,
+                    req,
+                    &tier,
+                    &budget,
+                    epoch,
+                    shard,
+                    retries,
+                    &mut active,
+                    &mut prefilling,
+                    &mut completions,
+                    &mut stats,
+                );
                 stats.busy += t0.elapsed();
             }
-            if drained && active.is_empty() && waiting.is_empty() {
+            if drained
+                && active.is_empty()
+                && prefilling.is_empty()
+                && parked.is_empty()
+                && waiting.is_empty()
+            {
                 return ShardOutput { completions, stats };
             }
             Self::retire(&mut active, &mut completions, shard);
-            if active.is_empty() {
-                if waiting.is_empty() {
+
+            // Preemption: slots full and a pending request (queued, or a
+            // matured retry) strictly outranking a running session claims
+            // its slot. The weakest victim is suspended through the paged
+            // host tier — bit-identical on resume — and the request admits
+            // into the freed slot. Loops while candidates remain.
+            while active.len() + prefilling.len() >= cfg.max_active_per_shard {
+                let queued = queue.max_key(|r| r.priority);
+                let waited = best_matured(&waiting, stats.ticks).map(|i| waiting[i].req.priority);
+                let Some(qp) = queued.max(waited) else { break };
+                let Some(vi) = victim_index(&active, qp) else { break };
+                // Prefer the matured retry when it's at least as strong (it
+                // arrived first); otherwise pop the queue.
+                let take_waiting = waited >= queued && waited.is_some();
+                let req = if take_waiting {
+                    let wi = best_matured(&waiting, stats.ticks).expect("matured retry observed");
+                    waiting.swap_remove(wi).req
+                } else {
+                    match queue.try_pop_max_by_key(|r| r.priority) {
+                        Some(r) => r,
+                        None => break,
+                    }
+                };
+                let Some(req) = Self::screen(
+                    req,
+                    plan,
+                    &mut rejected,
+                    &mut waiting,
+                    &mut completions,
+                    &mut stats,
+                    shard,
+                ) else {
+                    continue;
+                };
+                if req.priority <= active[vi].priority {
+                    // Raced: another shard took the stronger request between
+                    // the scan and the pop. Hold this one for admission.
+                    waiting.push(Waiting { req, not_before: stats.ticks });
+                    break;
+                }
+                let t0 = Instant::now();
+                match Self::park(active.swap_remove(vi), &tier) {
+                    Ok(p) => {
+                        parked.push(p);
+                        stats.preemptions += 1;
+                        let retries = rejected.get(&req.id).copied().unwrap_or(0);
+                        Self::admit_into(
+                            model,
+                            cfg,
+                            plan,
+                            req,
+                            &tier,
+                            &budget,
+                            epoch,
+                            shard,
+                            retries,
+                            &mut active,
+                            &mut prefilling,
+                            &mut completions,
+                            &mut stats,
+                        );
+                        stats.busy += t0.elapsed();
+                    }
+                    Err(victim) => {
+                        // The host pool can't take the swap right now: the
+                        // victim came back intact — keep decoding it, retry
+                        // the request next tick.
+                        active.push(*victim);
+                        waiting.push(Waiting { req, not_before: stats.ticks + 1 });
+                        stats.busy += t0.elapsed();
+                        break;
+                    }
+                }
+            }
+            if active.is_empty() && prefilling.is_empty() {
+                if waiting.is_empty() && parked.is_empty() {
                     continue;
                 }
-                // Nothing to decode but retries pending: ticks are the
-                // engine's clock, so burn one to let backoff elapse.
+                // Nothing to decode but retries or parked work pending:
+                // ticks are the engine's clock, so burn one to let backoff
+                // elapse (parked work resumes via admission next pass).
                 stats.ticks += 1;
                 continue;
             }
 
-            // One scheduler tick: each ready session decodes one token
-            // through the shard's shared scratch.
+            // One scheduler tick: at most one budgeted prefill chunk, then
+            // each ready session decodes one token through the shard's
+            // shared scratch.
             let tick = stats.ticks;
             stats.ticks += 1;
             if stall_remaining == 0 {
@@ -625,13 +903,40 @@ impl ServeEngine {
                 }
             }
             // Deadlines are checked every tick — including stalled ones: a
-            // stalled shard is exactly how deadlines get blown.
+            // stalled shard is exactly how deadlines get blown. Mid-prefill
+            // and parked sessions are reaped too.
             Self::reap_deadlines(&mut active, &mut completions, shard, tick, &mut stats);
+            Self::reap_prefilling(&mut prefilling, &mut completions, shard, tick, &mut stats);
+            Self::reap_parked(&mut parked, &mut completions, shard, tick, &mut stats);
             if stall_remaining > 0 {
-                // Injected slow shard: hold the sessions, skip the decode.
+                // Injected slow shard: hold the sessions, skip the work.
                 stall_remaining -= 1;
-                stats.degraded_steps += active.len() as u64;
+                stats.degraded_steps += (active.len() + prefilling.len()) as u64;
                 continue;
+            }
+            // Chunked prefill: the highest-priority prefill advances one
+            // budgeted chunk per tick, interleaved with the decode loop
+            // below — a long prompt trickles in without freezing decode.
+            if let Some(chunk) = cfg.prefill_chunk_tokens {
+                if let Some(pi) = best_by_priority(&prefilling, |p: &Prefilling<'_>| p.priority) {
+                    let t0 = Instant::now();
+                    prefilling[pi].job.advance(chunk);
+                    stats.prefill_chunks += 1;
+                    if prefilling[pi].job.is_done() {
+                        let p = prefilling.swap_remove(pi);
+                        match Self::finish_prefill(
+                            model, cfg, p, &tier, &budget, tick, epoch, plan, shard,
+                        ) {
+                            Ok(a) => active.push(*a),
+                            Err((c, lost)) => {
+                                stats.failed += 1;
+                                stats.shed_tokens += lost;
+                                completions.push(*c);
+                            }
+                        }
+                    }
+                    stats.busy += t0.elapsed();
+                }
             }
             let t0 = Instant::now();
             let mut i = 0;
@@ -639,6 +944,7 @@ impl ServeEngine {
                 let a = &mut active[i];
                 let token = a.next;
                 let inject = plan.panic_step(a.id).filter(|&s| s == a.session.steps());
+                let s0 = Instant::now();
                 // The outer catch only ever sees the injected panic: it
                 // fires before the step, so the shared scratch is never
                 // mid-swap. Genuine step panics are contained (and scratch
@@ -649,6 +955,7 @@ impl ServeEngine {
                     }
                     a.session.try_step_with_scratch(token, &mut scratch)
                 }));
+                a.decode_wall += s0.elapsed();
                 let (error, injected) = match stepped {
                     Ok(Ok(dec)) => {
                         a.generated.push(token);
@@ -689,10 +996,120 @@ impl ServeEngine {
         }
     }
 
+    /// Injected admission screening: consume a planned rejection (retrying
+    /// with backoff, or shedding once retries are exhausted). Returns the
+    /// request when it's clear to admit. Both the admission loop and the
+    /// preemption path screen through here, so a request's rejection
+    /// schedule plays out identically whichever path first pops it.
+    #[allow(clippy::too_many_arguments)]
+    fn screen(
+        req: ServeRequest,
+        plan: &FaultPlan,
+        rejected: &mut HashMap<u64, u32>,
+        waiting: &mut Vec<Waiting>,
+        completions: &mut Vec<Completion>,
+        stats: &mut ShardStats,
+        shard: usize,
+    ) -> Option<ServeRequest> {
+        let planned = plan.rejections(req.id);
+        if planned > 0 {
+            let consumed = rejected.entry(req.id).or_insert(0);
+            if *consumed < planned {
+                *consumed += 1;
+                let attempts = *consumed;
+                if attempts > req.retry.max_retries {
+                    stats.failed += 1;
+                    stats.shed_tokens += req.decode_steps as u64;
+                    completions.push(Self::shed(
+                        &req,
+                        shard,
+                        ServeError::Admission { attempts },
+                        true,
+                        attempts.saturating_sub(1),
+                    ));
+                    return None;
+                }
+                stats.retries += 1;
+                let backoff = req.retry.backoff(plan.seed ^ req.id, attempts);
+                waiting.push(Waiting { req, not_before: stats.ticks + backoff });
+                return None;
+            }
+        }
+        Some(req)
+    }
+
+    /// Admit a screened request into a free slot, routing the admission
+    /// outcome (active session, chunked prefill, or a shed completion when
+    /// the host tier can't hold the prompt) into the worker's state.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_into<'m>(
+        model: &'m Model,
+        cfg: &ServeConfig,
+        plan: &FaultPlan,
+        req: ServeRequest,
+        tier: &KvTier,
+        budget: &CacheBudget,
+        epoch: Instant,
+        shard: usize,
+        retries: u32,
+        active: &mut Vec<Active<'m>>,
+        prefilling: &mut Vec<Prefilling<'m>>,
+        completions: &mut Vec<Completion>,
+        stats: &mut ShardStats,
+    ) {
+        let (id, decode_steps, priority) = (req.id, req.decode_steps, req.priority);
+        match Self::try_admit(model, cfg, req, tier, budget, stats.ticks, retries, epoch) {
+            Ok(Admit::Active(a)) => {
+                active.push(*a);
+                stats.admitted += 1;
+            }
+            Ok(Admit::Prefilling(p)) => {
+                prefilling.push(*p);
+                stats.admitted += 1;
+            }
+            Err(e) => {
+                // Prefill offload exhausted the page pool: shed this
+                // session, keep serving everyone else.
+                let injected =
+                    plan.page_limit.is_some() && matches!(e, MemError::PageExhausted { .. });
+                stats.failed += 1;
+                stats.shed_tokens += decode_steps as u64;
+                completions.push(Completion {
+                    id,
+                    shard,
+                    generated: Vec::new(),
+                    transfer: TransferStats::default(),
+                    cache: CacheStats::default(),
+                    sharing: SharingStats::default(),
+                    trace: Vec::new(),
+                    failure: Some(FailureCause { error: e.into(), injected, step: 0 }),
+                    retries,
+                    priority,
+                    ttft_wall: None,
+                    ttft_ticks: None,
+                    tpot_wall: None,
+                    preemptions: 0,
+                });
+            }
+        }
+    }
+
+    /// A fresh cache drawing on the engine-wide budget.
+    fn fresh_cache(cfg: &ServeConfig, budget: &CacheBudget) -> BlockCache {
+        BlockCache::with_budget(
+            cfg.session.cache.capacity_tokens,
+            cfg.session.cache.block_size,
+            cfg.session.cache.policy(),
+            budget.clone(),
+        )
+    }
+
     /// Admit a request: bind a session to a fresh tier namespace and a
-    /// budget-backed cache, prefilling (or adopting a shared prefix). `Err`
-    /// when the host tier cannot hold the prompt — the caller sheds the
-    /// request; it never aborts the worker.
+    /// budget-backed cache, prefilling (or adopting a shared prefix). Under
+    /// chunked admission the prompt enters a [`Prefilling`] slot instead —
+    /// its prefill runs one budgeted chunk per tick. `Err` when the host
+    /// tier cannot hold the prompt — the caller sheds the request; it never
+    /// aborts the worker.
     #[allow(clippy::too_many_arguments)]
     fn try_admit<'m>(
         model: &'m Model,
@@ -702,25 +1119,30 @@ impl ServeEngine {
         budget: &CacheBudget,
         admitted_tick: u64,
         retries: u32,
-    ) -> Result<Active<'m>, MemError> {
-        let cache = || {
-            BlockCache::with_budget(
-                cfg.session.cache.capacity_tokens,
-                cfg.session.cache.block_size,
-                cfg.session.cache.policy(),
-                budget.clone(),
-            )
-        };
-        let activate = |start: pqc_core::SessionStart<'m>| Active {
-            id: req.id,
-            next: pqc_tensor::argmax(&start.logits) as u32,
-            session: start.session,
-            remaining: req.decode_steps,
-            generated: Vec::with_capacity(req.decode_steps),
-            trace: Vec::new(),
-            admitted_tick,
-            deadline: req.deadline,
-            retries,
+        epoch: Instant,
+    ) -> Result<Admit<'m>, MemError> {
+        let cache = || Self::fresh_cache(cfg, budget);
+        let activate = |start: pqc_core::SessionStart<'m>| {
+            Box::new(Active {
+                id: req.id,
+                next: pqc_tensor::argmax(&start.logits) as u32,
+                session: start.session,
+                remaining: req.decode_steps,
+                generated: Vec::with_capacity(req.decode_steps),
+                trace: Vec::new(),
+                admitted_tick,
+                deadline: req.deadline,
+                retries,
+                priority: req.priority,
+                // First token known now (prefill/adoption is one admission
+                // event): 0 ticks on the deterministic clock.
+                ttft_wall: Some(epoch.elapsed()),
+                ttft_ticks: Some(0),
+                decode_wall: Duration::ZERO,
+                extra_transfer: TransferStats::default(),
+                extra_cache: CacheStats::default(),
+                preemptions: 0,
+            })
         };
 
         // Prefix-cache fast path: an identical prompt already served means
@@ -744,10 +1166,30 @@ impl ServeEngine {
                             resources,
                             shared.policy.as_ref(),
                         )?;
-                        return Ok(activate(start));
+                        return Ok(Admit::Active(activate(start)));
                     }
                 }
             }
+        }
+
+        // Chunked admission: start the prefill job but run none of it yet —
+        // the tick loop advances it one budgeted chunk at a time so decode
+        // on this shard never stalls behind a long prompt.
+        if cfg.prefill_chunk_tokens.is_some() {
+            let mut opts = SelectiveSession::prefill_options(&cfg.session, req.tokens.len());
+            opts.parallel = cfg.prefill_parallel;
+            let job = model.begin_prefill(&req.tokens, &opts);
+            return Ok(Admit::Prefilling(Box::new(Prefilling {
+                id: req.id,
+                job,
+                tokens: req.tokens,
+                policy: req.policy,
+                decode_steps: req.decode_steps,
+                admitted_tick,
+                deadline: req.deadline,
+                retries,
+                priority: req.priority,
+            })));
         }
 
         let mut opts = SelectiveSession::prefill_options(&cfg.session, req.tokens.len());
@@ -769,7 +1211,200 @@ impl ServeEngine {
                 Arc::new(SharedPrefix { policy: start.session.export_policy_state(), prefill });
             let _ = tier.register_prefix(&req.tokens, start.session.store(), payload);
         }
-        Ok(activate(start))
+        Ok(Admit::Active(activate(start)))
+    }
+
+    /// Bind a completed chunked prefill to a live session — registering the
+    /// prompt as a shared prefix exactly like monolithic admission does.
+    /// The first token becomes known here: TTFT is stamped on both clocks.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_prefill<'m>(
+        model: &'m Model,
+        cfg: &ServeConfig,
+        p: Prefilling<'m>,
+        tier: &KvTier,
+        budget: &CacheBudget,
+        tick: u64,
+        epoch: Instant,
+        plan: &FaultPlan,
+        shard: usize,
+    ) -> Result<Box<Active<'m>>, (Box<Completion>, u64)> {
+        let Prefilling { id, job, tokens, policy, decode_steps, admitted_tick, deadline, retries, priority } =
+            p;
+        let prefill = job.finish();
+        let resources =
+            SessionResources { store: tier.new_namespace(), cache: Self::fresh_cache(cfg, budget) };
+        match SelectiveSession::try_start_from_prefill_in(model, policy, cfg.session, &prefill, resources)
+        {
+            Ok(start) => {
+                if cfg.prefix_cache {
+                    let payload = Arc::new(SharedPrefix {
+                        policy: start.session.export_policy_state(),
+                        prefill,
+                    });
+                    let _ = tier.register_prefix(&tokens, start.session.store(), payload);
+                }
+                Ok(Box::new(Active {
+                    id,
+                    next: pqc_tensor::argmax(&start.logits) as u32,
+                    session: start.session,
+                    remaining: decode_steps,
+                    generated: Vec::with_capacity(decode_steps),
+                    trace: Vec::new(),
+                    admitted_tick,
+                    deadline,
+                    retries,
+                    priority,
+                    ttft_wall: Some(epoch.elapsed()),
+                    // The chunk completing on `tick` yielded the first
+                    // token: inclusive tick count since admission.
+                    ttft_ticks: Some(tick + 1 - admitted_tick),
+                    decode_wall: Duration::ZERO,
+                    extra_transfer: TransferStats::default(),
+                    extra_cache: CacheStats::default(),
+                    preemptions: 0,
+                }))
+            }
+            Err(e) => {
+                let injected =
+                    plan.page_limit.is_some() && matches!(e, MemError::PageExhausted { .. });
+                Err((
+                    Box::new(Completion {
+                        id,
+                        shard,
+                        generated: Vec::new(),
+                        transfer: TransferStats::default(),
+                        cache: CacheStats::default(),
+                        sharing: SharingStats::default(),
+                        trace: Vec::new(),
+                        failure: Some(FailureCause { error: e.into(), injected, step: 0 }),
+                        retries,
+                        priority,
+                        ttft_wall: None,
+                        ttft_ticks: None,
+                        tpot_wall: None,
+                        preemptions: 0,
+                    }),
+                    decode_steps as u64,
+                ))
+            }
+        }
+    }
+
+    /// Suspend a preemption victim through the paged host tier. On
+    /// suspension failure (host pool exhausted) the victim comes back
+    /// intact — decoding continues as if nothing happened, with the
+    /// orphaned partial-swap metering folded into its transfer stats.
+    fn park<'m>(a: Active<'m>, tier: &KvTier) -> Result<Parked, Box<Active<'m>>> {
+        // Read before suspend: on success the session's cache is dropped
+        // (its budget slots free for the usurper) and the stats would be
+        // lost; on failure the session keeps its cache, so nothing folds.
+        let cache_stats = a.session.cache_stats();
+        let Active {
+            id,
+            session,
+            next,
+            remaining,
+            generated,
+            trace,
+            admitted_tick,
+            deadline,
+            retries,
+            priority,
+            ttft_wall,
+            ttft_ticks,
+            decode_wall,
+            extra_transfer,
+            extra_cache,
+            preemptions,
+        } = a;
+        match session.suspend(tier) {
+            Ok(suspended) => Ok(Parked {
+                id,
+                suspended,
+                next,
+                remaining,
+                generated,
+                trace,
+                admitted_tick,
+                deadline,
+                retries,
+                priority,
+                ttft_wall,
+                ttft_ticks,
+                decode_wall,
+                extra_transfer,
+                extra_cache: extra_cache + cache_stats,
+                preemptions: preemptions + 1,
+            }),
+            Err(e) => Err(Box::new(Active {
+                id,
+                session: e.session,
+                next,
+                remaining,
+                generated,
+                trace,
+                admitted_tick,
+                deadline,
+                retries,
+                priority,
+                ttft_wall,
+                ttft_ticks,
+                decode_wall,
+                extra_transfer: extra_transfer + e.swap_transfer,
+                extra_cache,
+                preemptions,
+            })),
+        }
+    }
+
+    /// Resume a parked session into a freed slot with a fresh budget-backed
+    /// cache. Decoding continues bit-identically to never having been
+    /// preempted; the suspend+resume swap traffic lands in
+    /// `extra_transfer` so per-completion accounting stays closed.
+    fn reactivate<'m>(
+        model: &'m Model,
+        cfg: &ServeConfig,
+        p: Parked,
+        budget: &CacheBudget,
+    ) -> Active<'m> {
+        let Parked {
+            id,
+            suspended,
+            next,
+            remaining,
+            generated,
+            trace,
+            admitted_tick,
+            deadline,
+            retries,
+            priority,
+            ttft_wall,
+            ttft_ticks,
+            decode_wall,
+            extra_transfer,
+            extra_cache,
+            preemptions,
+        } = p;
+        let (session, swap_transfer) = suspended.resume(model, Self::fresh_cache(cfg, budget));
+        Active {
+            id,
+            session,
+            next,
+            remaining,
+            generated,
+            trace,
+            admitted_tick,
+            deadline,
+            retries,
+            priority,
+            ttft_wall,
+            ttft_ticks,
+            decode_wall,
+            extra_transfer: extra_transfer + swap_transfer,
+            extra_cache,
+            preemptions,
+        }
     }
 
     /// A completion for a request shed before it ever got a session.
@@ -790,6 +1425,34 @@ impl ServeEngine {
             trace: Vec::new(),
             failure: Some(FailureCause { error, injected, step: 0 }),
             retries,
+            priority: req.priority,
+            ttft_wall: None,
+            ttft_ticks: None,
+            tpot_wall: None,
+            preemptions: 0,
+        }
+    }
+
+    /// The one place an [`Active`] session becomes a [`Completion`]: full
+    /// per-session stats (live namespace + swap traffic from preemption
+    /// round trips), latency stamps, and the optional failure cause.
+    fn complete(a: Active<'_>, shard: usize, failure: Option<FailureCause>) -> Completion {
+        let tokens = a.generated.len() as u32;
+        Completion {
+            id: a.id,
+            shard,
+            transfer: a.session.transfer_stats() + a.extra_transfer,
+            cache: a.session.cache_stats() + a.extra_cache,
+            sharing: a.session.sharing_stats(),
+            generated: a.generated,
+            trace: a.trace,
+            failure,
+            retries: a.retries,
+            priority: a.priority,
+            ttft_wall: a.ttft_wall,
+            ttft_ticks: a.ttft_ticks,
+            tpot_wall: (tokens > 0).then(|| a.decode_wall / tokens),
+            preemptions: a.preemptions,
         }
     }
 
@@ -797,17 +1460,7 @@ impl ServeEngine {
     /// and real per-session stats, plus the classified cause.
     fn fail(a: Active<'_>, shard: usize, error: ServeError, injected: bool) -> Completion {
         let step = a.session.steps();
-        Completion {
-            id: a.id,
-            shard,
-            generated: a.generated,
-            transfer: a.session.transfer_stats(),
-            cache: a.session.cache_stats(),
-            sharing: a.session.sharing_stats(),
-            trace: a.trace,
-            failure: Some(FailureCause { error, injected, step }),
-            retries: a.retries,
-        }
+        Self::complete(a, shard, Some(FailureCause { error, injected, step }))
     }
 
     /// Reap sessions whose deadline elapsed (tick-based, deterministic).
@@ -840,22 +1493,113 @@ impl ServeEngine {
         }
     }
 
+    /// Reap mid-prefill requests whose deadline elapsed: no session exists
+    /// yet, so the completion is empty — `DeadlineExceeded` at step 0 with
+    /// no first token (`ttft_*` stay `None`).
+    fn reap_prefilling(
+        prefilling: &mut Vec<Prefilling<'_>>,
+        completions: &mut Vec<Completion>,
+        shard: usize,
+        tick: u64,
+        stats: &mut ShardStats,
+    ) {
+        let mut i = 0;
+        while i < prefilling.len() {
+            let elapsed = tick - prefilling[i].admitted_tick;
+            if prefilling[i].deadline.is_some_and(|d| elapsed >= d) {
+                let p = prefilling.swap_remove(i);
+                let deadline_ticks = p.deadline.unwrap_or(0);
+                stats.failed += 1;
+                stats.shed_tokens += p.decode_steps as u64;
+                completions.push(Completion {
+                    id: p.id,
+                    shard,
+                    generated: Vec::new(),
+                    transfer: TransferStats::default(),
+                    cache: CacheStats::default(),
+                    sharing: SharingStats::default(),
+                    trace: Vec::new(),
+                    failure: Some(FailureCause {
+                        error: ServeError::DeadlineExceeded {
+                            deadline_ticks,
+                            elapsed_ticks: elapsed,
+                        },
+                        injected: false,
+                        step: 0,
+                    }),
+                    retries: p.retries,
+                    priority: p.priority,
+                    ttft_wall: None,
+                    ttft_ticks: None,
+                    tpot_wall: None,
+                    preemptions: 0,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Reap parked (preempted) sessions whose deadline elapsed while they
+    /// waited for a slot. Dropping the suspended session unpins and
+    /// releases its pages; the completion still accounts its full transfer
+    /// history (live namespace + swap traffic) so the books stay closed.
+    fn reap_parked(
+        parked: &mut Vec<Parked>,
+        completions: &mut Vec<Completion>,
+        shard: usize,
+        tick: u64,
+        stats: &mut ShardStats,
+    ) {
+        let mut i = 0;
+        while i < parked.len() {
+            let elapsed = tick - parked[i].admitted_tick;
+            let expired =
+                parked[i].remaining > 0 && parked[i].deadline.is_some_and(|d| elapsed >= d);
+            if expired {
+                let p = parked.swap_remove(i);
+                let deadline_ticks = p.deadline.unwrap_or(0);
+                stats.failed += 1;
+                stats.shed_tokens += p.remaining as u64;
+                let step = p.suspended.steps();
+                let tokens = p.generated.len() as u32;
+                completions.push(Completion {
+                    id: p.id,
+                    shard,
+                    transfer: p.suspended.transfer_stats()
+                        + p.suspended.swap_stats()
+                        + p.extra_transfer,
+                    cache: p.extra_cache,
+                    sharing: p.suspended.sharing_stats(),
+                    generated: p.generated,
+                    trace: p.trace,
+                    failure: Some(FailureCause {
+                        error: ServeError::DeadlineExceeded {
+                            deadline_ticks,
+                            elapsed_ticks: elapsed,
+                        },
+                        injected: false,
+                        step,
+                    }),
+                    retries: p.retries,
+                    priority: p.priority,
+                    ttft_wall: p.ttft_wall,
+                    ttft_ticks: p.ttft_ticks,
+                    tpot_wall: (tokens > 0).then(|| p.decode_wall / tokens),
+                    preemptions: p.preemptions,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     fn retire(active: &mut Vec<Active<'_>>, completions: &mut Vec<Completion>, shard: usize) {
         let mut i = 0;
         while i < active.len() {
             if active[i].remaining == 0 {
                 let a = active.swap_remove(i);
-                completions.push(Completion {
-                    id: a.id,
-                    shard,
-                    generated: a.generated,
-                    transfer: a.session.transfer_stats(),
-                    cache: a.session.cache_stats(),
-                    sharing: a.session.sharing_stats(),
-                    trace: a.trace,
-                    failure: None,
-                    retries: a.retries,
-                });
+                completions.push(Self::complete(a, shard, None));
             } else {
                 i += 1;
             }
@@ -1230,6 +1974,244 @@ mod tests {
         }
         assert!(report.completion(0).unwrap().is_success());
         assert!(report.completion(2).unwrap().is_success());
+    }
+
+    #[test]
+    fn chunked_prefill_serves_bit_identically_to_monolithic() {
+        // The tentpole invariant: splitting prefill into tick-sized chunks
+        // interleaved with decode must not change a single bit of any
+        // session's output, trace, or transfer accounting.
+        let model = Model::new(LlmConfig::tiny());
+        let base = ServeConfig {
+            shards: 2,
+            max_active_per_shard: 2,
+            queue_capacity: 8,
+            session: session_cfg(),
+            record_trace: true,
+            ..Default::default()
+        };
+        let mono = ServeEngine::run(&model, &base, requests(6)).unwrap();
+        for chunk in [1usize, 7, 64] {
+            let cfg = ServeConfig { prefill_chunk_tokens: Some(chunk), ..base.clone() };
+            let chunked = ServeEngine::run(&model, &cfg, requests(6)).unwrap();
+            assert_eq!(chunked.completions.len(), 6);
+            for (a, b) in mono.completions.iter().zip(chunked.completions.iter()) {
+                assert!(b.is_success());
+                assert_eq!(a.generated, b.generated, "chunk {chunk}: request {} tokens", a.id);
+                assert_eq!(a.trace, b.trace, "chunk {chunk}: request {} trace", a.id);
+                assert_eq!(a.transfer, b.transfer, "chunk {chunk}: request {} transfer", a.id);
+                // Chunked prefill spends >= 1 tick before the first token;
+                // monolithic admission spends 0.
+                assert_eq!(a.ttft_ticks, Some(0));
+                assert!(b.ttft_ticks.unwrap() >= 1);
+            }
+            let chunks: u64 = chunked.shards.iter().map(|s| s.prefill_chunks).sum();
+            assert!(chunks > 0, "chunk {chunk}: prefill chunks must be metered");
+            assert_eq!(mono.shards.iter().map(|s| s.prefill_chunks).sum::<u64>(), 0);
+        }
+    }
+
+    #[test]
+    fn chunk_budget_edge_cases_serve_identically() {
+        // Budget of exactly the prompt length (one chunk), larger than the
+        // prompt, and landing chunk boundaries exactly on page boundaries:
+        // all bit-identical to monolithic.
+        let model = Model::new(LlmConfig::tiny());
+        let base = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 8,
+            session: session_cfg(),
+            record_trace: true,
+            page_tokens: 8,
+            ..Default::default()
+        };
+        let mono = ServeEngine::run(&model, &base, requests(4)).unwrap();
+        // Prompts are 48..=64 tokens (requests()); 8 rides page boundaries.
+        for chunk in [8usize, 48, 500] {
+            let cfg = ServeConfig { prefill_chunk_tokens: Some(chunk), ..base.clone() };
+            let chunked = ServeEngine::run(&model, &cfg, requests(4)).unwrap();
+            for (a, b) in mono.completions.iter().zip(chunked.completions.iter()) {
+                assert!(b.is_success());
+                assert_eq!(a.generated, b.generated, "chunk {chunk}: request {}", a.id);
+                assert_eq!(a.trace, b.trace, "chunk {chunk}: request {}", a.id);
+            }
+            if chunk >= 64 {
+                // One chunk swallows the whole prompt, but only one prefill
+                // advances per tick: with two slots a prompt waits at most
+                // one tick behind its neighbour's chunk.
+                for c in &chunked.completions {
+                    let t = c.ttft_ticks.unwrap();
+                    assert!((1..=2).contains(&t), "request {}: ttft {t} ticks", c.id);
+                }
+            }
+        }
+        // A zero chunk budget is a config error, not a hang.
+        let bad = ServeConfig { prefill_chunk_tokens: Some(0), ..base };
+        assert_eq!(bad.validate().unwrap_err().field, "prefill_chunk_tokens");
+    }
+
+    #[test]
+    fn high_priority_preempts_victim_and_resumes_it_bit_identically() {
+        // One slot. The low-priority session decodes until the delayed
+        // high-priority request matures, gets preempted through the paged
+        // tier, and resumes after the high request retires — with output
+        // bit-identical to an uncontended run.
+        let model = Model::new(LlmConfig::tiny());
+        let base = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 1,
+            queue_capacity: 4,
+            session: session_cfg(),
+            record_trace: true,
+            ..Default::default()
+        };
+        let mk = |priorities: bool| {
+            let mut reqs = requests(2);
+            reqs[0].decode_steps = 24;
+            reqs[1].decode_steps = 4;
+            if priorities {
+                reqs[0].priority = Priority::Low;
+                reqs[1].priority = Priority::High;
+            }
+            reqs
+        };
+        let reference = ServeEngine::run(&model, &base, mk(false)).unwrap();
+        // Delay the high request one injected rejection so the low session
+        // is mid-decode when it matures — forcing the preemption path
+        // regardless of producer/worker timing.
+        let cfg = ServeConfig {
+            faults: Some(FaultPlan::seeded(21).with_admission_rejects(1, 1)),
+            ..base
+        };
+        let report = ServeEngine::run(&model, &cfg, mk(true)).unwrap();
+        assert_eq!(report.total_preemptions(), 1, "exactly one preemption");
+        let low = report.completion(0).unwrap();
+        let high = report.completion(1).unwrap();
+        assert!(low.is_success() && high.is_success());
+        assert_eq!(low.preemptions, 1);
+        assert_eq!(high.preemptions, 0);
+        assert_eq!(low.priority, Priority::Low);
+        assert_eq!(high.priority, Priority::High);
+        // Preemption never changes results: both sessions match the
+        // uncontended run bit for bit.
+        for id in [0u64, 1] {
+            let a = reference.completion(id).unwrap();
+            let b = report.completion(id).unwrap();
+            assert_eq!(a.generated, b.generated, "request {id} tokens diverged");
+            assert_eq!(a.trace, b.trace, "request {id} trace diverged");
+        }
+        // The suspend/resume swap traffic is accounted: the victim moved
+        // real bytes both ways, and the tier aggregate still equals the sum
+        // of per-completion transfers.
+        assert!(low.transfer.d2h_bytes > reference.completion(0).unwrap().transfer.d2h_bytes);
+        assert!(low.transfer.h2d_bytes > reference.completion(0).unwrap().transfer.h2d_bytes);
+        let sum: TransferStats = report.completions.iter().map(|c| c.transfer).sum();
+        assert_eq!(report.aggregate_transfer, sum, "preemption must not leak transfer accounting");
+    }
+
+    #[test]
+    fn all_normal_priorities_never_preempt() {
+        // Preemption requires a *strictly* higher class: a uniform fleet
+        // under slot pressure keeps plain FIFO continuous batching.
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 1,
+            queue_capacity: 8,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let report = ServeEngine::run(&model, &cfg, requests(5)).unwrap();
+        assert_eq!(report.total_preemptions(), 0);
+        assert!(report.completions.iter().all(|c| c.is_success() && c.preemptions == 0));
+    }
+
+    #[test]
+    fn deadline_reaps_mid_prefill_as_deadline_exceeded() {
+        // Chunk budget 1 on a ~48-token prompt needs ~48 ticks of prefill;
+        // a 5-tick deadline expires long before the first token.
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 4,
+            session: session_cfg(),
+            prefill_chunk_tokens: Some(1),
+            ..Default::default()
+        };
+        let mut reqs = requests(2);
+        reqs[0].deadline = Some(5);
+        let report = ServeEngine::run(&model, &cfg, reqs).unwrap();
+        let reaped = report.completion(0).unwrap();
+        let cause = reaped.failure.as_ref().expect("request 0 must be reaped mid-prefill");
+        match &cause.error {
+            ServeError::DeadlineExceeded { deadline_ticks, elapsed_ticks } => {
+                assert_eq!(*deadline_ticks, 5);
+                assert!(*elapsed_ticks >= 5);
+            }
+            other => panic!("unexpected cause {other:?}"),
+        }
+        assert_eq!(cause.step, 0, "no session ever existed");
+        assert!(reaped.generated.is_empty());
+        assert_eq!(reaped.ttft_wall, None, "no first token was produced");
+        assert_eq!(reaped.ttft_ticks, None);
+        assert_eq!(reaped.tpot_wall, None);
+        assert!(report.completion(1).unwrap().is_success(), "the other request is untouched");
+    }
+
+    #[test]
+    fn prefix_adoption_still_wins_under_chunked_admission() {
+        // The prefix-cache fast path outranks chunking: an identical
+        // already-served prompt adopts instantly (0-tick TTFT) instead of
+        // re-prefilling chunk by chunk.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(64, 7);
+        let reqs = || {
+            (0..2)
+                .map(|i| {
+                    ServeRequest::new(i, toks.clone(), 5, Box::new(PqCachePolicy::default()) as _)
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 1,
+            queue_capacity: 4,
+            session: session_cfg(),
+            prefill_chunk_tokens: Some(8),
+            ..Default::default()
+        };
+        let report = ServeEngine::run(&model, &cfg, reqs()).unwrap();
+        assert_eq!(report.prefix.full_hits, 1);
+        let first = report.completion(0).unwrap();
+        let second = report.completion(1).unwrap();
+        assert_eq!(first.generated, second.generated);
+        assert!(first.ttft_ticks.unwrap() >= 1, "cold prompt prefills chunk by chunk");
+        assert_eq!(second.ttft_ticks, Some(0), "adopter skips prefill entirely");
+    }
+
+    #[test]
+    fn latency_summary_covers_every_completion() {
+        let model = Model::new(LlmConfig::tiny());
+        let base = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 8,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let mono = ServeEngine::run(&model, &base, requests(5)).unwrap();
+        assert_eq!(mono.latency.ttft_wall.count, 5);
+        assert_eq!(mono.latency.ttft_ticks.count, 5);
+        assert_eq!(mono.latency.tpot_wall.count, 5);
+        assert_eq!(mono.latency.ttft_ticks.max, 0.0, "monolithic prefill is a 0-tick event");
+        assert!(mono.latency.tpot_wall.p50 > 0.0);
+        let cfg = ServeConfig { prefill_chunk_tokens: Some(7), ..base };
+        let chunked = ServeEngine::run(&model, &cfg, requests(5)).unwrap();
+        assert_eq!(chunked.latency.ttft_ticks.count, 5);
+        assert!(chunked.latency.ttft_ticks.p50 >= 1.0, "chunked prefill spends ticks");
+        assert!(chunked.latency.ttft_wall.max >= chunked.latency.ttft_wall.p50);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Per-request latency accounting: TTFT / TPOT percentile summaries.
+//!
+//! The serving layer measures two clocks per request. **Wall** latency runs
+//! from batch arrival (every request in a [`ServeEngine::run`] batch
+//! arrives at the run's epoch) to the event — it includes queue wait and
+//! head-of-line blocking, which is exactly what an SLO sees. **Tick**
+//! latency runs on the engine's deterministic per-shard scheduler clock
+//! from admission — reproducible run over run, so tests can assert on it.
+//!
+//! [`ServeEngine::run`]: crate::ServeEngine::run
+
+/// Order statistics over one latency metric.
+///
+/// Percentiles use the nearest-rank method (`p(q) = sorted[⌈q·n⌉ - 1]`):
+/// deterministic, no interpolation, and the reported value is always a real
+/// sample. All fields are 0 when no samples exist.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Samples summarised.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarise `samples` (order irrelevant; NaNs must not be present).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        let n = sorted.len();
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// The run-level latency summary carried by
+/// [`ServeReport`](crate::ServeReport): TTFT on both clocks plus TPOT.
+///
+/// Only requests that produced a first token contribute to the TTFT
+/// metrics; only requests that decoded at least one token contribute to
+/// TPOT. Shed or mid-prefill-reaped requests never skew the tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Time-to-first-token in wall seconds, from batch arrival (includes
+    /// queue wait and prefill — head-of-line blocking shows up here).
+    pub ttft_wall: Percentiles,
+    /// Time-to-first-token in scheduler ticks, from admission (the
+    /// deterministic clock; monolithic prefill is a single admission event
+    /// and scores 0 ticks, chunked prefill scores its chunk count).
+    pub ttft_ticks: Percentiles,
+    /// Time-per-output-token in wall seconds: mean inter-token decode time
+    /// of each request, summarised across requests.
+    pub tpot_wall: Percentiles,
+}
+
+impl LatencySummary {
+    /// Build from the per-metric sample vectors the engine collects.
+    pub fn new(ttft_wall: &[f64], ttft_ticks: &[f64], tpot_wall: &[f64]) -> Self {
+        Self {
+            ttft_wall: Percentiles::from_samples(ttft_wall),
+            ttft_ticks: Percentiles::from_samples(ttft_ticks),
+            tpot_wall: Percentiles::from_samples(tpot_wall),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let p = Percentiles::from_samples(&[]);
+        assert_eq!(p, Percentiles::default());
+        assert_eq!(p.count, 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = Percentiles::from_samples(&[3.5]);
+        assert_eq!(p.count, 1);
+        assert_eq!((p.mean, p.p50, p.p95, p.p99, p.max), (3.5, 3.5, 3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    fn nearest_rank_on_a_hundred_samples() {
+        // 1.0..=100.0: nearest-rank pXX is exactly the XXth value.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Percentiles::from_samples(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        let b = Percentiles::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 3.0);
+        assert_eq!(a.p99, 5.0, "p99 of 5 samples is the max by nearest rank");
+    }
+
+    #[test]
+    fn tail_is_pulled_by_outliers_median_is_not() {
+        // 99 fast requests + 1 straggler: p50 stays fast, p99/max catch it.
+        let mut samples = vec![0.01; 99];
+        samples.push(10.0);
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p50, 0.01);
+        assert_eq!(p.p99, 0.01, "rank 99 of 100 is still fast");
+        assert_eq!(p.max, 10.0);
+        assert!(p.mean > 0.1, "the straggler must move the mean");
+    }
+
+    #[test]
+    fn summary_wires_each_metric_independently() {
+        let s = LatencySummary::new(&[1.0, 2.0], &[4.0], &[]);
+        assert_eq!(s.ttft_wall.count, 2);
+        assert_eq!(s.ttft_ticks.p50, 4.0);
+        assert_eq!(s.tpot_wall, Percentiles::default());
+    }
+}

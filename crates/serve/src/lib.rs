@@ -23,22 +23,39 @@
 //! - GPU cache capacity is a [`pqc_cache::CacheBudget`] shared by every
 //!   session's shard-local [`pqc_cache::BlockCache`].
 //!
+//! Scheduling is SLO-aware without ever changing results:
+//! - **chunked prefill** ([`ServeConfig::prefill_chunk_tokens`]) splits a
+//!   long prompt into budgeted per-tick chunks interleaved with ready
+//!   decode steps, bounding head-of-line blocking;
+//! - **priority preemption** ([`Priority`] on [`ServeRequest`]) suspends a
+//!   lower-class running session through the paged host tier
+//!   ([`pqc_core::SelectiveSession::suspend`]) to give its slot to a
+//!   latency-sensitive arrival, resuming it later bit-identically;
+//! - **latency accounting** ([`LatencySummary`] in [`ServeReport`]) tracks
+//!   per-request TTFT/TPOT on both the wall clock and the deterministic
+//!   tick clock, with p50/p95/p99 tails.
+//!
 //! Scheduling is provably behaviour-neutral: `tests/serve_equivalence.rs`
 //! asserts bit-identical logits and selected-token sets against the
-//! sequential engine at 1, 2, and 4 shards, and `tests/serve_stress.rs`
-//! churns 64 sessions through 4 workers under the queue bound.
+//! sequential engine at 1, 2, and 4 shards;
+//! `tests/scheduler_invariance.rs` extends that to random chunk budgets,
+//! priority mixes, and forced preemption schedules; and
+//! `tests/serve_stress.rs` churns 64 sessions through 4 workers under the
+//! queue bound.
 
 #![warn(missing_docs)]
 
 mod engine;
 pub mod error;
 pub mod faults;
+pub mod latency;
 mod queue;
 
 pub use engine::{
-    Completion, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment, ShardStats,
-    StepTrace,
+    Completion, Priority, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment,
+    ShardStats, StepTrace,
 };
 pub use error::{FailureCause, RetryPolicy, ServeError};
 pub use faults::{AdmissionReject, FaultPlan, InjectedPanic, SessionPanic, ShardStall};
+pub use latency::{LatencySummary, Percentiles};
 pub use queue::BoundedQueue;

@@ -80,6 +80,55 @@ impl<T> BoundedQueue<T> {
         item
     }
 
+    /// Remove the item maximising `key`; the **earliest** such item wins
+    /// ties, so a constant key degrades to exact FIFO ([`Self::try_pop`]).
+    fn pop_max<K: Ord>(st: &mut State<T>, key: &impl Fn(&T) -> K) -> Option<T> {
+        if st.items.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..st.items.len() {
+            if key(&st.items[i]) > key(&st.items[best]) {
+                best = i;
+            }
+        }
+        st.items.remove(best)
+    }
+
+    /// Dequeue the highest-`key` item without blocking (FIFO within a key
+    /// class) — the serving layer's priority-aware admission pop.
+    pub fn try_pop_max_by_key<K: Ord>(&self, key: impl Fn(&T) -> K) -> Option<T> {
+        let mut st = self.lock();
+        let item = Self::pop_max(&mut st, &key);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeue the highest-`key` item, blocking until one arrives. Returns
+    /// `None` only when the queue is closed *and* drained.
+    pub fn pop_wait_max_by_key<K: Ord>(&self, key: impl Fn(&T) -> K) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = Self::pop_max(&mut st, &key) {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The largest `key` among queued items — lets a full shard decide
+    /// whether a queued arrival outranks a running session *before*
+    /// committing to a preemption.
+    pub fn max_key<K: Ord>(&self, key: impl Fn(&T) -> K) -> Option<K> {
+        self.lock().items.iter().map(key).max()
+    }
+
     /// Dequeue, blocking until an item arrives. Returns `None` only when
     /// the queue is closed *and* drained — the worker shutdown signal.
     pub fn pop_wait(&self) -> Option<T> {
@@ -225,6 +274,43 @@ mod tests {
         q.close();
         assert_eq!(q.push(3), Err(3));
         assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn priority_pop_is_max_first_fifo_within_class() {
+        let q = BoundedQueue::new(8);
+        // (priority, arrival order)
+        for item in [(1u8, 0u32), (2, 1), (1, 2), (2, 3), (3, 4)] {
+            q.push(item).unwrap();
+        }
+        assert_eq!(q.max_key(|&(p, _)| p), Some(3));
+        let order: Vec<(u8, u32)> =
+            std::iter::from_fn(|| q.try_pop_max_by_key(|&(p, _)| p)).collect();
+        // Highest priority first; equal priorities keep arrival order.
+        assert_eq!(order, vec![(3, 4), (2, 1), (2, 3), (1, 0), (1, 2)]);
+        assert_eq!(q.max_key(|&(p, _)| p), None);
+    }
+
+    #[test]
+    fn constant_key_degrades_to_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5u32 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.try_pop_max_by_key(|_| 0u8), Some(i));
+        }
+    }
+
+    #[test]
+    fn pop_wait_max_drains_then_signals_close() {
+        let q = BoundedQueue::new(4);
+        q.push((1u8, 'a')).unwrap();
+        q.push((2, 'b')).unwrap();
+        q.close();
+        assert_eq!(q.pop_wait_max_by_key(|&(p, _)| p), Some((2, 'b')));
+        assert_eq!(q.pop_wait_max_by_key(|&(p, _)| p), Some((1, 'a')));
+        assert_eq!(q.pop_wait_max_by_key(|&(p, _)| p), None);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct TraceConfig {
     /// Decode-step range `[min, max]` sampled uniformly per request —
     /// spreading this range is what produces churn under the engine.
     pub decode_steps: (usize, usize),
+    /// Mixture weights over priority tiers (low / normal / high, need not
+    /// be normalised). The default is all-normal — the SLO-neutral traffic
+    /// every pre-priority battery assumes. Priorities are sampled from an
+    /// independent RNG stream, so changing the mix never perturbs prompts,
+    /// arrivals, or decode lengths.
+    pub priority_mix: [f64; 3],
     /// Vocabulary layout shared with the model.
     pub layout: VocabLayout,
     /// Trace seed.
@@ -51,6 +57,7 @@ impl Default for TraceConfig {
             prompt_lens: [96, 192, 384],
             prompt_mix: [0.5, 0.3, 0.2],
             decode_steps: (4, 24),
+            priority_mix: [0.0, 1.0, 0.0],
             layout: VocabLayout::for_vocab(256),
             seed: 0x7EA5,
         }
@@ -68,6 +75,9 @@ pub struct TraceRequest {
     pub workload: Workload,
     /// Greedy decode steps this session runs before completing.
     pub decode_steps: usize,
+    /// Priority tier: 0 = low, 1 = normal, 2 = high. Plain data — the
+    /// serve layer maps it onto its own `Priority` enum.
+    pub priority: u8,
 }
 
 /// A generated request stream, ordered by arrival.
@@ -100,7 +110,13 @@ pub fn multi_tenant_trace(cfg: &TraceConfig) -> TenantTrace {
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
     assert!(cfg.decode_steps.0 <= cfg.decode_steps.1, "decode range inverted");
     assert!(cfg.prompt_mix.iter().sum::<f64>() > 0.0, "mixture weights all zero");
+    assert!(cfg.priority_mix.iter().sum::<f64>() > 0.0, "priority weights all zero");
     let mut rng = Rng64::new(cfg.seed);
+    // Priorities draw from their own stream so the prompt/arrival/decode
+    // content of a trace is invariant under priority_mix changes — an SLO
+    // battery can compare mixes on bit-identical traffic.
+    let mut prio_rng = Rng64::new(cfg.seed ^ 0x5710_11E5);
+    let prio_mix: Vec<f64> = cfg.priority_mix.to_vec();
     let mix: Vec<f64> = cfg.prompt_mix.to_vec();
     let mut tick = 0u64;
     let mut requests = Vec::with_capacity(cfg.sessions);
@@ -122,7 +138,8 @@ pub fn multi_tenant_trace(cfg: &TraceConfig) -> TenantTrace {
         };
         let (lo, hi) = cfg.decode_steps;
         let decode_steps = lo + rng.below(hi - lo + 1);
-        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps });
+        let priority = prio_rng.weighted(&prio_mix) as u8;
+        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps, priority });
     }
     TenantTrace { requests }
 }
@@ -144,7 +161,10 @@ pub fn shared_prefix_trace(cfg: &TraceConfig, groups: usize) -> TenantTrace {
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
     assert!(cfg.decode_steps.0 <= cfg.decode_steps.1, "decode range inverted");
     assert!(cfg.prompt_mix.iter().sum::<f64>() > 0.0, "mixture weights all zero");
+    assert!(cfg.priority_mix.iter().sum::<f64>() > 0.0, "priority weights all zero");
     let mut rng = Rng64::new(cfg.seed ^ 0x5AA5_F00D);
+    let mut prio_rng = Rng64::new(cfg.seed ^ 0x5710_11E5);
+    let prio_mix: Vec<f64> = cfg.priority_mix.to_vec();
     let mix: Vec<f64> = cfg.prompt_mix.to_vec();
     // One canonical workload per group, rotated over the task families.
     let canon: Vec<Workload> = (0..groups as u64)
@@ -168,7 +188,8 @@ pub fn shared_prefix_trace(cfg: &TraceConfig, groups: usize) -> TenantTrace {
         let workload = canon[(id as usize) % groups].clone();
         let (lo, hi) = cfg.decode_steps;
         let decode_steps = lo + rng.below(hi - lo + 1);
-        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps });
+        let priority = prio_rng.weighted(&prio_mix) as u8;
+        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps, priority });
     }
     TenantTrace { requests }
 }
@@ -275,6 +296,50 @@ mod tests {
             t.total_decode_steps(),
             t.requests.iter().map(|r| r.decode_steps).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn default_priority_mix_is_all_normal() {
+        for r in multi_tenant_trace(&cfg()).requests {
+            assert_eq!(r.priority, 1, "default traffic must be SLO-neutral");
+        }
+        for r in shared_prefix_trace(&cfg(), 4).requests {
+            assert_eq!(r.priority, 1);
+        }
+    }
+
+    #[test]
+    fn priority_mix_spans_tiers_without_perturbing_the_trace() {
+        let mixed =
+            multi_tenant_trace(&TraceConfig { priority_mix: [1.0, 1.0, 1.0], ..cfg() });
+        let mut by_tier = [0usize; 3];
+        for r in &mixed.requests {
+            by_tier[r.priority as usize] += 1;
+        }
+        assert!(by_tier.iter().all(|&c| c > 20), "tiers unused: {by_tier:?}");
+        // Same trace content as the all-normal default: priorities ride an
+        // independent RNG stream.
+        let plain = multi_tenant_trace(&cfg());
+        for (m, p) in mixed.requests.iter().zip(plain.requests.iter()) {
+            assert_eq!(m.arrival_tick, p.arrival_tick);
+            assert_eq!(m.workload.tokens, p.workload.tokens);
+            assert_eq!(m.decode_steps, p.decode_steps);
+        }
+        // Deterministic in the seed.
+        let again =
+            multi_tenant_trace(&TraceConfig { priority_mix: [1.0, 1.0, 1.0], ..cfg() });
+        for (a, b) in mixed.requests.iter().zip(again.requests.iter()) {
+            assert_eq!(a.priority, b.priority);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "priority weights all zero")]
+    fn zero_priority_mix_rejected() {
+        let _ = multi_tenant_trace(&TraceConfig {
+            priority_mix: [0.0, 0.0, 0.0],
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -18,7 +18,8 @@ use pqcache::core::{CacheConfig, SelectiveSession, SessionConfig};
 use pqcache::llm::{LlmConfig, Model};
 use pqcache::policies::{PqCachePolicy, SelectionPolicy};
 use pqcache::serve::{
-    FaultPlan, ServeConfig, ServeEngine, ServeError, ServeReport, ServeRequest, ShardAssignment,
+    FaultPlan, Priority, ServeConfig, ServeEngine, ServeError, ServeReport, ServeRequest,
+    ShardAssignment,
 };
 use pqcache::tensor::{argmax, Rng64};
 use pqcache::workloads::{chaos_victims, multi_tenant_trace, TenantTrace, TraceConfig, VocabLayout};
@@ -325,6 +326,7 @@ fn storm_trace() -> TenantTrace {
         decode_steps: (2, 10),
         layout: VocabLayout::for_vocab(256),
         seed: 0xC405,
+        ..Default::default()
     })
 }
 
@@ -404,4 +406,128 @@ fn chaos_storm_never_aborts_and_replays_identically() {
             .collect()
     };
     assert_eq!(outcome(&report), outcome(&again), "chaos must replay bit-identically");
+}
+
+// ---------------------------------------------------------------------------
+// The preemption storm: priorities, chunked prefill, stalls, and a page cap
+// racing suspend/resume — outcomes still replay identically.
+// ---------------------------------------------------------------------------
+
+const PREEMPT_SESSIONS: usize = 24;
+
+/// Priority-mixed traffic with decode runs long enough that a delayed
+/// high-priority request always matures against a still-busy slot.
+fn preemption_storm_trace() -> TenantTrace {
+    multi_tenant_trace(&TraceConfig {
+        sessions: PREEMPT_SESSIONS,
+        arrival_rate: 2.0,
+        prompt_lens: [64, 80, 96],
+        prompt_mix: [0.5, 0.3, 0.2],
+        decode_steps: (6, 12),
+        priority_mix: [1.0, 1.0, 0.6],
+        layout: VocabLayout::for_vocab(256),
+        seed: 0x9EE7,
+    })
+}
+
+#[test]
+fn preemption_storm_replays_identically() {
+    let trace = preemption_storm_trace();
+    // Every high-priority request takes one recoverable admission reject:
+    // it lands in the maturity queue while a lower-class session claims the
+    // single slot, so when it matures (backoff 2 ticks, actives run ≥ 6
+    // steps) the only way in is preemption through the paged tier.
+    let highs: Vec<u64> =
+        trace.requests.iter().filter(|r| r.priority == 2).map(|r| r.id).collect();
+    assert!(!highs.is_empty(), "storm trace must contain high-priority traffic");
+    assert!(highs.len() < PREEMPT_SESSIONS / 2, "lower classes must exist to preempt");
+    // Stall ticks sit mid-backlog: a 25-request serial backlog keeps the
+    // slot occupied there (the first ticks can be idle-burn while rejected
+    // high-priority requests wait out their backoff, skipping the stall).
+    let mut plan = FaultPlan::seeded(0x51A7)
+        .with_stall(0, 10, 2)
+        .with_stall(0, 30, 1)
+        // A cap the regular fleet fits under at any schedule, but the whale
+        // below exceeds on its own — page failures stay deterministic while
+        // the cap still races suspends (a failed suspend defers the
+        // preemption and keeps the victim intact).
+        .with_page_limit(120);
+    for &id in &highs {
+        plan = plan.with_admission_rejects(id, 1);
+    }
+    let whale_id = PREEMPT_SESSIONS as u64;
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 1,
+        queue_capacity: 8,
+        prefill_chunk_tokens: Some(16),
+        // The registry would pin every completed session's pages for the
+        // whole run (prompts are distinct — nothing would ever hit), turning
+        // the cap into a cumulative fleet bound instead of a residency one.
+        prefix_cache: false,
+        session: session_cfg(),
+        faults: Some(plan),
+        ..Default::default()
+    };
+    let mk_requests = || -> Vec<ServeRequest> {
+        let tier = |p: u8| match p {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        let mut reqs: Vec<ServeRequest> = preemption_storm_trace()
+            .requests
+            .into_iter()
+            .map(|r| {
+                ServeRequest::new(r.id, r.workload.tokens, r.decode_steps, policy())
+                    .with_priority(tier(r.priority))
+            })
+            .collect();
+        // The whale: a prompt whose prefill alone exceeds the page cap, so
+        // it fails `page_exhausted` under every schedule.
+        reqs.push(
+            ServeRequest::new(whale_id, prompt(4096, 0x3A1E), 4, policy())
+                .with_priority(Priority::Low),
+        );
+        reqs
+    };
+    let report = run_with_watchdog(cfg.clone(), mk_requests());
+
+    // Never aborts, and the storm really preempts.
+    assert_eq!(report.completions.len(), PREEMPT_SESSIONS + 1);
+    assert_eq!(report.worker_panics, 0);
+    assert!(!report.budget_underflow);
+    assert!(report.total_degraded_steps() > 0, "stalls must be metered");
+    assert!(report.total_preemptions() >= 1, "the storm never exercised preemption");
+
+    // Deterministic failure set: exactly the whale, with the planned cause.
+    let whale = report.completion(whale_id).unwrap();
+    let cause = whale.failure.as_ref().expect("whale must starve on the page cap");
+    assert!(cause.injected, "the cap came from the fault plan");
+    assert!(
+        matches!(cause.error, ServeError::PageExhausted { max_pages: 120 }),
+        "whale: unexpected cause {:?}",
+        cause.error
+    );
+    let expected_steps: HashMap<u64, usize> =
+        trace.requests.iter().map(|r| (r.id, r.decode_steps)).collect();
+    for c in &report.completions {
+        if c.id == whale_id {
+            continue;
+        }
+        assert!(c.is_success(), "bystander {} harmed: {:?}", c.id, c.failure);
+        assert_eq!(c.generated.len(), expected_steps[&c.id], "bystander {} cut short", c.id);
+    }
+
+    // Replay: same plan, same priorities, same chunking — same outcomes,
+    // including every preempted-and-resumed session's exact tokens.
+    let again = run_with_watchdog(cfg, mk_requests());
+    assert!(again.total_preemptions() >= 1);
+    let outcome = |r: &ServeReport| -> HashMap<u64, (Vec<u32>, Option<&'static str>)> {
+        r.completions
+            .iter()
+            .map(|c| (c.id, (c.generated.clone(), c.failure.as_ref().map(|f| f.error.class()))))
+            .collect()
+    };
+    assert_eq!(outcome(&report), outcome(&again), "preemption storm must replay identically");
 }

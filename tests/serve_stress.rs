@@ -49,6 +49,7 @@ fn stress_trace() -> pqcache::workloads::TenantTrace {
         decode_steps: (2, 12),
         layout: VocabLayout::for_vocab(256),
         seed: 0x57E5,
+        ..Default::default()
     })
 }
 
