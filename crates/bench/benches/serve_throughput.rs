@@ -33,7 +33,8 @@
 use pqc_core::{IvfMode, SelectiveSession, SessionConfig};
 use pqc_llm::{LlmConfig, Model, PrefillOptions};
 use pqc_serve::{
-    Percentiles, Priority, ServeConfig, ServeEngine, ServeReport, ServeRequest, ShardAssignment,
+    FaultPlan, Percentiles, Priority, ServeConfig, ServeEngine, ServeReport, ServeRequest,
+    ShardAssignment,
 };
 use pqc_workloads::{shared_prefix_trace, MethodSpec, TraceConfig, VocabLayout};
 use std::time::Instant;
@@ -434,6 +435,101 @@ fn bench_slo_tail(model: &Model, cfg: &Config) -> SloRow {
     }
 }
 
+/// The crash-recovery comparison: checkpoint cadence overhead on a clean
+/// run, and the recovered-token fraction when a shard dies mid-run.
+struct RecoveryRow {
+    sessions: usize,
+    checkpoint_interval: u64,
+    base_wall_s: f64,
+    ckpt_wall_s: f64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    kill_tick: u64,
+    recovered_sessions: u64,
+    recovered_tokens: u64,
+    tokens: u64,
+}
+
+impl RecoveryRow {
+    fn overhead(&self) -> f64 {
+        self.ckpt_wall_s / self.base_wall_s.max(1e-9) - 1.0
+    }
+    fn recovered_fraction(&self) -> f64 {
+        self.recovered_tokens as f64 / self.tokens.max(1) as f64
+    }
+}
+
+/// Three runs over the same 8-session fleet: checkpointing off (base wall),
+/// checkpointing every 4 ticks (overhead numerator), and checkpointing plus
+/// a worker kill mid-decode (failover). Walls are min-of-3 — the overhead
+/// is a ratio of two small numbers, so scheduler noise must not decide the
+/// gate. Both the cadence and the failover must leave every request's
+/// tokens exactly equal to the base run's: the overhead being measured is
+/// the cost of durability, never a behaviour change.
+fn bench_recovery(model: &Model, cfg: &Config) -> RecoveryRow {
+    let sessions = 8usize;
+    let interval = 4u64;
+    // Not a multiple of the interval: the last checkpoints strictly predate
+    // the kill, so failover replays a real gap.
+    let kill_tick = if cfg.quick { 6 } else { 18 };
+    let prompts = fleet_prompts(sessions, cfg.quick);
+    let serve_cfg = ServeConfig {
+        shards: 2,
+        max_active_per_shard: sessions.div_ceil(2),
+        queue_capacity: sessions,
+        assignment: ShardAssignment::RoundRobin,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let ckpt_cfg = ServeConfig { checkpoint_every_ticks: Some(interval), ..serve_cfg.clone() };
+    let run = |scfg: &ServeConfig| -> ServeReport {
+        ServeEngine::run(model, scfg, make_requests(model, cfg, &prompts)).expect("config")
+    };
+    let _ = run(&serve_cfg); // warm-up
+    let (mut base_wall_s, mut ckpt_wall_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut base, mut ckpt) = (None, None);
+    for _ in 0..3 {
+        let b = run(&serve_cfg);
+        base_wall_s = base_wall_s.min(b.wall.as_secs_f64());
+        base = Some(b);
+        let c = run(&ckpt_cfg);
+        ckpt_wall_s = ckpt_wall_s.min(c.wall.as_secs_f64());
+        ckpt = Some(c);
+    }
+    let (base, ckpt) = (base.expect("3 iters"), ckpt.expect("3 iters"));
+    for a in &base.completions {
+        let b = ckpt.completion(a.id).expect("id present under checkpointing");
+        assert_eq!(a.generated, b.generated, "checkpointing changed request {}", a.id);
+    }
+
+    let fail_cfg = ServeConfig {
+        faults: Some(FaultPlan::seeded(0xFA11).with_worker_kill(0, kill_tick)),
+        ..ckpt_cfg
+    };
+    let failed =
+        ServeEngine::run(model, &fail_cfg, make_requests(model, cfg, &prompts)).expect("config");
+    assert_eq!(failed.worker_panics, 1, "the planned kill must fire");
+    for a in &base.completions {
+        let b = failed.completion(a.id).expect("id present under failover");
+        assert!(b.is_success(), "request {} lost to the kill: {:?}", a.id, b.failure);
+        assert_eq!(a.generated, b.generated, "failover changed request {}", a.id);
+    }
+
+    RecoveryRow {
+        sessions,
+        checkpoint_interval: interval,
+        base_wall_s,
+        ckpt_wall_s,
+        checkpoints: ckpt.total_checkpoints(),
+        checkpoint_bytes: ckpt.total_checkpoint_bytes(),
+        kill_tick,
+        recovered_sessions: failed.total_recovered_sessions(),
+        recovered_tokens: failed.total_recovered_tokens(),
+        tokens: ckpt.tokens_decoded(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one flat emitter for the whole record
 fn write_json(
     path: &std::path::Path,
     mode: &str,
@@ -442,6 +538,7 @@ fn write_json(
     long: &LongRow,
     prefix: &PrefixRow,
     slo: &SloRow,
+    recovery: &RecoveryRow,
 ) {
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -538,7 +635,7 @@ fn write_json(
          \"note\": \"{} short high-priority requests queued behind a {}-token prompt on 1 \
          shard / 2 slots; fair share is monolithic single-class admission, SLO is chunked \
          prefill ({} tokens/tick) + priority scheduling; p99 TTFT of the short class, \
-         decodes bit-identical across both runs; gate: ttft_speedup >= 5.0 in full mode\"}}\n",
+         decodes bit-identical across both runs; gate: ttft_speedup >= 5.0 in full mode\"}},\n",
         slo.long_prompt,
         slo.short_prompt,
         slo.shorts,
@@ -549,6 +646,32 @@ fn write_json(
         slo.shorts,
         slo.long_prompt,
         slo.chunk_tokens,
+    ));
+    out.push_str(&format!(
+        "  \"recovery\": {{\"sessions\": {}, \"checkpoint_interval_ticks\": {}, \
+         \"base_wall_s\": {:.6}, \"ckpt_wall_s\": {:.6}, \"checkpoint_overhead\": {:.4}, \
+         \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"kill_tick\": {}, \
+         \"recovered_sessions\": {}, \"recovered_tokens\": {}, \
+         \"recovered_token_fraction\": {:.4}, \
+         \"note\": \"{} sessions / 2 shards checkpointed every {} ticks; overhead is the \
+         min-of-3 wall ratio vs checkpointing off (both runs bit-identical); the failover \
+         column kills shard 0 at tick {} and replays its sessions on the survivor, again \
+         bit-identical; gates: checkpoint_overhead <= 0.10 and recovered_tokens > 0 in \
+         full mode\"}}\n",
+        recovery.sessions,
+        recovery.checkpoint_interval,
+        recovery.base_wall_s,
+        recovery.ckpt_wall_s,
+        recovery.overhead(),
+        recovery.checkpoints,
+        recovery.checkpoint_bytes,
+        recovery.kill_tick,
+        recovery.recovered_sessions,
+        recovery.recovered_tokens,
+        recovery.recovered_fraction(),
+        recovery.sessions,
+        recovery.checkpoint_interval,
+        recovery.kill_tick,
     ));
     out.push_str("}\n");
     std::fs::write(path, out).expect("write BENCH_serve.json");
@@ -572,6 +695,7 @@ fn main() {
     let long = bench_long_context(&model, &cfg);
     let prefix = bench_prefix_cache(&model, &cfg);
     let slo = bench_slo_tail(&model, &cfg);
+    let recovery = bench_recovery(&model, &cfg);
 
     println!(
         "{:>8} {:>7} {:>8} {:>12} {:>12} {:>14} {:>10} {:>12}",
@@ -629,6 +753,23 @@ fn main() {
         slo.ttft_speedup()
     );
 
+    println!(
+        "\nrecovery ({} sessions, checkpoint every {} ticks): overhead {:.1}% \
+         ({:.4}s -> {:.4}s, {} checkpoints / {} bytes); kill at tick {}: {} sessions / {} \
+         tokens replayed bit-identically ({:.0}% of decode)",
+        recovery.sessions,
+        recovery.checkpoint_interval,
+        100.0 * recovery.overhead(),
+        recovery.base_wall_s,
+        recovery.ckpt_wall_s,
+        recovery.checkpoints,
+        recovery.checkpoint_bytes,
+        recovery.kill_tick,
+        recovery.recovered_sessions,
+        recovery.recovered_tokens,
+        100.0 * recovery.recovered_fraction()
+    );
+
     // Acceptance gate: ≥ 2× aggregate tokens/sec at 8 sessions. The
     // modeled number is hardware-independent and gates in full mode; the
     // wall-clock number additionally gates when the host has the cores to
@@ -678,11 +819,24 @@ fn main() {
         gate_failed = true;
     }
 
+    // Recovery gates: checkpointing must cost at most 10% of wall, and a
+    // mid-run kill must actually replay tokens (failover exercised, not
+    // vacuously green).
+    let overhead = recovery.overhead();
+    if overhead > 0.10 {
+        println!("GATE MISS: checkpoint overhead {:.1}% above 10%", 100.0 * overhead);
+        gate_failed = true;
+    }
+    if recovery.recovered_tokens == 0 {
+        println!("GATE MISS: shard kill at tick {} recovered no tokens", recovery.kill_tick);
+        gate_failed = true;
+    }
+
     let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| {
         format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"))
     });
     let path = std::path::PathBuf::from(path);
-    write_json(&path, mode, cores, &rows, &long, &prefix, &slo);
+    write_json(&path, mode, cores, &rows, &long, &prefix, &slo, &recovery);
     println!("\nwrote {}", path.display());
     if gate_failed && !quick {
         std::process::exit(1);

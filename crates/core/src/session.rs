@@ -68,7 +68,7 @@ const LAZY_INIT_THRESHOLD: usize = 16;
 pub struct SelectiveSession<'m> {
     model: &'m Model,
     cfg: SessionConfig,
-    policy: Box<dyn SelectionPolicy>,
+    policy: Box<dyn SelectionPolicy + Send>,
     policy_ready: bool,
     /// Middle budget per step (already includes "(C)" compensation for
     /// dropping policies).
@@ -167,7 +167,7 @@ impl<'m> SelectiveSession<'m> {
     /// prompts).
     pub fn start(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        mut policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         tokens: &[u32],
     ) -> SessionStart<'m> {
@@ -199,7 +199,7 @@ impl<'m> SelectiveSession<'m> {
     /// prefill across several sessions — the benchmark suite does this).
     pub fn start_from_prefill(
         model: &'m Model,
-        policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
     ) -> SessionStart<'m> {
@@ -213,7 +213,7 @@ impl<'m> SelectiveSession<'m> {
     /// [`pqc_cache::CacheBudget`].
     pub fn start_from_prefill_in(
         model: &'m Model,
-        policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
@@ -230,7 +230,7 @@ impl<'m> SelectiveSession<'m> {
     /// up front via [`SessionConfig::validate`].
     pub fn try_start_from_prefill_in(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        mut policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
@@ -251,7 +251,7 @@ impl<'m> SelectiveSession<'m> {
     /// deterministically seeded, so either path decodes bit-identically.
     pub fn start_from_shared_prefix(
         model: &'m Model,
-        policy: Box<dyn SelectionPolicy>,
+        policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
@@ -265,7 +265,7 @@ impl<'m> SelectiveSession<'m> {
     /// contract as [`SelectiveSession::try_start_from_prefill_in`].
     pub fn try_start_from_shared_prefix(
         model: &'m Model,
-        mut policy: Box<dyn SelectionPolicy>,
+        mut policy: Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
@@ -278,7 +278,7 @@ impl<'m> SelectiveSession<'m> {
 
     fn from_prefill(
         model: &'m Model,
-        policy: &mut Box<dyn SelectionPolicy>,
+        policy: &mut Box<dyn SelectionPolicy + Send>,
         cfg: SessionConfig,
         prefill: &PrefillOutput,
         resources: SessionResources,
@@ -662,6 +662,81 @@ impl<'m> SelectiveSession<'m> {
         })
     }
 
+    /// Snapshot this session **without evicting it**: the crash-recovery
+    /// checkpoint path. Produces a [`SuspendedSession`] that resumes into a
+    /// session decoding bit-identically to this one from this exact point,
+    /// while `self` keeps running untouched:
+    ///
+    /// - the GPU-resident state (initial segment + local window) is
+    ///   offloaded into a fresh pinned swap namespace, exactly as
+    ///   [`SelectiveSession::suspend`] would;
+    /// - the middle store is forked copy-on-write
+    ///   ([`pqc_memhier::KvTier::fork_namespace`]) — no bytes move, the
+    ///   snapshot just retains the live pages; the live session's later
+    ///   appends CoW away from the frozen tail;
+    /// - the policy is deep-copied via [`SelectionPolicy::fork`].
+    ///
+    /// Returns `Ok(None)` — checkpoint skipped, session unaffected — when
+    /// the policy is not forkable, the local windows are not full (mid-
+    /// prefill), or a store fault is already pending. Returns `Err` when
+    /// the swap offload exhausts a capped pool (the partial swap is rolled
+    /// back; the live session is still unaffected).
+    pub fn checkpoint(
+        &self,
+        tier: &pqc_memhier::KvTier,
+    ) -> Result<Option<SuspendedSession>, MemError> {
+        if self.pending_fault.is_some() {
+            return Ok(None);
+        }
+        let Some(policy) = self.policy.fork() else {
+            return Ok(None);
+        };
+        let mcfg = self.model.config();
+        let dh = mcfg.head_dim;
+        if self.local.iter().flatten().any(|w| w.len() != self.cfg.n_local) {
+            return Ok(None);
+        }
+        let mut swap = tier.new_namespace();
+        for l in 0..mcfg.n_layers {
+            for h in 0..mcfg.n_kv_heads {
+                let window = &self.local[l][h];
+                let rows = self.cfg.n_init + window.len();
+                let mut k = Matrix::zeros(rows, dh);
+                let mut v = Matrix::zeros(rows, dh);
+                for i in 0..self.cfg.n_init {
+                    k.copy_row_from(i, self.init_k[l][h].row(i));
+                    v.copy_row_from(i, self.init_v[l][h].row(i));
+                }
+                for (i, (wk, wv)) in window.iter().enumerate() {
+                    k.copy_row_from(self.cfg.n_init + i, wk);
+                    v.copy_row_from(self.cfg.n_init + i, wv);
+                }
+                swap.try_offload(l, h, k, v)?; // drop of `swap` rolls back
+            }
+        }
+        Ok(Some(SuspendedSession {
+            cfg: self.cfg,
+            policy,
+            policy_ready: self.policy_ready,
+            budget_middle: self.budget_middle,
+            store: PinnedStore::new(tier.fork_namespace(&self.store)),
+            swap: PinnedStore::new(swap),
+            pos: self.pos,
+            steps: self.steps,
+            policy_comm_bytes: self.policy_comm_bytes,
+            last_selected: self.last_selected.clone(),
+        }))
+    }
+
+    /// Deterministic fault injection: flip one bit in the middle store's
+    /// (layer, head) chain tail (see [`pqc_memhier::HostKvStore::corrupt_slot`];
+    /// a tail shared with a checkpoint is CoW-copied first, so snapshots
+    /// keep the intact bytes). The next verified fetch of that slot latches
+    /// the corruption as a [`StepError::Store`] fault.
+    pub fn corrupt_middle_slot(&mut self, layer: usize, head: usize, bit: u64) -> bool {
+        self.store.corrupt_slot(layer, head, bit)
+    }
+
     fn maybe_lazy_init(&mut self) {
         if self.policy_ready {
             return;
@@ -706,7 +781,7 @@ struct SessionParts<'m> {
 }
 
 impl<'m> SessionParts<'m> {
-    fn into_start(self, policy: Box<dyn SelectionPolicy>, logits: Vec<f32>) -> SessionStart<'m> {
+    fn into_start(self, policy: Box<dyn SelectionPolicy + Send>, logits: Vec<f32>) -> SessionStart<'m> {
         let last_selected = vec![vec![Vec::new(); self.n_kv_heads]; self.n_layers];
         SessionStart {
             session: SelectiveSession {
@@ -795,7 +870,7 @@ impl Drop for PinnedStore {
 /// releases everything cleanly.
 pub struct SuspendedSession {
     cfg: SessionConfig,
-    policy: Box<dyn SelectionPolicy>,
+    policy: Box<dyn SelectionPolicy + Send>,
     policy_ready: bool,
     budget_middle: usize,
     /// The untouched middle-region namespace (pinned).
@@ -854,6 +929,15 @@ impl SuspendedSession {
     /// completion so engine-aggregate accounting stays exact.
     pub fn swap_stats(&self) -> TransferStats {
         self.swap.get().stats()
+    }
+
+    /// Verify every page this parked session references — middle store and
+    /// swap namespace — against its stored checksum: the pre-resume
+    /// integrity gate. A checkpoint that fails here must be discarded, not
+    /// resumed.
+    pub fn verify(&self) -> Result<(), MemError> {
+        self.store.get().verify()?;
+        self.swap.get().verify()
     }
 
     /// Revive the session: fetch the initial segment + local window back
@@ -984,7 +1068,12 @@ impl KvSource for SelectiveSession<'_> {
             ordered.extend_from_slice(&lookup.misses);
             ordered.sort_unstable();
             if !lookup.misses.is_empty() {
-                let _ = self.store.fetch(layer, kv_head, &lookup.misses);
+                // The fetch is metered and checksum-verified; a corrupt page
+                // latches a fault the fallible step wrapper surfaces, so the
+                // poisoned logits are never served.
+                if let Err(e) = self.store.try_fetch(layer, kv_head, &lookup.misses) {
+                    self.pending_fault.get_or_insert(e);
+                }
             }
             self.store.gather_host(layer, kv_head, &ordered)
         };
@@ -1628,6 +1717,109 @@ mod tests {
         let a = twin.decode(next);
         let b = victim.decode(vnext);
         assert_eq!(a.logits, b.logits, "victim must decode unharmed after the failed suspend");
+    }
+
+    #[test]
+    fn checkpoint_resumes_bit_identically_while_original_keeps_running() {
+        // The crash-recovery contract: checkpoint() must not perturb the
+        // live session, and the checkpoint must resume into a session that
+        // replays the live session's future bit for bit.
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 81);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let (mut a, mut b, mut next) = tiered_twins(&model, &tier, &toks, 4);
+
+        let ckpt = b.checkpoint(&tier).expect("uncapped tier").expect("PQCache is forkable");
+        assert_eq!(ckpt.steps(), 4);
+        assert!(ckpt.swap_stats().d2h_bytes > 0, "checkpoint offload is metered");
+        ckpt.verify().expect("fresh checkpoint verifies");
+
+        // The live session keeps decoding, unaffected by the snapshot.
+        let replay_next = next;
+        let mut live_logits = Vec::new();
+        for _ in 0..5 {
+            let da = a.decode(next);
+            let db = b.decode(next);
+            assert_eq!(da.logits, db.logits, "checkpoint perturbed the live session");
+            live_logits.push(db.logits);
+            next = da.greedy();
+        }
+
+        // Resume the checkpoint: it must replay those same 5 steps exactly.
+        let c = cfg();
+        let cache = SessionResources::standalone(&model, &c).cache;
+        let (mut revived, _) = ckpt.resume(&model, cache);
+        assert_eq!(revived.steps(), 4);
+        let mut rnext = replay_next;
+        for (step, expect) in live_logits.iter().enumerate() {
+            let d = revived.decode(rnext);
+            assert_eq!(&d.logits, expect, "replayed step {step} diverged");
+            rnext = d.greedy();
+        }
+        drop(b);
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+    }
+
+    #[test]
+    fn corrupted_live_session_faults_but_checkpoint_survives() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(80, 82);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let (_, mut b, mut next) = tiered_twins(&model, &tier, &toks, 4);
+        let ckpt = b.checkpoint(&tier).expect("uncapped").expect("forkable");
+
+        assert!(b.corrupt_middle_slot(0, 0, 9));
+        ckpt.verify().expect("snapshot holds the pre-corruption bytes");
+
+        // The live session must fault with the typed corruption error as
+        // soon as a fetch touches the bad chain — never serving the bytes.
+        let mut scratch = SessionScratch::new();
+        let mut fault = None;
+        for _ in 0..8 {
+            match b.try_step_with_scratch(next, &mut scratch) {
+                Ok(out) => next = out.greedy(),
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
+        }
+        match fault.expect("corrupt chain must be fetched within a few steps") {
+            StepError::Store(MemError::PageCorrupt { .. }) => {}
+            other => panic!("expected PageCorrupt, got {other:?}"),
+        }
+        drop(b);
+        drop(ckpt);
+        assert_eq!(tier.allocator().pinned_pages(), 0);
+        assert_eq!(tier.allocator().pages_in_use(), 0);
+    }
+
+    #[test]
+    fn checkpoint_skips_unforkable_policies() {
+        let model = Model::new(LlmConfig::tiny());
+        let toks = prompt(48, 83);
+        let mcfg = model.config();
+        let tier = pqc_memhier::KvTier::new(mcfg.n_layers, mcfg.n_kv_heads, mcfg.head_dim);
+        let c = cfg();
+        let prefill = model.prefill(&toks, &SelectiveSession::prefill_options(&c, toks.len()));
+        let start = SelectiveSession::start_from_prefill_in(
+            &model,
+            Box::new(StreamingLlmPolicy),
+            c,
+            &prefill,
+            SessionResources {
+                store: tier.new_namespace(),
+                cache: SessionResources::standalone(&model, &c).cache,
+            },
+        );
+        let session = start.session;
+        assert!(
+            session.checkpoint(&tier).expect("no store fault").is_none(),
+            "non-forkable policy must skip checkpointing"
+        );
+        assert_eq!(tier.allocator().pinned_pages(), 0);
     }
 
     #[test]

@@ -287,6 +287,25 @@ impl KvTier {
         store
     }
 
+    /// Fork `store` into a fresh namespace that shares its pages
+    /// copy-on-write (refcounts bumped, zeroed stats) but — unlike
+    /// [`HostKvStore::clone`] — stays **attached to the tier aggregate**.
+    /// This is the checkpoint path: a snapshot namespace is a first-class
+    /// tier citizen whose later traffic (none, in the happy path) must obey
+    /// the engine-wide `aggregate == Σ namespace stats` invariant.
+    pub fn fork_namespace(&self, store: &HostKvStore) -> HostKvStore {
+        assert!(
+            self.alloc.same_pool(&store.alloc),
+            "fork_namespace: store does not belong to this tier"
+        );
+        let mut fork = self.new_namespace();
+        for slot in store.slots.iter().flatten() {
+            self.alloc.retain_chain(&slot.pages);
+        }
+        fork.slots = store.slots.clone();
+        fork
+    }
+
     /// Register `tokens` as a shareable prefix backed by `store`'s current
     /// page tables (snapshotted and refcount-retained; the registrant keeps
     /// appending privately via copy-on-write). Returns `false` when the
@@ -656,6 +675,7 @@ impl HostKvStore {
         }
         let idx = self.slot_index(layer, head);
         let slot = self.slots[idx].as_ref().ok_or(MemError::EmptySlot { layer, head })?;
+        self.alloc.verify_chain(&slot.pages)?;
         let (keys, values) = self.alloc.gather(&slot.pages, slot.rows, token_ids);
         let bytes = (2 * token_ids.len() * self.head_dim * WIRE_BYTES_PER_ELEM) as u64;
         self.meter(|st| {
@@ -723,6 +743,30 @@ impl HostKvStore {
     /// prefill).
     pub fn reset_stats(&self) {
         *self.stats.lock() = TransferStats::default();
+    }
+
+    /// Verify every page this namespace references against its stored
+    /// checksum (resume/restore path: corrupt KV must be detected *before*
+    /// a recovered session decodes from it, not when the bad row happens to
+    /// be fetched).
+    pub fn verify(&self) -> Result<(), MemError> {
+        for slot in self.slots.iter().flatten() {
+            self.alloc.verify_chain(&slot.pages)?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic fault injection: flip one bit of K data in the given
+    /// slot's tail page (see [`PageAllocator::corrupt_chain_tail`] — a
+    /// shared tail is copy-on-write copied first so only this namespace
+    /// observes the corruption). Returns `false` when the slot holds no
+    /// data to corrupt.
+    pub fn corrupt_slot(&mut self, layer: usize, head: usize, bit: u64) -> bool {
+        let idx = self.slot_index(layer, head);
+        match self.slots[idx].as_mut() {
+            Some(slot) => self.alloc.corrupt_chain_tail(&mut slot.pages, bit),
+            None => false,
+        }
     }
 
     /// Pin every page this namespace references (suspend path: a preempted
@@ -1103,6 +1147,72 @@ mod tests {
         // Zero-row fetch stays Ok even on an empty slot.
         let (k, v) = store.try_fetch(1, 1, &[]).expect("empty id list");
         assert_eq!((k.rows(), v.rows()), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_slot_is_detected_by_try_fetch_and_verify() {
+        let (mut store, _, _) = store_with_data(10, 4);
+        store.verify().expect("intact store verifies");
+        assert!(store.corrupt_slot(0, 0, 3));
+        let err = store.try_fetch(0, 0, &[0]).expect_err("corrupt page must not serve");
+        assert!(matches!(err, MemError::PageCorrupt { .. }));
+        assert!(store.verify().is_err());
+        // Untouched slots still serve: corruption is detected per-chain.
+        assert!(!store.corrupt_slot(1, 1, 0), "empty slot has nothing to corrupt");
+        // A failed fetch meters nothing — corrupt bytes never cross the link.
+        let before = store.stats();
+        let _ = store.try_fetch(0, 0, &[1]);
+        assert_eq!(store.stats(), before);
+    }
+
+    #[test]
+    fn fork_namespace_shares_pages_and_stays_in_aggregate() {
+        let tier = KvTier::with_pages(1, 1, 4, 4, None);
+        let mut a = tier.new_namespace();
+        let mut rng = Rng64::new(13);
+        let k = Matrix::randn(6, 4, 1.0, &mut rng);
+        let v = Matrix::randn(6, 4, 1.0, &mut rng);
+        a.offload(0, 0, k.clone(), v.clone());
+        let pages_before = tier.allocator().pages_in_use();
+
+        let f = tier.fork_namespace(&a);
+        assert_ne!(f.namespace(), a.namespace());
+        assert_eq!(f.stats(), TransferStats::default(), "fork starts unmetered");
+        assert_eq!(tier.allocator().pages_in_use(), pages_before, "fork must not allocate");
+        assert_eq!(f.len(0, 0), 6);
+
+        // Fork traffic *does* land in the tier aggregate (unlike clone()).
+        let agg = tier.aggregate_stats();
+        let _ = f.fetch(0, 0, &[0]);
+        assert_eq!(tier.aggregate_stats(), agg + f.stats());
+
+        // CoW isolation: the source keeps appending without disturbing the
+        // fork's frozen rows.
+        a.append_token(0, 0, &[9.0; 4], &[9.0; 4]);
+        assert_eq!(f.len(0, 0), 6, "fork is a point-in-time snapshot");
+        let (fk, _) = f.gather_host(0, 0, &[5]);
+        assert_eq!(fk.row(0), k.row(5));
+
+        drop(a);
+        drop(f);
+        assert_eq!(tier.allocator().pages_in_use(), 0);
+    }
+
+    #[test]
+    fn corrupting_source_spares_the_fork() {
+        // The failure model behind checkpoint rollback: live data rots, the
+        // checkpoint fork must still verify and serve the original bytes.
+        let tier = KvTier::with_pages(1, 1, 2, 4, None);
+        let mut live = tier.new_namespace();
+        let mut rng = Rng64::new(17);
+        let k = Matrix::randn(5, 2, 1.0, &mut rng);
+        live.offload(0, 0, k.clone(), Matrix::randn(5, 2, 1.0, &mut rng));
+        let ckpt = tier.fork_namespace(&live);
+        assert!(live.corrupt_slot(0, 0, 7));
+        assert!(live.verify().is_err(), "live namespace sees the corruption");
+        ckpt.verify().expect("checkpoint keeps the intact original");
+        let (ck, _) = ckpt.gather_host(0, 0, &[4]);
+        assert_eq!(ck.row(0), k.row(4));
     }
 
     #[test]

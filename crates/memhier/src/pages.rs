@@ -53,6 +53,12 @@ pub enum MemError {
         /// KV-head index of the empty slot.
         head: usize,
     },
+    /// A page's stored checksum no longer matches its K/V contents: the
+    /// page was corrupted after it was written and must not be served.
+    PageCorrupt {
+        /// The tier-wide id of the corrupt page.
+        page: u32,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -63,6 +69,9 @@ impl std::fmt::Display for MemError {
             }
             MemError::EmptySlot { layer, head } => {
                 write!(f, "fetch from empty slot (layer {layer}, head {head})")
+            }
+            MemError::PageCorrupt { page } => {
+                write!(f, "kv page {page} failed its checksum (corrupt data)")
             }
         }
     }
@@ -101,6 +110,22 @@ impl std::iter::Sum for SharingStats {
     }
 }
 
+/// FNV-1a offset basis: every page checksum starts here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold a row of f32s into a running FNV-1a hash over their bit patterns.
+/// Element-wise and sequential, so folding row by row equals folding the
+/// page's flat buffer — verification can recompute in one pass.
+fn fnv_fold(mut h: u64, row: &[f32]) -> u64 {
+    for &x in row {
+        h ^= x.to_bits() as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// One fixed-size page of K and V rows.
 #[derive(Debug, Default)]
 struct Page {
@@ -113,6 +138,10 @@ struct Page {
     pinned: u32,
     /// Whether this page successfully claimed a budget slot.
     budgeted: bool,
+    /// Incrementally-maintained FNV-1a checksum of the K buffer.
+    ck: u64,
+    /// Incrementally-maintained FNV-1a checksum of the V buffer.
+    cv: u64,
 }
 
 #[derive(Debug)]
@@ -174,6 +203,8 @@ impl Pool {
         debug_assert!(p.pinned == 0, "recycled page {id} still pinned");
         p.pinned = 0;
         p.budgeted = budgeted;
+        p.ck = FNV_OFFSET;
+        p.cv = FNV_OFFSET;
         self.in_use += 1;
         self.peak_in_use = self.peak_in_use.max(self.in_use);
         Ok(id)
@@ -225,8 +256,20 @@ impl Pool {
         debug_assert!(p.rows < page_tokens, "append to a full page");
         p.k.extend_from_slice(key);
         p.v.extend_from_slice(value);
+        p.ck = fnv_fold(p.ck, key);
+        p.cv = fnv_fold(p.cv, value);
         p.rows += 1;
         p.rows - 1
+    }
+
+    /// Recompute the page's checksums from its contents and compare against
+    /// the incrementally-maintained ones.
+    fn verify(&self, id: u32) -> Result<(), MemError> {
+        let p = self.page(id);
+        if fnv_fold(FNV_OFFSET, &p.k) != p.ck || fnv_fold(FNV_OFFSET, &p.v) != p.cv {
+            return Err(MemError::PageCorrupt { page: id });
+        }
+        Ok(())
     }
 }
 
@@ -478,15 +521,17 @@ impl PageAllocator {
                     // Shared, partially-filled tail: copy-on-write. The
                     // other referents keep the frozen original.
                     let id = pool.try_alloc()?;
-                    let (k, v, rows) = {
+                    let (k, v, rows, ck, cv) = {
                         let p = pool.page(tail);
-                        (p.k.clone(), p.v.clone(), p.rows)
+                        (p.k.clone(), p.v.clone(), p.rows, p.ck, p.cv)
                     };
                     {
                         let np = &mut pool.pages[id as usize];
                         np.k = k;
                         np.v = v;
                         np.rows = rows;
+                        np.ck = ck;
+                        np.cv = cv;
                     }
                     pool.release(tail);
                     pool.cow_copies += 1;
@@ -499,6 +544,63 @@ impl PageAllocator {
             }
         }
         Ok(cow)
+    }
+
+    /// Verify every page in `chain` against its stored checksum. The first
+    /// mismatch returns [`MemError::PageCorrupt`] with the offending page
+    /// id; corrupt data is never gathered by the fallible read paths.
+    pub fn verify_chain(&self, chain: &[u32]) -> Result<(), MemError> {
+        let pool = self.pool.lock();
+        for &id in chain {
+            pool.verify(id)?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic corruption primitive for fault injection: flip one bit
+    /// of K data in the chain's tail page, leaving the stored checksum
+    /// stale so the next verified read detects it. A tail shared with other
+    /// referents (a checkpoint, a prefix sharer) is copy-on-write copied
+    /// first — only *this* chain observes the corruption, exactly like a
+    /// stray write into one namespace's resident data. Returns `false`
+    /// when there is nothing to corrupt (empty chain/page, or the CoW copy
+    /// could not be allocated under a page cap).
+    pub fn corrupt_chain_tail(&self, chain: &mut [u32], bit: u64) -> bool {
+        let mut pool = self.pool.lock();
+        let Some(&tail) = chain.last() else { return false };
+        let (rc, len) = {
+            let p = pool.page(tail);
+            (p.rc, p.k.len())
+        };
+        if len == 0 {
+            return false;
+        }
+        let id = if rc > 1 {
+            let Ok(id) = pool.try_alloc() else { return false };
+            let (k, v, rows, ck, cv) = {
+                let p = pool.page(tail);
+                (p.k.clone(), p.v.clone(), p.rows, p.ck, p.cv)
+            };
+            {
+                let np = &mut pool.pages[id as usize];
+                np.k = k;
+                np.v = v;
+                np.rows = rows;
+                np.ck = ck;
+                np.cv = cv;
+            }
+            pool.release(tail);
+            pool.cow_copies += 1;
+            *chain.last_mut().expect("tail exists") = id;
+            id
+        } else {
+            tail
+        };
+        let p = &mut pool.pages[id as usize];
+        let i = (bit as usize / 32) % p.k.len();
+        let b = (bit % 32) as u32;
+        p.k[i] = f32::from_bits(p.k[i].to_bits() ^ (1u32 << b));
+        true
     }
 
     /// Gather `ids` (logical offsets into a chain of `rows` rows) into
@@ -758,6 +860,78 @@ mod tests {
         assert!(e.to_string().contains("empty slot"));
         let p = MemError::PageExhausted { max_pages: 7 };
         assert!(p.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn verify_chain_passes_intact_and_detects_bit_flip() {
+        let alloc = PageAllocator::new(4, 2);
+        let mut chain = write_rows(&alloc, &Matrix::zeros(6, 2), &Matrix::zeros(6, 2));
+        alloc.verify_chain(&chain).expect("intact chain verifies");
+        assert!(alloc.corrupt_chain_tail(&mut chain, 17));
+        let err = alloc.verify_chain(&chain).expect_err("flip must be detected");
+        assert!(matches!(err, MemError::PageCorrupt { .. }));
+        assert!(err.to_string().contains("checksum"));
+        alloc.release_chain(&chain);
+    }
+
+    #[test]
+    fn corrupting_twice_with_same_bit_restores_the_page() {
+        // XOR is an involution: the same flip applied twice must verify again
+        // — the checksum really is content-derived, not a tamper flag.
+        let alloc = PageAllocator::new(4, 1);
+        let mut chain = write_rows(&alloc, &Matrix::zeros(3, 1), &Matrix::zeros(3, 1));
+        assert!(alloc.corrupt_chain_tail(&mut chain, 5));
+        alloc.verify_chain(&chain).expect_err("corrupt");
+        assert!(alloc.corrupt_chain_tail(&mut chain, 5));
+        alloc.verify_chain(&chain).expect("flip undone");
+        alloc.release_chain(&chain);
+    }
+
+    #[test]
+    fn corrupting_shared_tail_cows_so_sharer_stays_intact() {
+        let alloc = PageAllocator::new(4, 1);
+        let mut a = Vec::new();
+        for i in 0..3 {
+            append_row(&alloc, &mut a, &[i as f32], &[10.0 + i as f32]);
+        }
+        let b = a.clone();
+        alloc.retain_chain(&b);
+        assert!(alloc.corrupt_chain_tail(&mut a, 0));
+        assert_ne!(a[0], b[0], "corruption must land on a private copy");
+        assert_eq!(alloc.cow_copies(), 1);
+        alloc.verify_chain(&a).expect_err("writer sees the corruption");
+        alloc.verify_chain(&b).expect("sharer keeps the intact original");
+        let (kb, _) = alloc.gather(&b, 3, &[0, 1, 2]);
+        for i in 0..3 {
+            assert_eq!(kb.row(i), &[i as f32]);
+        }
+        alloc.release_chain(&a);
+        alloc.release_chain(&b);
+        assert_eq!(alloc.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn corrupt_empty_chain_reports_nothing_to_corrupt() {
+        let alloc = PageAllocator::new(4, 1);
+        let mut chain = Vec::new();
+        assert!(!alloc.corrupt_chain_tail(&mut chain, 3));
+        alloc.verify_chain(&chain).expect("empty chain trivially verifies");
+    }
+
+    #[test]
+    fn cow_append_carries_checksums_forward() {
+        // After a normal CoW append, both the frozen original and the
+        // writer's copy must still verify.
+        let alloc = PageAllocator::new(4, 1);
+        let mut a = Vec::new();
+        append_row(&alloc, &mut a, &[1.0], &[2.0]);
+        let b = a.clone();
+        alloc.retain_chain(&b);
+        assert!(append_row(&alloc, &mut a, &[3.0], &[4.0]));
+        alloc.verify_chain(&a).expect("writer copy verifies");
+        alloc.verify_chain(&b).expect("frozen original verifies");
+        alloc.release_chain(&a);
+        alloc.release_chain(&b);
     }
 
     #[test]

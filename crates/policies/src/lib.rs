@@ -268,6 +268,18 @@ pub trait SelectionPolicy {
         let _ = state;
         false
     }
+
+    /// Deep-copy this policy's *entire* trained and per-token state into an
+    /// independent instance — the checkpoint path. Unlike
+    /// [`Self::export_shared`] (prefix-time snapshot only), a fork must
+    /// capture mid-decode state (per-token codes appended by `on_evict`,
+    /// refreshed codebooks) such that the fork selects bit-identically to
+    /// the original from this point on. Policies that cannot guarantee that
+    /// return `None` (the default), and the serving layer simply skips
+    /// checkpointing sessions running them.
+    fn fork(&self) -> Option<Box<dyn SelectionPolicy + Send>> {
+        None
+    }
 }
 
 /// Combine a GQA group's queries into the single scoring query shared by

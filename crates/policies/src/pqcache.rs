@@ -324,6 +324,22 @@ impl SelectionPolicy for PqCachePolicy {
         self.ivf = shared.ivf.clone();
         true
     }
+
+    /// Deep-copy codebooks, per-token codes, and IVF tiers. Selection is a
+    /// pure function of (trained state, query, budget), and `on_evict`
+    /// mutates only the copied codes/tiers, so the fork selects
+    /// bit-identically to the original forever after — the checkpoint
+    /// contract. Scratch buffers start fresh (they are bit-transparent).
+    fn fork(&self) -> Option<Box<dyn SelectionPolicy + Send>> {
+        Some(Box::new(Self {
+            cfg: self.cfg,
+            books: self.books.clone(),
+            codes: self.codes.clone(),
+            ivf: self.ivf.clone(),
+            scratch: PolicyScratch::new(),
+            code_buf: Vec::new(),
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +586,35 @@ mod tests {
         let fake = SharedPolicyState::new("PQCache", std::sync::Arc::new(17u32));
         let mut p = PqCachePolicy::new(cfg(2, 6, 10));
         assert!(!p.import_shared(&fake));
+    }
+
+    #[test]
+    fn fork_selects_bit_identically_and_diverges_independently() {
+        let init = synthetic_init(2, 2, 140, 16, &[], 51);
+        let mut orig = PqCachePolicy::new(cfg(2, 6, 12));
+        orig.init(&init);
+        // Accrue some mid-decode state before forking.
+        let mut rng = Rng64::new(53);
+        let key: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        orig.on_evict(0, 0, &key, 140);
+
+        let mut forked = orig.fork().expect("PQCache is forkable");
+        for step in 0..5 {
+            let q = Matrix::randn(2, 16, 1.0, &mut rng);
+            let ctx =
+                PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 18, middle_len: 141 };
+            assert_eq!(orig.select(&ctx), forked.select(&ctx), "fork diverged at step {step}");
+        }
+        // Post-fork evictions are independent: mutating the original must
+        // not leak into the fork's code table.
+        let late: Vec<f32> = (0..16).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        orig.on_evict(0, 0, &late, 141);
+        let mut q = Matrix::zeros(1, 16);
+        q.copy_row_from(0, &late.iter().map(|v| v * 3.0).collect::<Vec<_>>());
+        let ctx = PolicyContext { layer: 0, kv_head: 0, queries: &q, budget: 3, middle_len: 142 };
+        assert!(orig.select(&ctx).contains(&141));
+        let sel = forked.select(&PolicyContext { middle_len: 141, queries: &q, ..ctx });
+        assert!(sel.iter().all(|&i| i < 141), "fork must not see post-fork evictions");
     }
 
     #[test]

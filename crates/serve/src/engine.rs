@@ -28,6 +28,41 @@
 //! the whole run, as a typed `Err` from [`ServeEngine::run`]. A seeded
 //! [`FaultPlan`] threaded through [`ServeConfig::faults`] provokes each
 //! fault class deterministically at chosen points.
+//!
+//! ## Crash recovery
+//!
+//! Three layers turn whole-worker loss and silent store corruption into
+//! recoverable, bounded events:
+//!
+//! - **Checkpointing** ([`ServeConfig::checkpoint_every_ticks`]): every k
+//!   ticks each resident session is snapshotted *without being evicted*
+//!   ([`SelectiveSession::checkpoint`]): the GPU-resident rows offload into
+//!   a pinned swap namespace, the host middle store is forked
+//!   copy-on-write, and the policy is deep-copied. Snapshots live in a
+//!   registry shared across shards; bytes and counts are metered
+//!   ([`ShardStats::checkpoints`], [`ShardStats::checkpoint_bytes`]).
+//! - **Shard failover**: when a worker dies mid-run (a real panic, or an
+//!   injected [`WorkerKill`](crate::faults::WorkerKill)), the run keeps
+//!   going. After the joins, each of the dead shard's in-flight sessions
+//!   that has a checkpoint is resumed and **replayed forward** on a healthy
+//!   shard — completions bit-identical to the fault-free run, each request
+//!   completing exactly once. In-flight sessions with no checkpoint fail
+//!   with the typed [`ServeError::ShardLost`] cause. Recovery replay runs
+//!   on the coordinator thread with no fault injection and no deadline
+//!   reaping (the failover host is assumed healthy; wall deadlines keep
+//!   ticking only in the report's wall clock).
+//! - **Integrity**: every KV page carries a checksum verified on fetch
+//!   (`pqc_memhier`), so corrupted bytes — e.g. an injected
+//!   [`BitFlip`](crate::faults::BitFlip) — are *never served*: the step
+//!   fails typed, and the session rolls back to its last good checkpoint
+//!   and replays ([`ShardStats::rollbacks`]), or fails with
+//!   [`ServeError::KvCorruption`] when no checkpoint exists.
+//!
+//! Accounting slack under recovery: a failed-over or rolled-back
+//! completion carries its pre-checkpoint traffic plus the replay's, but
+//! the lost worker's post-checkpoint traffic stays only in the tier
+//! aggregate — so `aggregate_transfer` can exceed the per-completion sum
+//! on runs that recovered (it still equals it on fault-free runs).
 
 use crate::error::{FailureCause, RetryPolicy, ServeError};
 use crate::faults::{FaultPlan, InjectedPanic};
@@ -44,9 +79,16 @@ use pqc_memhier::{
 };
 use pqc_policies::{SelectionPolicy, SharedPolicyState};
 use std::cmp::Reverse;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock: the recovery structures' invariants (plain maps
+/// and vectors) survive any interrupted critical section, and a dead
+/// worker must not cascade lock panics into the shards doing the failover.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Scheduling class of a request. Admission pops the highest class first
 /// (FIFO within a class), and a queued request **strictly** outranking a
@@ -128,6 +170,18 @@ pub struct ServeConfig {
     /// nothing; real faults flow through the same reporting paths either
     /// way.
     pub faults: Option<FaultPlan>,
+    /// Crash-recovery checkpoint cadence: every `k` scheduler ticks each
+    /// resident session is snapshotted through the paged host tier
+    /// ([`SelectiveSession::checkpoint`] — pinned swap pages + a
+    /// copy-on-write fork of the middle store, no eviction, no extra
+    /// middle-store copies) into a registry shared across shards. A shard
+    /// that later dies fails its checkpointed sessions over to healthy
+    /// shards; a session whose store turns out corrupt rolls back to its
+    /// snapshot. `None` (the default) checkpoints nothing — sessions on a
+    /// dead shard are lost with [`ServeError::ShardLost`]. Checkpointing
+    /// never changes results; it costs the periodic offload of the
+    /// GPU-resident rows (metered in [`ShardStats::checkpoint_bytes`]).
+    pub checkpoint_every_ticks: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +199,7 @@ impl Default for ServeConfig {
             page_tokens: DEFAULT_PAGE_TOKENS,
             prefill_chunk_tokens: None,
             faults: None,
+            checkpoint_every_ticks: None,
         }
     }
 }
@@ -177,6 +232,12 @@ impl ServeConfig {
             return Err(ConfigError::new(
                 "queue_capacity",
                 "round-robin needs queue capacity >= shards (one slot per shard queue)",
+            ));
+        }
+        if self.checkpoint_every_ticks == Some(0) {
+            return Err(ConfigError::new(
+                "checkpoint_every_ticks",
+                "checkpoint cadence must be positive (use None to disable checkpointing)",
             ));
         }
         if let Some(plan) = &self.faults {
@@ -215,6 +276,21 @@ pub struct ServeRequest {
     /// clock): a session still decoding `deadline` ticks after admission is
     /// reaped with [`ServeError::DeadlineExceeded`]. `None` never expires.
     pub deadline: Option<u64>,
+    /// Optional wall-clock deadline, measured from the run's epoch (batch
+    /// arrival): a request still in flight this long after admission is
+    /// reaped with the same [`ServeError::DeadlineExceeded`] taxonomy, the
+    /// tick fields carrying **milliseconds**. Unlike [`Self::deadline`]
+    /// this follows real time — it is an SLO class, not a reproducible
+    /// schedule bound. `None` never expires.
+    pub wall_deadline: Option<Duration>,
+    /// Earliest per-shard scheduler tick at which this request may be
+    /// admitted (0 = immediately). Set from a trace's `arrival_tick` to
+    /// replay recorded traffic time-accurately: the serving shard holds
+    /// the request — without consuming an admission retry — until its
+    /// clock reaches this tick. Deterministic under round-robin placement
+    /// (each shard's clock is its own); under first-free placement the
+    /// serving shard, and so the gating clock, depends on OS scheduling.
+    pub arrival_tick: u64,
     /// Bounded-retry policy applied when admission rejects the request.
     pub retry: RetryPolicy,
     /// Scheduling class. `Normal` (the default) keeps exact FIFO among
@@ -238,6 +314,8 @@ impl ServeRequest {
             decode_steps,
             policy,
             deadline: None,
+            wall_deadline: None,
+            arrival_tick: 0,
             retry: RetryPolicy::default(),
             priority: Priority::default(),
         }
@@ -246,6 +324,20 @@ impl ServeRequest {
     /// Set a deadline in scheduler ticks.
     pub fn with_deadline(mut self, ticks: u64) -> Self {
         self.deadline = Some(ticks);
+        self
+    }
+
+    /// Set a wall-clock deadline (an SLO class — see
+    /// [`Self::wall_deadline`] for the clock and reporting convention).
+    pub fn with_wall_deadline(mut self, deadline: Duration) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
+    }
+
+    /// Hold admission until the serving shard's clock reaches `tick`
+    /// (time-accurate trace replay — see [`Self::arrival_tick`]).
+    pub fn with_arrival_tick(mut self, tick: u64) -> Self {
+        self.arrival_tick = tick;
         self
     }
 
@@ -320,6 +412,11 @@ pub struct Completion {
     /// Times this session was preempted (suspended to the host tier and
     /// later resumed) by a higher-priority request.
     pub preemptions: u32,
+    /// True when crash recovery produced this completion: the session was
+    /// replayed forward from a checkpoint after its shard's worker died,
+    /// or rolled back to a checkpoint after store corruption. Recovered
+    /// output is bit-identical to the fault-free run.
+    pub recovered: bool,
 }
 
 impl Completion {
@@ -352,6 +449,21 @@ pub struct ShardStats {
     /// Prefill chunks executed (0 unless
     /// [`ServeConfig::prefill_chunk_tokens`] is set).
     pub prefill_chunks: u64,
+    /// Checkpoint snapshots taken on this shard (0 unless
+    /// [`ServeConfig::checkpoint_every_ticks`]).
+    pub checkpoints: u64,
+    /// Bytes offloaded device→host by checkpoint snapshots (the recurring
+    /// cost of crash recovery; the copy-on-write store fork moves nothing).
+    pub checkpoint_bytes: u64,
+    /// Sessions this shard served by replaying a dead shard's checkpoint
+    /// forward (metered on the *failover target*, not the dead shard).
+    pub recovered_sessions: u64,
+    /// Decode tokens produced during failover replay (post-checkpoint
+    /// tokens the dead shard lost and this shard regenerated).
+    pub recovered_tokens: u64,
+    /// Sessions rolled back to their last checkpoint after a KV page
+    /// failed its checksum mid-decode.
+    pub rollbacks: u64,
     /// Wall time spent prefilling + decoding (excludes queue waits).
     /// Caveat: on a host with fewer cores than shards this includes time
     /// preempted by sibling workers — use a per-shard single-thread run
@@ -434,6 +546,31 @@ impl ServeReport {
         self.shards.iter().map(|s| s.preemptions).sum()
     }
 
+    /// Total checkpoint snapshots across shards.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.shards.iter().map(|s| s.checkpoints).sum()
+    }
+
+    /// Total checkpoint device→host bytes across shards.
+    pub fn total_checkpoint_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.checkpoint_bytes).sum()
+    }
+
+    /// Total sessions recovered by failover replay.
+    pub fn total_recovered_sessions(&self) -> u64 {
+        self.shards.iter().map(|s| s.recovered_sessions).sum()
+    }
+
+    /// Total decode tokens regenerated by failover replay.
+    pub fn total_recovered_tokens(&self) -> u64 {
+        self.shards.iter().map(|s| s.recovered_tokens).sum()
+    }
+
+    /// Total corruption rollbacks across shards.
+    pub fn total_rollbacks(&self) -> u64 {
+        self.shards.iter().map(|s| s.rollbacks).sum()
+    }
+
     /// The busiest shard's occupied time — the modelled wall-clock of the
     /// run on a host with one core per shard (shards share nothing on the
     /// decode path, so their busy intervals overlap there).
@@ -453,6 +590,9 @@ struct Active<'m> {
     /// Per-shard tick at which the session was admitted (deadline base).
     admitted_tick: u64,
     deadline: Option<u64>,
+    /// Wall clock from the run's epoch at admission (wall-deadline base).
+    admitted_wall: Duration,
+    wall_deadline: Option<Duration>,
     retries: u32,
     priority: Priority,
     /// Set when the first token became known (end of prefill / adoption).
@@ -467,6 +607,8 @@ struct Active<'m> {
     /// a fresh budget-backed cache).
     extra_cache: CacheStats,
     preemptions: u32,
+    /// True once crash recovery touched this session (checkpoint rollback).
+    recovered: bool,
 }
 
 /// A request whose prompt is mid-prefill under chunked admission: it holds
@@ -479,6 +621,8 @@ struct Prefilling<'m> {
     decode_steps: usize,
     admitted_tick: u64,
     deadline: Option<u64>,
+    admitted_wall: Duration,
+    wall_deadline: Option<Duration>,
     retries: u32,
     priority: Priority,
 }
@@ -494,6 +638,8 @@ struct Parked {
     trace: Vec<StepTrace>,
     admitted_tick: u64,
     deadline: Option<u64>,
+    admitted_wall: Duration,
+    wall_deadline: Option<Duration>,
     retries: u32,
     priority: Priority,
     ttft_wall: Option<Duration>,
@@ -502,12 +648,51 @@ struct Parked {
     extra_transfer: TransferStats,
     extra_cache: CacheStats,
     preemptions: u32,
+    recovered: bool,
 }
 
-/// A request waiting out its admission-retry backoff.
+/// A request waiting out its admission-retry backoff — or, when
+/// `not_before` is its arrival tick, a trace-replay request holding for
+/// its recorded arrival time.
 struct Waiting {
     req: ServeRequest,
     not_before: u64,
+}
+
+/// A checkpoint snapshot plus everything needed to resume decoding from
+/// it on any shard: the scheduler-side session state the engine tracks
+/// outside the `SelectiveSession` itself. Lives in the cross-shard
+/// registry; replaced wholesale at the next checkpoint of the same id.
+/// Deadline state is deliberately absent — recovery replay does not reap.
+struct CheckpointEntry {
+    suspended: SuspendedSession,
+    next: u32,
+    remaining: usize,
+    generated: Vec<u32>,
+    trace: Vec<StepTrace>,
+    retries: u32,
+    priority: Priority,
+    ttft_wall: Option<Duration>,
+    ttft_ticks: Option<u64>,
+    decode_wall: Duration,
+    preemptions: u32,
+    /// Transfer accounted to the session up to the snapshot (live
+    /// namespace + earlier preemption swaps). The snapshot's forked
+    /// namespace meters from zero, so replay adds cleanly on top.
+    base_transfer: TransferStats,
+    /// Cache stats accounted up to the snapshot.
+    base_cache: CacheStats,
+}
+
+/// What the coordinator needs to account for a request that was on a shard
+/// when its worker died: enough to emit a typed [`ServeError::ShardLost`]
+/// completion when no checkpoint exists. One map per shard; a request
+/// enters when the shard pops it from the queue and leaves when its
+/// completion is published.
+struct InflightInfo {
+    priority: Priority,
+    retries: u32,
+    decode_steps: usize,
 }
 
 /// Index of the highest-priority entry; the earliest index wins ties, so a
@@ -564,11 +749,6 @@ enum Admit<'m> {
     Prefilling(Box<Prefilling<'m>>),
 }
 
-struct ShardOutput {
-    completions: Vec<Completion>,
-    stats: ShardStats,
-}
-
 /// The sharded multi-session serving engine. Stateless: each [`Self::run`]
 /// call owns its workers, tier, and budget for the duration of the batch.
 pub struct ServeEngine;
@@ -618,31 +798,57 @@ impl ServeEngine {
         };
         let start = Instant::now();
 
+        // Crash-recovery state shared across shards: workers publish
+        // finished completions incrementally (so a dying worker loses
+        // nothing already done), checkpoints live in a cross-shard
+        // registry, and each shard tracks what it has in flight so the
+        // coordinator can account every request of a dead shard.
+        let completions_shared: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+        let registry: Mutex<HashMap<u64, CheckpointEntry>> = Mutex::new(HashMap::new());
+        let inflight: Vec<Mutex<HashMap<u64, InflightInfo>>> =
+            (0..cfg.shards).map(|_| Mutex::new(HashMap::new())).collect();
+
         let (mut completions, shard_stats, worker_panics) = std::thread::scope(|scope| {
             let plan = &plan;
+            let completions_shared = &completions_shared;
+            let registry = &registry;
+            let inflight = &inflight;
             let handles: Vec<_> = (0..cfg.shards)
                 .map(|shard| {
                     let queue = &queues[shard % queues.len()];
                     let tier = tier.clone();
                     let budget = budget.clone();
                     scope.spawn(move || {
-                        Self::worker(model, cfg, plan, shard, queue, tier, budget, start)
+                        Self::worker(
+                            model,
+                            cfg,
+                            plan,
+                            shard,
+                            queue,
+                            tier,
+                            budget,
+                            start,
+                            completions_shared,
+                            registry,
+                            &inflight[shard],
+                        )
                     })
                 })
                 .collect();
 
             // The caller's thread is the producer: bounded pushes are the
-            // admission back-pressure. A bounced push (queue closed early —
-            // cannot happen in this lifecycle, but stay total) sheds the
-            // request instead of aborting the run.
+            // admission back-pressure. A push only bounces when a dying
+            // worker closed its queue first — shed the request as a shard
+            // loss instead of aborting the run.
             let mut completions = Vec::new();
             for (i, req) in requests.into_iter().enumerate() {
                 if let Err(req) = queues[i % queues.len()].push(req) {
+                    let shard = i % cfg.shards;
                     completions.push(Self::shed(
                         &req,
-                        0,
-                        ServeError::Admission { attempts: 0 },
-                        false,
+                        shard,
+                        ServeError::ShardLost { shard },
+                        !plan.worker_kills.is_empty(),
                         0,
                     ));
                 }
@@ -653,20 +859,34 @@ impl ServeEngine {
 
             let mut shard_stats = Vec::with_capacity(cfg.shards);
             let mut worker_panics = 0u64;
-            for h in handles {
+            let mut dead: Vec<usize> = Vec::new();
+            for (shard, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(out) => {
-                        completions.extend(out.completions);
-                        shard_stats.push(out.stats);
-                    }
+                    Ok(stats) => shard_stats.push(stats),
                     Err(_) => {
                         // A worker died outside the per-session isolation.
                         // Absorb it: the other shards' completions and the
-                        // report still come back.
+                        // report still come back, and the dead shard's
+                        // in-flight sessions fail over below.
                         worker_panics += 1;
+                        dead.push(shard);
                         shard_stats.push(ShardStats::default());
                     }
                 }
+            }
+            completions.append(&mut lock(completions_shared));
+            if !dead.is_empty() {
+                Self::recover_dead_shards(
+                    model,
+                    cfg,
+                    &budget,
+                    registry,
+                    inflight,
+                    &dead,
+                    &queues,
+                    &mut shard_stats,
+                    &mut completions,
+                );
             }
             (completions, shard_stats, worker_panics)
         });
@@ -711,7 +931,10 @@ impl ServeEngine {
         tier: KvTier,
         budget: CacheBudget,
         epoch: Instant,
-    ) -> ShardOutput {
+        completions_shared: &Mutex<Vec<Completion>>,
+        registry: &Mutex<HashMap<u64, CheckpointEntry>>,
+        inflight: &Mutex<HashMap<u64, InflightInfo>>,
+    ) -> ShardStats {
         let mut scratch = SessionScratch::new();
         let mut active: Vec<Active<'m>> = Vec::new();
         let mut prefilling: Vec<Prefilling<'m>> = Vec::new();
@@ -723,6 +946,9 @@ impl ServeEngine {
         let mut rejected: HashMap<u64, u32> = HashMap::new();
         let mut waiting: Vec<Waiting> = Vec::new();
         let mut stall_remaining: u64 = 0;
+        // Bit flips already injected: a rollback replays the trigger step,
+        // and the fault must not re-fire or recovery could never converge.
+        let mut fired_flips: HashSet<(u64, u64)> = HashSet::new();
 
         loop {
             // Admission: fill free slots (occupied by decoding + prefilling
@@ -767,6 +993,21 @@ impl ServeEngine {
                         None => break,
                     }
                 };
+                lock(inflight).insert(
+                    req.id,
+                    InflightInfo {
+                        priority: req.priority,
+                        retries: rejected.get(&req.id).copied().unwrap_or(0),
+                        decode_steps: req.decode_steps,
+                    },
+                );
+                if req.arrival_tick > stats.ticks {
+                    // Time-accurate replay: hold the request — consuming no
+                    // retry — until this shard's clock reaches its recorded
+                    // arrival (the idle-tick path below matures the clock).
+                    waiting.push(Waiting { not_before: req.arrival_tick, req });
+                    continue;
+                }
 
                 let Some(req) = Self::screen(
                     req,
@@ -804,7 +1045,8 @@ impl ServeEngine {
                 && parked.is_empty()
                 && waiting.is_empty()
             {
-                return ShardOutput { completions, stats };
+                Self::publish(&mut completions, completions_shared, registry, inflight);
+                return stats;
             }
             Self::retire(&mut active, &mut completions, shard);
 
@@ -830,6 +1072,19 @@ impl ServeEngine {
                         None => break,
                     }
                 };
+                lock(inflight).insert(
+                    req.id,
+                    InflightInfo {
+                        priority: req.priority,
+                        retries: rejected.get(&req.id).copied().unwrap_or(0),
+                        decode_steps: req.decode_steps,
+                    },
+                );
+                if req.arrival_tick > stats.ticks {
+                    // Not due yet: hold it without parking a victim.
+                    waiting.push(Waiting { not_before: req.arrival_tick, req });
+                    break;
+                }
                 let Some(req) = Self::screen(
                     req,
                     plan,
@@ -897,6 +1152,24 @@ impl ServeEngine {
             // shared scratch.
             let tick = stats.ticks;
             stats.ticks += 1;
+            // Publish finished completions at every tick boundary: if this
+            // worker dies, everything already done has left the thread.
+            Self::publish(&mut completions, completions_shared, registry, inflight);
+            if plan.kill_at(shard, tick) {
+                // A dying worker that exclusively owns its queue closes it
+                // first: a blocked producer push bounces (shed as a shard
+                // loss) instead of deadlocking, and stranded items stay
+                // drainable after the close. The first-free shared queue
+                // stays open for the surviving workers.
+                if cfg.assignment == ShardAssignment::RoundRobin || cfg.shards == 1 {
+                    queue.close();
+                }
+                // resume_unwind skips the panic hook: an injected crash
+                // must not spray a backtrace over every chaos run.
+                std::panic::resume_unwind(Box::new(format!(
+                    "injected worker kill: shard {shard} at tick {tick}"
+                )));
+            }
             if stall_remaining == 0 {
                 if let Some(t) = plan.stall_ticks(shard, tick) {
                     stall_remaining = t;
@@ -905,14 +1178,55 @@ impl ServeEngine {
             // Deadlines are checked every tick — including stalled ones: a
             // stalled shard is exactly how deadlines get blown. Mid-prefill
             // and parked sessions are reaped too.
-            Self::reap_deadlines(&mut active, &mut completions, shard, tick, &mut stats);
-            Self::reap_prefilling(&mut prefilling, &mut completions, shard, tick, &mut stats);
-            Self::reap_parked(&mut parked, &mut completions, shard, tick, &mut stats);
+            let now = epoch.elapsed();
+            Self::reap_deadlines(&mut active, &mut completions, shard, tick, now, &mut stats);
+            Self::reap_prefilling(&mut prefilling, &mut completions, shard, tick, now, &mut stats);
+            Self::reap_parked(&mut parked, &mut completions, shard, tick, now, &mut stats);
             if stall_remaining > 0 {
                 // Injected slow shard: hold the sessions, skip the work.
                 stall_remaining -= 1;
                 stats.degraded_steps += (active.len() + prefilling.len()) as u64;
                 continue;
+            }
+            // Checkpoint pass: snapshot every resident session through the
+            // paged tier without evicting it. Best effort per session — a
+            // pending store fault or unforkable policy mid-state skips this
+            // round (`Ok(None)`), pool exhaustion keeps the previous
+            // snapshot — and each snapshot is checksum-verified before it
+            // replaces the registry entry, so the registry only ever holds
+            // provably good state to roll back or fail over to.
+            if let Some(k) = cfg.checkpoint_every_ticks {
+                if tick % k == 0 && !active.is_empty() {
+                    let t0 = Instant::now();
+                    for a in active.iter() {
+                        if let Ok(Some(suspended)) = a.session.checkpoint(&tier) {
+                            if suspended.verify().is_ok() {
+                                stats.checkpoints += 1;
+                                stats.checkpoint_bytes += suspended.swap_stats().d2h_bytes;
+                                lock(registry).insert(
+                                    a.id,
+                                    CheckpointEntry {
+                                        suspended,
+                                        next: a.next,
+                                        remaining: a.remaining,
+                                        generated: a.generated.clone(),
+                                        trace: a.trace.clone(),
+                                        retries: a.retries,
+                                        priority: a.priority,
+                                        ttft_wall: a.ttft_wall,
+                                        ttft_ticks: a.ttft_ticks,
+                                        decode_wall: a.decode_wall,
+                                        preemptions: a.preemptions,
+                                        base_transfer: a.session.transfer_stats()
+                                            + a.extra_transfer,
+                                        base_cache: a.session.cache_stats() + a.extra_cache,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    stats.busy += t0.elapsed();
+                }
             }
             // Chunked prefill: the highest-priority prefill advances one
             // budgeted chunk per tick, interleaved with the decode loop
@@ -944,6 +1258,15 @@ impl ServeEngine {
                 let a = &mut active[i];
                 let token = a.next;
                 let inject = plan.panic_step(a.id).filter(|&s| s == a.session.steps());
+                if let Some(bit) = plan.bit_flip_at(a.id, a.session.steps()) {
+                    // Silent store corruption: flip a bit behind the
+                    // checksum's back. Detection happens on the next fetch
+                    // of the damaged slot — possibly steps later if intact
+                    // GPU copies mask it — never at injection.
+                    if fired_flips.insert((a.id, a.session.steps())) {
+                        a.session.corrupt_middle_slot(0, 0, bit);
+                    }
+                }
                 let s0 = Instant::now();
                 // The outer catch only ever sees the injected panic: it
                 // fires before the step, so the shared scratch is never
@@ -971,8 +1294,44 @@ impl ServeEngine {
                         continue;
                     }
                     Ok(Err(StepError::Store(e))) => {
-                        let injected = plan.page_limit.is_some()
-                            && matches!(e, MemError::PageExhausted { .. });
+                        if matches!(e, MemError::PageCorrupt { .. }) {
+                            // A page failed its checksum: the corrupt bytes
+                            // were never served (the fetch failed the step).
+                            // Roll back to the last good checkpoint and
+                            // replay in place; only a session with no
+                            // snapshot surfaces KvCorruption.
+                            if let Some(entry) = lock(registry).remove(&a.id) {
+                                let CheckpointEntry {
+                                    suspended,
+                                    next,
+                                    remaining,
+                                    generated,
+                                    trace,
+                                    base_transfer,
+                                    base_cache,
+                                    ..
+                                } = entry;
+                                if suspended.verify().is_ok() {
+                                    let (session, swap_transfer) =
+                                        suspended.resume(model, Self::fresh_cache(cfg, &budget));
+                                    a.session = session;
+                                    a.next = next;
+                                    a.remaining = remaining;
+                                    a.generated = generated;
+                                    a.trace = trace;
+                                    a.extra_transfer = base_transfer + swap_transfer;
+                                    a.extra_cache = base_cache;
+                                    a.recovered = true;
+                                    stats.rollbacks += 1;
+                                    i += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        let injected = (plan.page_limit.is_some()
+                            && matches!(e, MemError::PageExhausted { .. }))
+                            || (!plan.bit_flips.is_empty()
+                                && matches!(e, MemError::PageCorrupt { .. }));
                         (e.into(), injected)
                     }
                     Ok(Err(StepError::Poisoned { message })) => {
@@ -994,6 +1353,30 @@ impl ServeEngine {
             stats.busy += t0.elapsed();
             Self::retire(&mut active, &mut completions, shard);
         }
+    }
+
+    /// Publish a worker's locally buffered completions to the shared vec.
+    /// A published id leaves the in-flight map and drops its checkpoint —
+    /// it can no longer need recovery — so at any kill boundary the
+    /// in-flight map is exactly the set of incomplete requests.
+    fn publish(
+        local: &mut Vec<Completion>,
+        shared: &Mutex<Vec<Completion>>,
+        registry: &Mutex<HashMap<u64, CheckpointEntry>>,
+        inflight: &Mutex<HashMap<u64, InflightInfo>>,
+    ) {
+        if local.is_empty() {
+            return;
+        }
+        {
+            let mut reg = lock(registry);
+            let mut inf = lock(inflight);
+            for c in local.iter() {
+                reg.remove(&c.id);
+                inf.remove(&c.id);
+            }
+        }
+        lock(shared).append(local);
     }
 
     /// Injected admission screening: consume a planned rejection (retrying
@@ -1089,6 +1472,7 @@ impl ServeEngine {
                     ttft_ticks: None,
                     tpot_wall: None,
                     preemptions: 0,
+                    recovered: false,
                 });
             }
         }
@@ -1132,6 +1516,8 @@ impl ServeEngine {
                 trace: Vec::new(),
                 admitted_tick,
                 deadline: req.deadline,
+                admitted_wall: epoch.elapsed(),
+                wall_deadline: req.wall_deadline,
                 retries,
                 priority: req.priority,
                 // First token known now (prefill/adoption is one admission
@@ -1142,6 +1528,7 @@ impl ServeEngine {
                 extra_transfer: TransferStats::default(),
                 extra_cache: CacheStats::default(),
                 preemptions: 0,
+                recovered: false,
             })
         };
 
@@ -1187,6 +1574,8 @@ impl ServeEngine {
                 decode_steps: req.decode_steps,
                 admitted_tick,
                 deadline: req.deadline,
+                admitted_wall: epoch.elapsed(),
+                wall_deadline: req.wall_deadline,
                 retries,
                 priority: req.priority,
             })));
@@ -1229,8 +1618,19 @@ impl ServeEngine {
         plan: &FaultPlan,
         shard: usize,
     ) -> Result<Box<Active<'m>>, (Box<Completion>, u64)> {
-        let Prefilling { id, job, tokens, policy, decode_steps, admitted_tick, deadline, retries, priority } =
-            p;
+        let Prefilling {
+            id,
+            job,
+            tokens,
+            policy,
+            decode_steps,
+            admitted_tick,
+            deadline,
+            admitted_wall,
+            wall_deadline,
+            retries,
+            priority,
+        } = p;
         let prefill = job.finish();
         let resources =
             SessionResources { store: tier.new_namespace(), cache: Self::fresh_cache(cfg, budget) };
@@ -1253,6 +1653,8 @@ impl ServeEngine {
                     trace: Vec::new(),
                     admitted_tick,
                     deadline,
+                    admitted_wall,
+                    wall_deadline,
                     retries,
                     priority,
                     ttft_wall: Some(epoch.elapsed()),
@@ -1263,6 +1665,7 @@ impl ServeEngine {
                     extra_transfer: TransferStats::default(),
                     extra_cache: CacheStats::default(),
                     preemptions: 0,
+                    recovered: false,
                 }))
             }
             Err(e) => {
@@ -1284,6 +1687,7 @@ impl ServeEngine {
                         ttft_ticks: None,
                         tpot_wall: None,
                         preemptions: 0,
+                        recovered: false,
                     }),
                     decode_steps as u64,
                 ))
@@ -1309,6 +1713,8 @@ impl ServeEngine {
             trace,
             admitted_tick,
             deadline,
+            admitted_wall,
+            wall_deadline,
             retries,
             priority,
             ttft_wall,
@@ -1317,6 +1723,7 @@ impl ServeEngine {
             extra_transfer,
             extra_cache,
             preemptions,
+            recovered,
         } = a;
         match session.suspend(tier) {
             Ok(suspended) => Ok(Parked {
@@ -1328,6 +1735,8 @@ impl ServeEngine {
                 trace,
                 admitted_tick,
                 deadline,
+                admitted_wall,
+                wall_deadline,
                 retries,
                 priority,
                 ttft_wall,
@@ -1336,6 +1745,7 @@ impl ServeEngine {
                 extra_transfer,
                 extra_cache: extra_cache + cache_stats,
                 preemptions: preemptions + 1,
+                recovered,
             }),
             Err(e) => Err(Box::new(Active {
                 id,
@@ -1346,6 +1756,8 @@ impl ServeEngine {
                 trace,
                 admitted_tick,
                 deadline,
+                admitted_wall,
+                wall_deadline,
                 retries,
                 priority,
                 ttft_wall,
@@ -1354,6 +1766,7 @@ impl ServeEngine {
                 extra_transfer: extra_transfer + e.swap_transfer,
                 extra_cache,
                 preemptions,
+                recovered,
             })),
         }
     }
@@ -1377,6 +1790,8 @@ impl ServeEngine {
             trace,
             admitted_tick,
             deadline,
+            admitted_wall,
+            wall_deadline,
             retries,
             priority,
             ttft_wall,
@@ -1385,6 +1800,7 @@ impl ServeEngine {
             extra_transfer,
             extra_cache,
             preemptions,
+            recovered,
         } = p;
         let (session, swap_transfer) = suspended.resume(model, Self::fresh_cache(cfg, budget));
         Active {
@@ -1396,6 +1812,8 @@ impl ServeEngine {
             trace,
             admitted_tick,
             deadline,
+            admitted_wall,
+            wall_deadline,
             retries,
             priority,
             ttft_wall,
@@ -1404,6 +1822,7 @@ impl ServeEngine {
             extra_transfer: extra_transfer + swap_transfer,
             extra_cache,
             preemptions,
+            recovered,
         }
     }
 
@@ -1430,6 +1849,7 @@ impl ServeEngine {
             ttft_ticks: None,
             tpot_wall: None,
             preemptions: 0,
+            recovered: false,
         }
     }
 
@@ -1453,40 +1873,67 @@ impl ServeEngine {
             ttft_ticks: a.ttft_ticks,
             tpot_wall: (tokens > 0).then(|| a.decode_wall / tokens),
             preemptions: a.preemptions,
+            recovered: a.recovered,
         }
     }
 
     /// A completion for a session that failed mid-flight: partial output
     /// and real per-session stats, plus the classified cause.
     fn fail(a: Active<'_>, shard: usize, error: ServeError, injected: bool) -> Completion {
-        let step = a.session.steps();
+        // Decode steps *completed*, not attempted: a failed step attempt has
+        // already bumped the session's counter, but served no token — every
+        // failure class reports the same clock this way.
+        let step = a.generated.len() as u64;
         Self::complete(a, shard, Some(FailureCause { error, injected, step }))
     }
 
-    /// Reap sessions whose deadline elapsed (tick-based, deterministic).
+    /// The `DeadlineExceeded` payload for an expiry on either clock. The
+    /// deterministic tick deadline takes precedence when both elapsed; a
+    /// wall (SLO) expiry reports **milliseconds** in the tick fields.
+    fn deadline_cause(
+        deadline: Option<u64>,
+        wall_deadline: Option<Duration>,
+        elapsed_ticks: u64,
+        elapsed_wall: Duration,
+    ) -> ServeError {
+        if deadline.is_some_and(|d| elapsed_ticks >= d) {
+            ServeError::DeadlineExceeded {
+                deadline_ticks: deadline.unwrap_or(0),
+                elapsed_ticks,
+            }
+        } else {
+            ServeError::DeadlineExceeded {
+                deadline_ticks: wall_deadline.unwrap_or_default().as_millis() as u64,
+                elapsed_ticks: elapsed_wall.as_millis() as u64,
+            }
+        }
+    }
+
+    /// Reap sessions whose deadline elapsed on either clock: scheduler
+    /// ticks (deterministic) or wall time since admission (SLO classes).
     fn reap_deadlines(
         active: &mut Vec<Active<'_>>,
         completions: &mut Vec<Completion>,
         shard: usize,
         tick: u64,
+        now: Duration,
         stats: &mut ShardStats,
     ) {
         let mut i = 0;
         while i < active.len() {
-            let elapsed = tick - active[i].admitted_tick;
-            let expired =
-                active[i].remaining > 0 && active[i].deadline.is_some_and(|d| elapsed >= d);
+            let a = &active[i];
+            let elapsed = tick - a.admitted_tick;
+            let elapsed_wall = now.saturating_sub(a.admitted_wall);
+            let expired = a.remaining > 0
+                && (a.deadline.is_some_and(|d| elapsed >= d)
+                    || a.wall_deadline.is_some_and(|d| elapsed_wall >= d));
             if expired {
                 let a = active.swap_remove(i);
-                let deadline_ticks = a.deadline.unwrap_or(0);
+                let cause =
+                    Self::deadline_cause(a.deadline, a.wall_deadline, elapsed, elapsed_wall);
                 stats.failed += 1;
                 stats.shed_tokens += a.remaining as u64;
-                completions.push(Self::fail(
-                    a,
-                    shard,
-                    ServeError::DeadlineExceeded { deadline_ticks, elapsed_ticks: elapsed },
-                    false,
-                ));
+                completions.push(Self::fail(a, shard, cause, false));
             } else {
                 i += 1;
             }
@@ -1501,14 +1948,20 @@ impl ServeEngine {
         completions: &mut Vec<Completion>,
         shard: usize,
         tick: u64,
+        now: Duration,
         stats: &mut ShardStats,
     ) {
         let mut i = 0;
         while i < prefilling.len() {
-            let elapsed = tick - prefilling[i].admitted_tick;
-            if prefilling[i].deadline.is_some_and(|d| elapsed >= d) {
+            let p = &prefilling[i];
+            let elapsed = tick - p.admitted_tick;
+            let elapsed_wall = now.saturating_sub(p.admitted_wall);
+            let expired = p.deadline.is_some_and(|d| elapsed >= d)
+                || p.wall_deadline.is_some_and(|d| elapsed_wall >= d);
+            if expired {
                 let p = prefilling.swap_remove(i);
-                let deadline_ticks = p.deadline.unwrap_or(0);
+                let cause =
+                    Self::deadline_cause(p.deadline, p.wall_deadline, elapsed, elapsed_wall);
                 stats.failed += 1;
                 stats.shed_tokens += p.decode_steps as u64;
                 completions.push(Completion {
@@ -1519,20 +1972,14 @@ impl ServeEngine {
                     cache: CacheStats::default(),
                     sharing: SharingStats::default(),
                     trace: Vec::new(),
-                    failure: Some(FailureCause {
-                        error: ServeError::DeadlineExceeded {
-                            deadline_ticks,
-                            elapsed_ticks: elapsed,
-                        },
-                        injected: false,
-                        step: 0,
-                    }),
+                    failure: Some(FailureCause { error: cause, injected: false, step: 0 }),
                     retries: p.retries,
                     priority: p.priority,
                     ttft_wall: None,
                     ttft_ticks: None,
                     tpot_wall: None,
                     preemptions: 0,
+                    recovered: false,
                 });
             } else {
                 i += 1;
@@ -1549,16 +1996,21 @@ impl ServeEngine {
         completions: &mut Vec<Completion>,
         shard: usize,
         tick: u64,
+        now: Duration,
         stats: &mut ShardStats,
     ) {
         let mut i = 0;
         while i < parked.len() {
-            let elapsed = tick - parked[i].admitted_tick;
-            let expired =
-                parked[i].remaining > 0 && parked[i].deadline.is_some_and(|d| elapsed >= d);
+            let pk = &parked[i];
+            let elapsed = tick - pk.admitted_tick;
+            let elapsed_wall = now.saturating_sub(pk.admitted_wall);
+            let expired = pk.remaining > 0
+                && (pk.deadline.is_some_and(|d| elapsed >= d)
+                    || pk.wall_deadline.is_some_and(|d| elapsed_wall >= d));
             if expired {
                 let p = parked.swap_remove(i);
-                let deadline_ticks = p.deadline.unwrap_or(0);
+                let cause =
+                    Self::deadline_cause(p.deadline, p.wall_deadline, elapsed, elapsed_wall);
                 stats.failed += 1;
                 stats.shed_tokens += p.remaining as u64;
                 let step = p.suspended.steps();
@@ -1573,24 +2025,237 @@ impl ServeEngine {
                     sharing: p.suspended.sharing_stats(),
                     generated: p.generated,
                     trace: p.trace,
-                    failure: Some(FailureCause {
-                        error: ServeError::DeadlineExceeded {
-                            deadline_ticks,
-                            elapsed_ticks: elapsed,
-                        },
-                        injected: false,
-                        step,
-                    }),
+                    failure: Some(FailureCause { error: cause, injected: false, step }),
                     retries: p.retries,
                     priority: p.priority,
                     ttft_wall: p.ttft_wall,
                     ttft_ticks: p.ttft_ticks,
                     tpot_wall: (tokens > 0).then(|| p.decode_wall / tokens),
                     preemptions: p.preemptions,
+                    recovered: p.recovered,
                 });
             } else {
                 i += 1;
             }
+        }
+    }
+
+    /// Fail a dead shard's work over after the joins. Every request the
+    /// shard popped but never completed gets exactly one completion: a
+    /// checkpointed session replays forward on a surviving shard
+    /// (bit-identical to the fault-free run), the rest fail typed with
+    /// [`ServeError::ShardLost`]. Stranded queue items — pushed before the
+    /// dying worker closed its queue, never popped — are drained last.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_dead_shards(
+        model: &Model,
+        cfg: &ServeConfig,
+        budget: &CacheBudget,
+        registry: &Mutex<HashMap<u64, CheckpointEntry>>,
+        inflight: &[Mutex<HashMap<u64, InflightInfo>>],
+        dead: &[usize],
+        queues: &[BoundedQueue<ServeRequest>],
+        shard_stats: &mut [ShardStats],
+        completions: &mut Vec<Completion>,
+    ) {
+        let injected = cfg.faults.as_ref().is_some_and(|p| !p.worker_kills.is_empty());
+        let survivors: Vec<usize> = (0..cfg.shards).filter(|s| !dead.contains(s)).collect();
+        let mut scratch = SessionScratch::new();
+        let mut rr = 0usize;
+        for &shard in dead {
+            let mut lost: Vec<(u64, InflightInfo)> = lock(&inflight[shard]).drain().collect();
+            lost.sort_by_key(|&(id, _)| id);
+            for (id, info) in lost {
+                let Some(entry) = lock(registry).remove(&id) else {
+                    // Popped but never checkpointed: the session is gone.
+                    shard_stats[shard].failed += 1;
+                    shard_stats[shard].shed_tokens += info.decode_steps as u64;
+                    completions.push(Completion {
+                        id,
+                        shard,
+                        generated: Vec::new(),
+                        transfer: TransferStats::default(),
+                        cache: CacheStats::default(),
+                        sharing: SharingStats::default(),
+                        trace: Vec::new(),
+                        failure: Some(FailureCause {
+                            error: ServeError::ShardLost { shard },
+                            injected,
+                            step: 0,
+                        }),
+                        retries: info.retries,
+                        priority: info.priority,
+                        ttft_wall: None,
+                        ttft_ticks: None,
+                        tpot_wall: None,
+                        preemptions: 0,
+                        recovered: false,
+                    });
+                    continue;
+                };
+                // Round-robin the replays over the survivors (the dead
+                // shard itself when none survive — the coordinator does
+                // the work either way, only the metering label differs).
+                let target =
+                    survivors.get(rr % survivors.len().max(1)).copied().unwrap_or(shard);
+                rr += 1;
+                let already = entry.generated.len();
+                let remaining = entry.remaining;
+                let c = Self::replay_from_checkpoint(
+                    model, cfg, budget, id, entry, injected, target, &mut scratch,
+                );
+                let replayed = (c.generated.len() - already) as u64;
+                if c.is_success() {
+                    shard_stats[target].recovered_sessions += 1;
+                    shard_stats[target].recovered_tokens += replayed;
+                } else {
+                    shard_stats[target].failed += 1;
+                    shard_stats[target].shed_tokens += remaining as u64 - replayed;
+                }
+                completions.push(c);
+            }
+        }
+        // Only a per-shard queue strands items behind a single dead worker;
+        // the shared first-free queue goes undrained only when every worker
+        // died.
+        if queues.len() == cfg.shards {
+            for &shard in dead {
+                while let Some(req) = queues[shard].try_pop() {
+                    shard_stats[shard].failed += 1;
+                    shard_stats[shard].shed_tokens += req.decode_steps as u64;
+                    completions.push(Self::shed(
+                        &req,
+                        shard,
+                        ServeError::ShardLost { shard },
+                        injected,
+                        0,
+                    ));
+                }
+            }
+        } else if dead.len() == cfg.shards {
+            let shard = dead[0];
+            while let Some(req) = queues[0].try_pop() {
+                shard_stats[shard].failed += 1;
+                shard_stats[shard].shed_tokens += req.decode_steps as u64;
+                completions.push(Self::shed(
+                    &req,
+                    shard,
+                    ServeError::ShardLost { shard },
+                    injected,
+                    0,
+                ));
+            }
+        }
+    }
+
+    /// Resume a checkpoint on the coordinator thread and decode it to
+    /// completion — the failover replay. Bit-identical to the fault-free
+    /// run by construction: resume is exact and decode is deterministic.
+    /// No fault injection and no deadline reaping apply here (the module
+    /// doc's recovery contract).
+    #[allow(clippy::too_many_arguments)]
+    fn replay_from_checkpoint(
+        model: &Model,
+        cfg: &ServeConfig,
+        budget: &CacheBudget,
+        id: u64,
+        entry: CheckpointEntry,
+        injected: bool,
+        target: usize,
+        scratch: &mut SessionScratch,
+    ) -> Completion {
+        let CheckpointEntry {
+            suspended,
+            mut next,
+            mut remaining,
+            mut generated,
+            mut trace,
+            retries,
+            priority,
+            ttft_wall,
+            ttft_ticks,
+            mut decode_wall,
+            preemptions,
+            base_transfer,
+            base_cache,
+        } = entry;
+        // The registry only admits verified snapshots, but verify again at
+        // the use site: the bytes sat in host memory since.
+        if let Err(e) = suspended.verify() {
+            let step = suspended.steps();
+            let tokens = generated.len() as u32;
+            return Completion {
+                id,
+                shard: target,
+                transfer: base_transfer + suspended.swap_stats(),
+                cache: base_cache,
+                sharing: suspended.sharing_stats(),
+                generated,
+                trace,
+                failure: Some(FailureCause { error: e.into(), injected, step }),
+                retries,
+                priority,
+                ttft_wall,
+                ttft_ticks,
+                tpot_wall: (tokens > 0).then(|| decode_wall / tokens),
+                preemptions,
+                recovered: false,
+            };
+        }
+        let (mut session, swap_transfer) =
+            suspended.resume(model, Self::fresh_cache(cfg, budget));
+        let mut failure = None;
+        while remaining > 0 {
+            let s0 = Instant::now();
+            let stepped = session.try_step_with_scratch(next, scratch);
+            decode_wall += s0.elapsed();
+            match stepped {
+                Ok(dec) => {
+                    generated.push(next);
+                    if cfg.record_trace {
+                        trace.push(StepTrace {
+                            logits: dec.logits.clone(),
+                            selected: session.selected_snapshot(),
+                        });
+                    }
+                    next = dec.greedy();
+                    remaining -= 1;
+                }
+                Err(StepError::Store(e)) => {
+                    failure = Some(FailureCause {
+                        error: e.into(),
+                        injected: false,
+                        step: generated.len() as u64,
+                    });
+                    break;
+                }
+                Err(StepError::Poisoned { message }) => {
+                    failure = Some(FailureCause {
+                        error: ServeError::SessionPoisoned { message },
+                        injected: false,
+                        step: generated.len() as u64,
+                    });
+                    break;
+                }
+            }
+        }
+        let tokens = generated.len() as u32;
+        Completion {
+            id,
+            shard: target,
+            transfer: session.transfer_stats() + base_transfer + swap_transfer,
+            cache: session.cache_stats() + base_cache,
+            sharing: session.sharing_stats(),
+            generated,
+            trace,
+            failure,
+            retries,
+            priority,
+            ttft_wall,
+            ttft_ticks,
+            tpot_wall: (tokens > 0).then(|| decode_wall / tokens),
+            preemptions,
+            recovered: true,
         }
     }
 
@@ -2237,5 +2902,94 @@ mod tests {
         // Note: tick totals are NOT compared across the two runs — the
         // clean run's idle-tick count depends on producer/worker timing.
         // The degraded-steps meter above is the deterministic evidence.
+    }
+
+    #[test]
+    fn checkpointing_is_transparent_and_metered() {
+        // Snapshotting every resident session every 2 ticks must not
+        // change one bit of any output — checkpoint() forks state, never
+        // touches the live session — while the snapshot traffic is
+        // metered.
+        let model = Model::new(LlmConfig::tiny());
+        let base = ServeConfig {
+            shards: 2,
+            max_active_per_shard: 2,
+            queue_capacity: 8,
+            session: session_cfg(),
+            record_trace: true,
+            ..Default::default()
+        };
+        let off = ServeEngine::run(&model, &base, requests(6)).unwrap();
+        let cfg = ServeConfig { checkpoint_every_ticks: Some(2), ..base };
+        let on = ServeEngine::run(&model, &cfg, requests(6)).unwrap();
+        assert_eq!(on.completions.len(), 6);
+        for (a, b) in off.completions.iter().zip(on.completions.iter()) {
+            assert!(b.is_success());
+            assert!(!b.recovered, "no fault, nothing recovered");
+            assert_eq!(a.generated, b.generated, "request {}: checkpointing changed tokens", a.id);
+            assert_eq!(a.trace, b.trace, "request {}: checkpointing changed the trace", a.id);
+        }
+        assert!(on.total_checkpoints() > 0, "snapshots must be metered");
+        assert!(on.total_checkpoint_bytes() > 0, "snapshot offload must move bytes");
+        assert_eq!(off.total_checkpoints(), 0);
+        assert_eq!(on.total_rollbacks(), 0);
+        assert_eq!(on.total_recovered_sessions(), 0);
+    }
+
+    #[test]
+    fn zero_checkpoint_cadence_rejected() {
+        let bad = ServeConfig { checkpoint_every_ticks: Some(0), ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "checkpoint_every_ticks");
+    }
+
+    #[test]
+    fn arrival_tick_holds_admission_until_the_clock_matures() {
+        // Time-accurate replay: a request stamped arrival_tick 50 must not
+        // be admitted before the shard's clock reaches 50 — the shard
+        // burns idle ticks to mature it, consuming no retries.
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 4,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let mut reqs = requests(2);
+        reqs[1].arrival_tick = 50;
+        let report = ServeEngine::run(&model, &cfg, reqs).unwrap();
+        assert_eq!(report.completions.len(), 2);
+        for c in &report.completions {
+            assert!(c.is_success(), "request {} failed: {:?}", c.id, c.failure);
+            assert_eq!(c.retries, 0, "arrival gating must not consume retries");
+        }
+        assert!(
+            report.shards[0].ticks >= 50,
+            "the shard clock must reach the recorded arrival (got {})",
+            report.shards[0].ticks
+        );
+    }
+
+    #[test]
+    fn zero_wall_deadline_is_reaped_as_deadline_exceeded() {
+        // A wall-clock SLO of zero expires at the first reap pass; the
+        // neighbour without one is untouched.
+        let model = Model::new(LlmConfig::tiny());
+        let cfg = ServeConfig {
+            shards: 1,
+            max_active_per_shard: 2,
+            queue_capacity: 4,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let mut reqs = requests(2);
+        reqs[0].decode_steps = 50;
+        reqs[0].wall_deadline = Some(Duration::ZERO);
+        let report = ServeEngine::run(&model, &cfg, reqs).unwrap();
+        let reaped = report.completion(0).unwrap();
+        let cause = reaped.failure.as_ref().expect("zero wall deadline must reap");
+        assert_eq!(cause.error.class(), "deadline_exceeded");
+        assert!(reaped.generated.len() < 50);
+        assert!(report.completion(1).unwrap().is_success());
     }
 }

@@ -42,6 +42,21 @@ pub enum ServeError {
         /// Stringified panic payload.
         message: String,
     },
+    /// The worker thread serving this request died and the request had no
+    /// checkpoint to fail over from. Requests with a checkpoint are
+    /// re-admitted to a healthy shard instead and never see this error.
+    ShardLost {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// A KV page failed its checksum: the stored bytes were corrupted after
+    /// being written. Corrupt data is never served — the fetch that
+    /// detected it fails the step — and a session with a checkpoint rolls
+    /// back to it instead of surfacing this error.
+    KvCorruption {
+        /// The corrupt page's id.
+        page: u32,
+    },
 }
 
 impl ServeError {
@@ -54,6 +69,8 @@ impl ServeError {
             ServeError::PageExhausted { .. } => "page_exhausted",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::SessionPoisoned { .. } => "session_poisoned",
+            ServeError::ShardLost { .. } => "shard_lost",
+            ServeError::KvCorruption { .. } => "kv_corruption",
         }
     }
 }
@@ -75,6 +92,12 @@ impl std::fmt::Display for ServeError {
             ServeError::SessionPoisoned { message } => {
                 write!(f, "session poisoned by panic: {message}")
             }
+            ServeError::ShardLost { shard } => {
+                write!(f, "shard {shard} died with no checkpoint to fail over from")
+            }
+            ServeError::KvCorruption { page } => {
+                write!(f, "kv page {page} failed its checksum and no checkpoint could roll it back")
+            }
         }
     }
 }
@@ -91,6 +114,7 @@ impl From<MemError> for ServeError {
     fn from(e: MemError) -> Self {
         match e {
             MemError::PageExhausted { max_pages } => ServeError::PageExhausted { max_pages },
+            MemError::PageCorrupt { page } => ServeError::KvCorruption { page },
             // An empty-slot fetch inside a session step is a logic fault —
             // classify it as poison, preserving the message.
             other => ServeError::SessionPoisoned { message: other.to_string() },
@@ -173,6 +197,8 @@ mod tests {
                 "session_poisoned",
                 "boom",
             ),
+            (ServeError::ShardLost { shard: 2 }, "shard_lost", "shard 2"),
+            (ServeError::KvCorruption { page: 17 }, "kv_corruption", "page 17"),
         ];
         for (e, class, needle) in cases {
             assert_eq!(e.class(), class);
@@ -185,6 +211,10 @@ mod tests {
         assert_eq!(
             ServeError::from(MemError::PageExhausted { max_pages: 4 }),
             ServeError::PageExhausted { max_pages: 4 }
+        );
+        assert_eq!(
+            ServeError::from(MemError::PageCorrupt { page: 9 }),
+            ServeError::KvCorruption { page: 9 }
         );
         match ServeError::from(MemError::EmptySlot { layer: 0, head: 1 }) {
             ServeError::SessionPoisoned { message } => assert!(message.contains("empty slot")),

@@ -47,6 +47,33 @@ pub struct AdmissionReject {
     pub rejections: u32,
 }
 
+/// Kill a worker thread outright at a chosen tick: the whole shard dies
+/// mid-run (a host crash / OOM-kill stand-in, not a per-session fault).
+/// Checkpointed sessions on the shard fail over to healthy shards; the
+/// rest are lost with [`ServeError::ShardLost`](crate::ServeError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Shard whose worker dies.
+    pub shard: usize,
+    /// Tick (0-based, per-shard) at whose boundary the worker panics.
+    pub at_tick: u64,
+}
+
+/// Flip one bit in a session's host-resident middle KV store at a chosen
+/// decode step (silent data corruption — a DRAM/PCIe fault stand-in). The
+/// per-page checksum catches it on the next fetch of the damaged slot, so
+/// the corrupt bytes are never served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// The request whose store is damaged.
+    pub request_id: u64,
+    /// Decode step (0-based) right before which the flip lands.
+    pub at_step: u64,
+    /// Which bit flips: selects the f32 element and the mantissa/exponent
+    /// bit deterministically (see `HostKvStore::corrupt_slot`).
+    pub bit: u64,
+}
+
 /// A deterministic, seeded schedule of injected faults.
 ///
 /// `Default` is the empty plan (no faults). The `seed` feeds retry-backoff
@@ -64,6 +91,10 @@ pub struct FaultPlan {
     pub stalls: Vec<ShardStall>,
     /// Admission rejections.
     pub admission_rejects: Vec<AdmissionReject>,
+    /// Worker kills (whole-shard crashes).
+    pub worker_kills: Vec<WorkerKill>,
+    /// KV bit flips (silent store corruption).
+    pub bit_flips: Vec<BitFlip>,
 }
 
 impl FaultPlan {
@@ -96,12 +127,27 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `shard`'s worker at the boundary of its `at_tick`-th tick.
+    pub fn with_worker_kill(mut self, shard: usize, at_tick: u64) -> Self {
+        self.worker_kills.push(WorkerKill { shard, at_tick });
+        self
+    }
+
+    /// Flip `bit` in `request_id`'s middle store right before its
+    /// `at_step`-th decode step.
+    pub fn with_bit_flip(mut self, request_id: u64, at_step: u64, bit: u64) -> Self {
+        self.bit_flips.push(BitFlip { request_id, at_step, bit });
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.page_limit.is_none()
             && self.session_panics.is_empty()
             && self.stalls.is_empty()
             && self.admission_rejects.is_empty()
+            && self.worker_kills.is_empty()
+            && self.bit_flips.is_empty()
     }
 
     /// The step at which `request_id` should panic, if planned.
@@ -115,6 +161,21 @@ impl FaultPlan {
             .iter()
             .find(|s| s.shard == shard && s.at_tick == tick)
             .map(|s| s.ticks)
+    }
+
+    /// True when `shard`'s worker is planned to die at `tick`'s boundary.
+    pub fn kill_at(&self, shard: usize, tick: u64) -> bool {
+        self.worker_kills.iter().any(|k| k.shard == shard && k.at_tick == tick)
+    }
+
+    /// The bit to flip in `request_id`'s store right before `step`, if
+    /// planned. Fires by exact step match; the engine guards against
+    /// re-firing when a rollback replays the same step.
+    pub fn bit_flip_at(&self, request_id: u64, step: u64) -> Option<u64> {
+        self.bit_flips
+            .iter()
+            .find(|b| b.request_id == request_id && b.at_step == step)
+            .map(|b| b.bit)
     }
 
     /// Planned admission rejections for `request_id` (0 = admit normally).
@@ -159,7 +220,9 @@ mod tests {
             .with_page_limit(64)
             .with_session_panic(3, 5)
             .with_stall(1, 10, 4)
-            .with_admission_rejects(9, 2);
+            .with_admission_rejects(9, 2)
+            .with_worker_kill(1, 12)
+            .with_bit_flip(6, 3, 41);
         assert!(!plan.is_empty());
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.page_limit, Some(64));
@@ -170,6 +233,18 @@ mod tests {
         assert_eq!(plan.stall_ticks(0, 10), None);
         assert_eq!(plan.rejections(9), 2);
         assert_eq!(plan.rejections(8), 0);
+        assert!(plan.kill_at(1, 12));
+        assert!(!plan.kill_at(1, 13));
+        assert!(!plan.kill_at(0, 12));
+        assert_eq!(plan.bit_flip_at(6, 3), Some(41));
+        assert_eq!(plan.bit_flip_at(6, 4), None);
+        assert_eq!(plan.bit_flip_at(5, 3), None);
+    }
+
+    #[test]
+    fn kill_and_flip_alone_make_a_nonempty_plan() {
+        assert!(!FaultPlan::seeded(1).with_worker_kill(0, 5).is_empty());
+        assert!(!FaultPlan::seeded(1).with_bit_flip(0, 1, 2).is_empty());
     }
 
     #[test]

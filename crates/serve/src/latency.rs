@@ -31,13 +31,17 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Summarise `samples` (order irrelevant; NaNs must not be present).
+    /// Summarise `samples` (order irrelevant). Every edge case is total:
+    /// an empty slice yields the all-zero default, a single sample is its
+    /// own p50/p95/p99/max, and NaN samples are dropped rather than
+    /// panicking or propagating — a latency summary must never take the
+    /// report down, whatever a failed clock read fed it.
     pub fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| !s.is_nan()).collect();
+        if sorted.is_empty() {
             return Self::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
         let n = sorted.len();
         let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         Self {
@@ -98,6 +102,30 @@ mod tests {
         let p = Percentiles::from_samples(&[3.5]);
         assert_eq!(p.count, 1);
         assert_eq!((p.mean, p.p50, p.p95, p.p99, p.max), (3.5, 3.5, 3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_finite_and_consistent() {
+        // Degenerate distributions must stay well-defined: no NaN leaks
+        // out of any field, and the order p50 <= p95 <= p99 <= max holds.
+        for v in [0.0, 1e-12, 7.25] {
+            let p = Percentiles::from_samples(&[v]);
+            for x in [p.mean, p.p50, p.p95, p.p99, p.max] {
+                assert!(x.is_finite(), "sample {v} produced non-finite {x}");
+            }
+            assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+        }
+    }
+
+    #[test]
+    fn nan_samples_are_dropped_not_propagated() {
+        let p = Percentiles::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(p.count, 2, "NaN must not be counted");
+        assert_eq!(p.p50, 1.0);
+        assert_eq!(p.max, 3.0);
+        assert!(p.mean.is_finite());
+        // All-NaN degrades to the empty default, not a panic.
+        assert_eq!(Percentiles::from_samples(&[f64::NAN]), Percentiles::default());
     }
 
     #[test]

@@ -35,6 +35,19 @@
 //!   per-request TTFT/TPOT on both the wall clock and the deterministic
 //!   tick clock, with p50/p95/p99 tails.
 //!
+//! Crash recovery treats whole-worker loss and silent store corruption as
+//! bounded, recoverable events:
+//! - **checkpointing** ([`ServeConfig::checkpoint_every_ticks`]) snapshots
+//!   every resident session through the paged tier without evicting it
+//!   (pinned swap pages + a copy-on-write store fork);
+//! - **shard failover**: a dead worker's checkpointed sessions are resumed
+//!   and replayed forward on healthy shards, bit-identical to the
+//!   fault-free run; un-checkpointed ones fail typed
+//!   ([`ServeError::ShardLost`]);
+//! - **integrity**: per-page checksums mean corrupt KV bytes are never
+//!   served — a session whose page fails its checksum rolls back to its
+//!   last good checkpoint, or fails typed ([`ServeError::KvCorruption`]).
+//!
 //! Scheduling is provably behaviour-neutral: `tests/serve_equivalence.rs`
 //! asserts bit-identical logits and selected-token sets against the
 //! sequential engine at 1, 2, and 4 shards;
@@ -56,6 +69,8 @@ pub use engine::{
     ShardStats, StepTrace,
 };
 pub use error::{FailureCause, RetryPolicy, ServeError};
-pub use faults::{AdmissionReject, FaultPlan, InjectedPanic, SessionPanic, ShardStall};
+pub use faults::{
+    AdmissionReject, BitFlip, FaultPlan, InjectedPanic, SessionPanic, ShardStall, WorkerKill,
+};
 pub use latency::{LatencySummary, Percentiles};
 pub use queue::BoundedQueue;

@@ -15,7 +15,8 @@ pub mod multitenant;
 
 pub use gen::{aggregation, cot_chain, kv_retrieval, needle, passkey, qa, QuestionPosition, VocabLayout, Workload};
 pub use multitenant::{
-    chaos_victims, multi_tenant_trace, shared_prefix_trace, TenantTrace, TraceConfig,
+    chaos_victims, corruption_victims, multi_tenant_trace, shared_prefix_trace, TenantTrace,
+    TraceConfig,
     TraceRequest,
 };
 pub use harness::{

@@ -90,7 +90,7 @@ impl MethodSpec {
 
     /// Instantiate the policy for a model with head dimension `dh` under an
     /// extra-communication budget of `comm_fraction` of the keys' memory.
-    pub fn build(&self, dh: usize, comm_fraction: f64) -> Box<dyn SelectionPolicy> {
+    pub fn build(&self, dh: usize, comm_fraction: f64) -> Box<dyn SelectionPolicy + Send> {
         match *self {
             MethodSpec::Full => Box::new(FullAttentionPolicy::default()),
             MethodSpec::Oracle => Box::new(OraclePolicy::default()),

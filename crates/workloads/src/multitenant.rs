@@ -229,6 +229,42 @@ pub fn chaos_victims(trace: &TenantTrace, seed: u64, frac: f64) -> Vec<(u64, u64
     victims
 }
 
+/// Pick deterministic store-corruption victims from a trace: roughly
+/// `frac` of the requests (at least one), each paired with a decode step
+/// at which a bit flip lands and the bit index to flip. The output is
+/// plain `(request_id, flip_step, bit)` data — the serve layer turns it
+/// into `BitFlip` fault-plan entries. Flip steps skip a request's first
+/// decode step so a checkpoint taken at tick 0 always precedes the
+/// damage; requests that decode fewer than 2 steps are never marked
+/// (nothing lands mid-decode). Same `(trace, seed, frac)` → same victims.
+pub fn corruption_victims(trace: &TenantTrace, seed: u64, frac: f64) -> Vec<(u64, u64, u64)> {
+    assert!((0.0..=1.0).contains(&frac), "victim fraction must be in [0, 1]");
+    let eligible: Vec<&TraceRequest> =
+        trace.requests.iter().filter(|r| r.decode_steps >= 2).collect();
+    if eligible.is_empty() || frac == 0.0 {
+        return Vec::new();
+    }
+    let want =
+        ((trace.requests.len() as f64 * frac).round() as usize).clamp(1, eligible.len());
+    let mut rng = Rng64::new(seed ^ 0xB17_F11B5);
+    let mut order: Vec<usize> = (0..eligible.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.below(i + 1));
+    }
+    let mut victims: Vec<(u64, u64, u64)> = order[..want]
+        .iter()
+        .map(|&i| {
+            let r = eligible[i];
+            // Strictly after the first step, strictly inside the range.
+            let step = 1 + rng.below(r.decode_steps - 1) as u64;
+            let bit = rng.below(1 << 20) as u64;
+            (r.id, step, bit)
+        })
+        .collect();
+    victims.sort_unstable();
+    victims
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +439,28 @@ mod tests {
         assert_eq!(chaos_victims(&t, 42, 1.0).len(), 200);
         // Tiny fractions still mark at least one victim.
         assert_eq!(chaos_victims(&t, 42, 0.0001).len(), 1);
+    }
+
+    #[test]
+    fn corruption_victims_are_deterministic_and_flip_mid_decode() {
+        let t = multi_tenant_trace(&cfg());
+        let a = corruption_victims(&t, 42, 0.1);
+        let b = corruption_victims(&t, 42, 0.1);
+        assert_eq!(a, b, "same seed must mark the same victims");
+        assert_eq!(a.len(), 20, "10% of 200 requests");
+        let ids: std::collections::HashSet<u64> = a.iter().map(|&(id, _, _)| id).collect();
+        assert_eq!(ids.len(), a.len(), "victims must be distinct requests");
+        for &(id, step, _bit) in &a {
+            let r = &t.requests[id as usize];
+            assert_eq!(r.id, id);
+            assert!(r.decode_steps >= 2, "victims must decode at least twice");
+            assert!(step >= 1, "flip must land after the first decode step");
+            assert!((step as usize) < r.decode_steps, "flip step outside decode range");
+        }
+        let c = corruption_victims(&t, 43, 0.1);
+        assert_ne!(a, c, "seed must matter");
+        assert!(corruption_victims(&t, 42, 0.0).is_empty());
+        // Tiny fractions still mark at least one victim.
+        assert_eq!(corruption_victims(&t, 42, 0.0001).len(), 1);
     }
 }

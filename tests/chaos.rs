@@ -22,7 +22,9 @@ use pqcache::serve::{
     ShardAssignment,
 };
 use pqcache::tensor::{argmax, Rng64};
-use pqcache::workloads::{chaos_victims, multi_tenant_trace, TenantTrace, TraceConfig, VocabLayout};
+use pqcache::workloads::{
+    chaos_victims, corruption_victims, multi_tenant_trace, TenantTrace, TraceConfig, VocabLayout,
+};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::time::Duration;
@@ -530,4 +532,303 @@ fn preemption_storm_replays_identically() {
             .collect()
     };
     assert_eq!(outcome(&report), outcome(&again), "preemption storm must replay identically");
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: worker kills, checkpoint failover, corruption rollback.
+// ---------------------------------------------------------------------------
+
+/// Requests sized so a mid-run kill or flip always lands mid-decode, and
+/// so the victim's middle store outgrows the GPU cache (prompt 96 > 64
+/// cached tokens) — host fetches, and therefore checksum verification,
+/// happen on every step.
+fn recovery_requests() -> Vec<ServeRequest> {
+    (0..FLEET)
+        .map(|i| {
+            ServeRequest::new(i as u64, prompt(96 + 8 * (i % 3), 0x7EC0 + i as u64), 24, policy())
+        })
+        .collect()
+}
+
+/// Outcome fingerprint: per-request generated tokens plus failure class.
+fn outcome_map(r: &ServeReport) -> HashMap<u64, (Vec<u32>, Option<&'static str>)> {
+    r.completions
+        .iter()
+        .map(|c| (c.id, (c.generated.clone(), c.failure.as_ref().map(|f| f.error.class()))))
+        .collect()
+}
+
+#[test]
+fn recovery_worker_kill_fails_over_checkpointed_sessions_bit_identically() {
+    let cfg = ServeConfig {
+        shards: 2,
+        max_active_per_shard: 4,
+        queue_capacity: FLEET,
+        assignment: ShardAssignment::RoundRobin,
+        checkpoint_every_ticks: Some(2),
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let clean = run_with_watchdog(cfg.clone(), recovery_requests());
+    assert!(clean.completions.iter().all(|c| c.is_success()), "clean run must succeed");
+
+    // Shard 0 dies at tick 10: every resident session is mid-decode (24
+    // steps) and was checkpointed by tick 8 at the latest.
+    let faulted = ServeConfig {
+        faults: Some(FaultPlan::seeded(0x0DD).with_worker_kill(0, 10)),
+        ..cfg
+    };
+    let report = run_with_watchdog(faulted.clone(), recovery_requests());
+
+    // Exactly-once: every request completes exactly once, pass or fail.
+    assert_eq!(report.completions.len(), FLEET);
+    assert_eq!(report.worker_panics, 1, "the kill must surface as one worker panic");
+    assert!(report.total_checkpoints() > 0, "checkpoint cadence must fire before the kill");
+    assert!(report.total_checkpoint_bytes() > 0);
+    assert!(
+        report.total_recovered_sessions() > 0,
+        "a tick-10 kill of a loaded shard must exercise failover"
+    );
+    assert!(report.total_recovered_tokens() > 0, "replay must meter post-checkpoint tokens");
+
+    // Every session — killed-shard or not — finishes with the clean run's
+    // exact tokens: replay from checkpoint is bit-identical migration.
+    assert_eq!(outcome_map(&report), outcome_map(&clean), "failover diverged from clean run");
+    let recovered: Vec<u64> =
+        report.completions.iter().filter(|c| c.recovered).map(|c| c.id).collect();
+    assert_eq!(
+        recovered.len() as u64,
+        report.total_recovered_sessions(),
+        "recovered flags must match the meter"
+    );
+    assert!(!recovered.is_empty());
+
+    // Deterministic replay of the recovery itself.
+    let again = run_with_watchdog(faulted, recovery_requests());
+    assert_eq!(outcome_map(&report), outcome_map(&again), "failover must replay identically");
+    assert_eq!(again.total_recovered_sessions(), report.total_recovered_sessions());
+}
+
+#[test]
+fn recovery_kill_without_checkpoints_sheds_shard_lost_typed() {
+    let cfg = ServeConfig {
+        shards: 2,
+        max_active_per_shard: 4,
+        queue_capacity: FLEET,
+        assignment: ShardAssignment::RoundRobin,
+        session: session_cfg(),
+        faults: Some(FaultPlan::seeded(0x0DD).with_worker_kill(0, 4)),
+        ..Default::default()
+    };
+    let report = run_with_watchdog(cfg, recovery_requests());
+
+    assert_eq!(report.completions.len(), FLEET);
+    assert_eq!(report.worker_panics, 1);
+    assert_eq!(report.total_recovered_sessions(), 0, "nothing to recover without checkpoints");
+
+    // Round-robin over 2 shards: even request indices ride shard 0 and die
+    // with it; odd indices never notice.
+    let mut lost: Vec<u64> = report.failures().map(|c| c.id).collect();
+    lost.sort_unstable();
+    assert_eq!(lost, vec![0, 2, 4], "exactly the killed shard's residents are lost");
+    for c in report.failures() {
+        let cause = c.failure.as_ref().unwrap();
+        assert!(cause.injected, "the kill came from the fault plan");
+        assert_eq!(cause.error.class(), "shard_lost");
+        assert!(matches!(cause.error, ServeError::ShardLost { shard: 0 }));
+    }
+    assert!(report.total_shed_tokens() > 0, "lost decode tokens must be metered as shed");
+    for id in [1u64, 3, 5] {
+        let c = report.completion(id).unwrap();
+        assert!(c.is_success(), "survivor shard harmed: {:?}", c.failure);
+        assert_eq!(c.generated.len(), 24);
+    }
+}
+
+#[test]
+fn recovery_corruption_rolls_back_and_replays_bit_identically() {
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 4,
+        queue_capacity: FLEET,
+        checkpoint_every_ticks: Some(2),
+        record_trace: true,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let clean = run_with_watchdog(cfg.clone(), recovery_requests());
+    assert!(clean.completions.iter().all(|c| c.is_success()));
+
+    // Request 1's layer-0 store takes a bit flip right before step 5: a
+    // checkpoint from tick 4 (or earlier) predates it, so detection rolls
+    // the session back instead of failing it.
+    let faulted = ServeConfig {
+        faults: Some(FaultPlan::seeded(0xF11).with_bit_flip(1, 5, 3)),
+        ..cfg
+    };
+    let report = run_with_watchdog(faulted, recovery_requests());
+
+    assert_eq!(report.completions.len(), FLEET);
+    assert_eq!(report.worker_panics, 0, "corruption is a session event, not a worker loss");
+    assert!(report.total_rollbacks() >= 1, "the flip must be detected and rolled back");
+    let victim = report.completion(1).unwrap();
+    assert!(victim.is_success(), "rollback must rescue the victim: {:?}", victim.failure);
+    assert!(victim.recovered, "a rolled-back session must be flagged recovered");
+
+    // Tokens *and* logits match the fault-free run — the corrupt bytes
+    // never reached a single attention score.
+    assert_eq!(outcome_map(&report), outcome_map(&clean));
+    let clean_victim = clean.completion(1).unwrap();
+    assert_eq!(victim.trace.len(), clean_victim.trace.len());
+    for (step, (tr, clean_tr)) in victim.trace.iter().zip(&clean_victim.trace).enumerate() {
+        assert_eq!(tr.logits, clean_tr.logits, "victim step {step} logits diverged after rollback");
+    }
+}
+
+#[test]
+fn recovery_corruption_without_checkpoint_fails_typed_never_serving_corrupt_bytes() {
+    let cfg = ServeConfig {
+        shards: 1,
+        max_active_per_shard: 4,
+        queue_capacity: FLEET,
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let clean = run_with_watchdog(cfg.clone(), recovery_requests());
+    let faulted = ServeConfig {
+        faults: Some(FaultPlan::seeded(0xF11).with_bit_flip(1, 5, 3)),
+        ..cfg
+    };
+    let report = run_with_watchdog(faulted, recovery_requests());
+
+    assert_eq!(report.total_rollbacks(), 0, "no checkpoint, no rollback");
+    let victim = report.completion(1).unwrap();
+    let cause = victim.failure.as_ref().expect("unrecoverable corruption must fail the session");
+    assert!(cause.injected, "the flip came from the fault plan");
+    assert_eq!(cause.error.class(), "kv_corruption");
+    assert!(matches!(cause.error, ServeError::KvCorruption { .. }));
+    assert_eq!(cause.step, victim.generated.len() as u64);
+
+    // Fail-closed: everything served before detection is still exactly the
+    // clean prefix — a corrupt page is detected on fetch, never gathered.
+    let clean_tokens = &clean.completion(1).unwrap().generated;
+    assert!(victim.generated.len() >= 5, "detection cannot precede the flip");
+    assert!(victim.generated.len() < 24, "detection must cut the decode short");
+    assert_eq!(
+        victim.generated[..],
+        clean_tokens[..victim.generated.len()],
+        "served tokens must be a clean prefix"
+    );
+    for id in [0u64, 2, 3, 4, 5] {
+        assert!(report.completion(id).unwrap().is_success(), "bystander {id} harmed");
+    }
+}
+
+#[test]
+fn recovery_corruption_storm_with_checkpoints_survives_bit_identically() {
+    // A quarter of a 16-session storm takes mid-decode bit flips while
+    // checkpointing runs every tick. Every victim must be rescued by
+    // rollback; every bystander must never notice.
+    let trace = multi_tenant_trace(&TraceConfig {
+        sessions: 16,
+        arrival_rate: 2.0,
+        prompt_lens: [96, 104, 112],
+        prompt_mix: [0.5, 0.3, 0.2],
+        decode_steps: (6, 12),
+        layout: VocabLayout::for_vocab(256),
+        seed: 0x5EED,
+        ..Default::default()
+    });
+    let victims = corruption_victims(&trace, 0xBAD, 0.25);
+    assert_eq!(victims.len(), 4);
+    let mut plan = FaultPlan::seeded(0xBAD);
+    for &(id, step, bit) in &victims {
+        plan = plan.with_bit_flip(id, step, bit);
+    }
+    let mk_requests = |trace: &TenantTrace| -> Vec<ServeRequest> {
+        trace
+            .requests
+            .iter()
+            .map(|r| ServeRequest::new(r.id, r.workload.tokens.clone(), r.decode_steps, policy()))
+            .collect()
+    };
+    let cfg = ServeConfig {
+        shards: 2,
+        max_active_per_shard: 4,
+        queue_capacity: 8,
+        assignment: ShardAssignment::RoundRobin,
+        checkpoint_every_ticks: Some(1),
+        session: session_cfg(),
+        ..Default::default()
+    };
+    let clean = run_with_watchdog(cfg.clone(), mk_requests(&trace));
+    let faulted = ServeConfig { faults: Some(plan), ..cfg };
+    let report = run_with_watchdog(faulted, mk_requests(&trace));
+
+    assert_eq!(report.completions.len(), 16);
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.total_rollbacks() >= 1, "a 4-victim storm must trigger at least one rollback");
+    for c in &report.completions {
+        assert!(c.is_success(), "session {} not rescued: {:?}", c.id, c.failure);
+    }
+    assert_eq!(outcome_map(&report), outcome_map(&clean), "storm recovery diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Property: checkpoint → corrupt → rollback → replay is bit-identical for
+// every shard count and checkpoint cadence.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any shard count in {1, 2, 4}, any checkpoint interval in 1..=3,
+    /// and any flip landing at step >= 4 (so a checkpoint always predates
+    /// it), a corrupted session rolls back and finishes with exactly the
+    /// fault-free run's tokens and logits.
+    #[test]
+    fn recovery_rollback_is_bit_identical_across_shards_and_intervals(
+        shards_idx in 0usize..3,
+        interval in 1u64..=3,
+        flip_step in 4u64..8,
+        bit in 0u64..16,
+    ) {
+        let shards = [1usize, 2, 4][shards_idx];
+        let mk_requests = || -> Vec<ServeRequest> {
+            (0..4u64)
+                .map(|i| ServeRequest::new(i, prompt(96, 0x9B0B + i), 12, policy()))
+                .collect()
+        };
+        let cfg = ServeConfig {
+            shards,
+            max_active_per_shard: 4,
+            queue_capacity: 4,
+            assignment: ShardAssignment::RoundRobin,
+            checkpoint_every_ticks: Some(interval),
+            record_trace: true,
+            session: session_cfg(),
+            ..Default::default()
+        };
+        let clean = run_with_watchdog(cfg.clone(), mk_requests());
+        let faulted = ServeConfig {
+            faults: Some(FaultPlan::seeded(0xF00D).with_bit_flip(1, flip_step, bit)),
+            ..cfg
+        };
+        let report = run_with_watchdog(faulted, mk_requests());
+
+        prop_assert_eq!(report.completions.len(), 4);
+        prop_assert_eq!(report.worker_panics, 0);
+        for c in &report.completions {
+            prop_assert!(c.is_success(), "session {} lost: {:?}", c.id, c.failure);
+        }
+        prop_assert_eq!(outcome_map(&report), outcome_map(&clean));
+        let victim = report.completion(1).unwrap();
+        let clean_victim = clean.completion(1).unwrap();
+        prop_assert_eq!(victim.trace.len(), clean_victim.trace.len());
+        for (step, (tr, clean_tr)) in victim.trace.iter().zip(&clean_victim.trace).enumerate() {
+            prop_assert_eq!(&tr.logits, &clean_tr.logits, "victim logits diverged at {}", step);
+        }
+    }
 }
