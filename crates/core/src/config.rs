@@ -147,6 +147,24 @@ impl SessionConfig {
             if n_probe < 1 {
                 return Err(ConfigError::new("ivf", "ivf probe width must be at least one cell"));
             }
+            // This knob is pushed down to IVF-capable policies via
+            // `SelectionPolicy::configure_ivf`, whose tiers carry the
+            // default coarse-cell geometry; probing past `n_list` is a
+            // configuration error surfaced here, typed, rather than a
+            // silent saturation deep in the ADC kernel. (Policies built
+            // directly with a custom `ivf_n_list` bypass this knob and
+            // validate against their own geometry.)
+            let n_list = pqc_policies::PqCachePolicyConfig::default().ivf_n_list;
+            if n_probe > n_list {
+                return Err(ConfigError::new(
+                    "ivf",
+                    format!(
+                        "ivf probe width {n_probe} exceeds the routing tier's \
+                         {n_list} coarse cells (n_probe must be <= n_list; \
+                         Probe(n_list) is already bit-identical to Exact)"
+                    ),
+                ));
+            }
         }
         Ok(())
     }
@@ -228,6 +246,21 @@ mod tests {
         SessionConfig { ivf: IvfMode::Probe(4), ..Default::default() }
             .validate()
             .expect("probe config valid");
+    }
+
+    #[test]
+    fn probe_width_bounded_by_coarse_cells() {
+        let n_list = pqc_policies::PqCachePolicyConfig::default().ivf_n_list;
+        // The boundary itself is valid (Probe(n_list) ≡ Exact)...
+        SessionConfig { ivf: IvfMode::Probe(n_list), ..Default::default() }
+            .validate()
+            .expect("probing every cell is valid");
+        // ...one past it is a typed rejection, not a silent kernel clamp.
+        let e = SessionConfig { ivf: IvfMode::Probe(n_list + 1), ..Default::default() }
+            .validate()
+            .expect_err("overwide probe");
+        assert_eq!(e.field, "ivf");
+        assert!(e.message.contains("n_probe must be <= n_list"), "{}", e.message);
     }
 
     #[test]

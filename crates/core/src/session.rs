@@ -555,6 +555,18 @@ impl<'m> SelectiveSession<'m> {
         self.budget_middle
     }
 
+    /// Adopt a runtime selection-effort override — the serving layer's
+    /// brownout knob. Forwards to the policy (see
+    /// [`pqc_policies::SelectionEffort`]): degraded effort shrinks the
+    /// per-step selection budget and IVF probe width within their floors;
+    /// [`pqc_policies::SelectionEffort::full`] restores construction-time
+    /// behaviour bit-identically. Safe to call between any two steps; not
+    /// part of checkpoint or suspend state (a resumed or replayed session
+    /// starts at full effort and the caller re-applies per step).
+    pub fn set_effort(&mut self, effort: pqc_policies::SelectionEffort) {
+        self.policy.set_effort(effort);
+    }
+
     /// Rebuild the policy's structures from the current middle region —
     /// the paper's §5 recommendation for long outputs and multi-turn
     /// conversations ("periodically reconstruct PQ to update the

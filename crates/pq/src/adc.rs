@@ -297,6 +297,10 @@ impl AdcTable {
         // Coarse routing through the shared O(n) selector, *before* the
         // stream opens (the batch and streaming modes share one TopK).
         ivf.score_cells_into(query, &mut scratch.coarse_scores);
+        // `n_probe` is validated up front by the config layer
+        // (`SessionConfig::validate` rejects 0 and > n_list with a typed
+        // `ConfigError`); this saturation is defense-in-depth for direct
+        // kernel callers only and is a no-op for validated inputs.
         let n_probe = n_probe.clamp(1, ivf.n_list().max(1));
         topk.select_into(&scratch.coarse_scores, n_probe, &mut scratch.cells);
         stats.probed_cells = scratch.cells.len();

@@ -67,6 +67,7 @@
 use crate::error::{FailureCause, RetryPolicy, ServeError};
 use crate::faults::{FaultPlan, InjectedPanic};
 use crate::latency::LatencySummary;
+use crate::overload::{OverloadController, OverloadSummary, PressureLevel, PressureSample};
 use crate::queue::BoundedQueue;
 use pqc_cache::{BlockCache, CacheBudget, CacheStats};
 use pqc_core::{
@@ -107,6 +108,17 @@ pub enum Priority {
     /// Latency-sensitive work: skips the queue and claims a slot from a
     /// lower-class session when none is free.
     High,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense index of this class (`Low` = 0, `Normal` = 1, `High` = 2) —
+    /// keys per-class arrays like [`ServeReport::latency_by_priority`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// How requests map onto shards.
@@ -182,6 +194,15 @@ pub struct ServeConfig {
     /// never changes results; it costs the periodic offload of the
     /// GPU-resident rows (metered in [`ShardStats::checkpoint_bytes`]).
     pub checkpoint_every_ticks: Option<u64>,
+    /// Brownout overload control: each shard runs an
+    /// [`crate::OverloadController`] that samples pressure every tick and
+    /// stages degrade actions (effort reduction for Low/Normal sessions
+    /// within a recall floor, Low-admission deferral, checkpoint-cadence
+    /// stretch, Critical-only shedding) that reverse as pressure clears.
+    /// `None` (the default) disables the controller entirely — the engine
+    /// is then **bit-identical** to one built without brownout support:
+    /// no effort calls are made and no degraded path is evaluated.
+    pub overload: Option<crate::OverloadConfig>,
 }
 
 impl Default for ServeConfig {
@@ -200,6 +221,7 @@ impl Default for ServeConfig {
             prefill_chunk_tokens: None,
             faults: None,
             checkpoint_every_ticks: None,
+            overload: None,
         }
     }
 }
@@ -243,6 +265,25 @@ impl ServeConfig {
         if let Some(plan) = &self.faults {
             if plan.page_limit == Some(0) {
                 return Err(ConfigError::new("faults", "page_limit 0 would reject every page"));
+            }
+        }
+        if let Some(overload) = &self.overload {
+            overload.validate()?;
+            // Effort-floor consistency against the session's routing: a
+            // probe floor wider than the configured probe width could
+            // never be honoured (capping at min_n_probe would *raise*
+            // effort above construction-time behaviour).
+            if let pqc_core::IvfMode::Probe(n_probe) = self.session.ivf {
+                if overload.min_n_probe > n_probe {
+                    return Err(ConfigError::new(
+                        "overload.min_n_probe",
+                        format!(
+                            "probe floor {} exceeds the session's configured probe width \
+                             {n_probe} — the floor could never take effect",
+                            overload.min_n_probe
+                        ),
+                    ));
+                }
             }
         }
         self.session.validate()
@@ -417,6 +458,12 @@ pub struct Completion {
     /// or rolled back to a checkpoint after store corruption. Recovered
     /// output is bit-identical to the fault-free run.
     pub recovered: bool,
+    /// Highest [`PressureLevel`] at which this session decoded a token
+    /// under *reduced* effort. `Nominal` means every token was produced
+    /// at full effort — always the case for High-priority sessions, for
+    /// runs with the controller disabled, and for requests that never
+    /// decoded. Survives preemption and checkpoint failover.
+    pub max_degrade_level: PressureLevel,
 }
 
 impl Completion {
@@ -438,9 +485,27 @@ pub struct ShardStats {
     /// Decode tokens requested but never produced (shed at admission,
     /// reaped by deadline, or lost to a mid-decode fault).
     pub shed_tokens: u64,
+    /// Decode session-steps executed while the shard's brownout
+    /// controller sat at a non-`Nominal` [`PressureLevel`] — exactly the
+    /// steps served under degradation pressure (whether or not the
+    /// individual session's effort was reduced; High-priority steps under
+    /// a pressured shard count). Always 0 with the controller disabled.
+    pub degraded_steps: u64,
     /// Session-steps skipped while the shard was stalled by an injected
     /// slow-shard fault (sessions held but not decoded that tick).
-    pub degraded_steps: u64,
+    pub stalled_steps: u64,
+    /// Scheduler ticks spent at each pressure rung (indexed by
+    /// [`PressureLevel::index`]); all-zero with the controller disabled.
+    pub level_ticks: [u64; PressureLevel::COUNT],
+    /// Decode tokens produced under reduced (non-full) effort.
+    pub degraded_tokens: u64,
+    /// Low-priority admissions deferred by the controller at `Saturated`
+    /// (every deferral counts, including re-deferrals of the same
+    /// request).
+    pub deferrals: u64,
+    /// Requests shed by the controller at `Critical` (disjoint from
+    /// fault-plan and deadline sheds).
+    pub overload_sheds: u64,
     /// Admission retries performed (re-attempts after a rejection).
     pub retries: u64,
     /// Priority preemptions performed: a running session suspended through
@@ -506,6 +571,14 @@ pub struct ServeReport {
     /// TTFT/TPOT percentile summary across completions (only requests that
     /// reached the respective event contribute — see [`LatencySummary`]).
     pub latency: LatencySummary,
+    /// [`latency`](Self::latency) broken down by [`Priority`] class,
+    /// indexed by [`Priority::index`] — the brownout contract ("High never
+    /// degrades") is checked against these, not the blended summary.
+    pub latency_by_priority: [LatencySummary; Priority::COUNT],
+    /// Brownout-controller aggregate across shards: ticks at each pressure
+    /// rung, degraded tokens, deferrals, and overload sheds. All-zero when
+    /// [`ServeConfig::overload`] is `None`.
+    pub overload: OverloadSummary,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }
@@ -536,9 +609,20 @@ impl ServeReport {
         self.shards.iter().map(|s| s.shed_tokens).sum()
     }
 
-    /// Total session-steps lost to shard stalls.
+    /// Total decode session-steps served while a shard's pressure level
+    /// was non-`Nominal` (0 with the controller disabled).
     pub fn total_degraded_steps(&self) -> u64 {
         self.shards.iter().map(|s| s.degraded_steps).sum()
+    }
+
+    /// Total session-steps lost to injected shard stalls.
+    pub fn total_stalled_steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.stalled_steps).sum()
+    }
+
+    /// The latency summary for one [`Priority`] class.
+    pub fn latency_for(&self, priority: Priority) -> &LatencySummary {
+        &self.latency_by_priority[priority.index()]
     }
 
     /// Total priority preemptions across shards.
@@ -609,6 +693,9 @@ struct Active<'m> {
     preemptions: u32,
     /// True once crash recovery touched this session (checkpoint rollback).
     recovered: bool,
+    /// Highest pressure rung at which this session decoded under reduced
+    /// effort (see [`Completion::max_degrade_level`]).
+    max_degrade: PressureLevel,
 }
 
 /// A request whose prompt is mid-prefill under chunked admission: it holds
@@ -649,6 +736,7 @@ struct Parked {
     extra_cache: CacheStats,
     preemptions: u32,
     recovered: bool,
+    max_degrade: PressureLevel,
 }
 
 /// A request waiting out its admission-retry backoff — or, when
@@ -676,6 +764,7 @@ struct CheckpointEntry {
     ttft_ticks: Option<u64>,
     decode_wall: Duration,
     preemptions: u32,
+    max_degrade: PressureLevel,
     /// Transfer accounted to the session up to the snapshot (live
     /// namespace + earlier preemption swaps). The snapshot's forked
     /// namespace meters from zero, so replay adds cleanly on top.
@@ -893,19 +982,36 @@ impl ServeEngine {
 
         completions.sort_by_key(|c| c.id);
         let (mut ttft_wall, mut ttft_ticks, mut tpot_wall) = (Vec::new(), Vec::new(), Vec::new());
+        let mut by_class: [(Vec<f64>, Vec<f64>, Vec<f64>); Priority::COUNT] = Default::default();
         for c in &completions {
+            let class = &mut by_class[c.priority.index()];
             if let Some(d) = c.ttft_wall {
                 ttft_wall.push(d.as_secs_f64());
+                class.0.push(d.as_secs_f64());
             }
             if let Some(t) = c.ttft_ticks {
                 ttft_ticks.push(t as f64);
+                class.1.push(t as f64);
             }
             if let Some(d) = c.tpot_wall {
                 tpot_wall.push(d.as_secs_f64());
+                class.2.push(d.as_secs_f64());
             }
+        }
+        let mut overload = OverloadSummary::default();
+        for s in &shard_stats {
+            for (acc, ticks) in overload.level_ticks.iter_mut().zip(s.level_ticks) {
+                *acc += ticks;
+            }
+            overload.degraded_tokens += s.degraded_tokens;
+            overload.deferrals += s.deferrals;
+            overload.sheds += s.overload_sheds;
         }
         Ok(ServeReport {
             latency: LatencySummary::new(&ttft_wall, &ttft_ticks, &tpot_wall),
+            latency_by_priority: by_class
+                .map(|(tw, tt, tp)| LatencySummary::new(&tw, &tt, &tp)),
+            overload,
             completions,
             aggregate_transfer: tier.aggregate_stats(),
             prefix: tier.prefix_stats(),
@@ -949,6 +1055,16 @@ impl ServeEngine {
         // Bit flips already injected: a rollback replays the trigger step,
         // and the fault must not re-fire or recovery could never converge.
         let mut fired_flips: HashSet<(u64, u64)> = HashSet::new();
+        // Brownout controller: per-shard, fed one pressure sample per tick.
+        // `None` leaves every decision path untouched — bit-identical to
+        // the pre-brownout engine. Controller sheds keep their own retry
+        // ledger, disjoint from the fault plan's `rejected` map, so an
+        // injected-rejection schedule replays unperturbed; `obs_watermark`
+        // marks how much of the local completions buffer the controller
+        // has already sampled (publish drains the buffer, resetting it).
+        let mut ctrl = cfg.overload.as_ref().map(|c| OverloadController::new(c.clone()));
+        let mut ctrl_rejected: HashMap<u64, u32> = HashMap::new();
+        let mut obs_watermark: usize = 0;
 
         loop {
             // Admission: fill free slots (occupied by decoding + prefilling
@@ -997,7 +1113,8 @@ impl ServeEngine {
                     req.id,
                     InflightInfo {
                         priority: req.priority,
-                        retries: rejected.get(&req.id).copied().unwrap_or(0),
+                        retries: rejected.get(&req.id).copied().unwrap_or(0)
+                            + ctrl_rejected.get(&req.id).copied().unwrap_or(0),
                         decode_steps: req.decode_steps,
                     },
                 );
@@ -1020,7 +1137,20 @@ impl ServeEngine {
                 ) else {
                     continue;
                 };
-                let retries = rejected.get(&req.id).copied().unwrap_or(0);
+                let prior = rejected.get(&req.id).copied().unwrap_or(0);
+                let Some(req) = Self::brownout_gate(
+                    ctrl.as_ref(),
+                    req,
+                    prior,
+                    &mut ctrl_rejected,
+                    &mut waiting,
+                    &mut completions,
+                    &mut stats,
+                    shard,
+                ) else {
+                    continue;
+                };
+                let retries = prior + ctrl_rejected.get(&req.id).copied().unwrap_or(0);
                 let t0 = Instant::now();
                 Self::admit_into(
                     model,
@@ -1076,7 +1206,8 @@ impl ServeEngine {
                     req.id,
                     InflightInfo {
                         priority: req.priority,
-                        retries: rejected.get(&req.id).copied().unwrap_or(0),
+                        retries: rejected.get(&req.id).copied().unwrap_or(0)
+                            + ctrl_rejected.get(&req.id).copied().unwrap_or(0),
                         decode_steps: req.decode_steps,
                     },
                 );
@@ -1107,7 +1238,8 @@ impl ServeEngine {
                     Ok(p) => {
                         parked.push(p);
                         stats.preemptions += 1;
-                        let retries = rejected.get(&req.id).copied().unwrap_or(0);
+                        let retries = rejected.get(&req.id).copied().unwrap_or(0)
+                            + ctrl_rejected.get(&req.id).copied().unwrap_or(0);
                         Self::admit_into(
                             model,
                             cfg,
@@ -1142,8 +1274,24 @@ impl ServeEngine {
                 }
                 // Nothing to decode but retries or parked work pending:
                 // ticks are the engine's clock, so burn one to let backoff
-                // elapse (parked work resumes via admission next pass).
+                // elapse (parked work resumes via admission next pass). The
+                // controller observes idle ticks too — liveness: deferred
+                // work only re-admits once decayed pressure steps the
+                // ladder down, which needs the clock *and* the controller
+                // to keep running.
                 stats.ticks += 1;
+                if let Some(ctrl) = ctrl.as_mut() {
+                    Self::observe_pressure(
+                        ctrl,
+                        cfg,
+                        queue,
+                        &tier,
+                        0,
+                        &completions,
+                        &mut obs_watermark,
+                        &mut stats,
+                    );
+                }
                 continue;
             }
 
@@ -1152,9 +1300,24 @@ impl ServeEngine {
             // shared scratch.
             let tick = stats.ticks;
             stats.ticks += 1;
+            // Observe before publish: the pressure sample's rolling rates
+            // come from completions still in the local buffer.
+            if let Some(ctrl) = ctrl.as_mut() {
+                Self::observe_pressure(
+                    ctrl,
+                    cfg,
+                    queue,
+                    &tier,
+                    active.len() + prefilling.len(),
+                    &completions,
+                    &mut obs_watermark,
+                    &mut stats,
+                );
+            }
             // Publish finished completions at every tick boundary: if this
             // worker dies, everything already done has left the thread.
             Self::publish(&mut completions, completions_shared, registry, inflight);
+            obs_watermark = 0;
             if plan.kill_at(shard, tick) {
                 // A dying worker that exclusively owns its queue closes it
                 // first: a blocked producer push bounces (shed as a shard
@@ -1185,7 +1348,7 @@ impl ServeEngine {
             if stall_remaining > 0 {
                 // Injected slow shard: hold the sessions, skip the work.
                 stall_remaining -= 1;
-                stats.degraded_steps += (active.len() + prefilling.len()) as u64;
+                stats.stalled_steps += (active.len() + prefilling.len()) as u64;
                 continue;
             }
             // Checkpoint pass: snapshot every resident session through the
@@ -1196,6 +1359,10 @@ impl ServeEngine {
             // replaces the registry entry, so the registry only ever holds
             // provably good state to roll back or fail over to.
             if let Some(k) = cfg.checkpoint_every_ticks {
+                // Under pressure the cadence stretches: snapshots are pure
+                // overhead on a saturated shard, and a sparser checkpoint
+                // trail only widens the replay window, never correctness.
+                let k = ctrl.as_ref().map_or(k, |c| c.checkpoint_every(k));
                 if tick % k == 0 && !active.is_empty() {
                     let t0 = Instant::now();
                     for a in active.iter() {
@@ -1217,6 +1384,7 @@ impl ServeEngine {
                                         ttft_ticks: a.ttft_ticks,
                                         decode_wall: a.decode_wall,
                                         preemptions: a.preemptions,
+                                        max_degrade: a.max_degrade,
                                         base_transfer: a.session.transfer_stats()
                                             + a.extra_transfer,
                                         base_cache: a.session.cache_stats() + a.extra_cache,
@@ -1256,6 +1424,14 @@ impl ServeEngine {
             let mut i = 0;
             while i < active.len() {
                 let a = &mut active[i];
+                // Brownout effort is re-applied every step: the level can
+                // move every tick, and a policy fork/resume resets effort
+                // to full. A full-effort application is an exact
+                // passthrough, so High-priority (and Nominal) sessions
+                // decode bit-identically to the controller-off engine.
+                if let Some(ctrl) = ctrl.as_ref() {
+                    a.session.set_effort(ctrl.effort_for(a.priority));
+                }
                 let token = a.next;
                 let inject = plan.panic_step(a.id).filter(|&s| s == a.session.steps());
                 if let Some(bit) = plan.bit_flip_at(a.id, a.session.steps()) {
@@ -1281,6 +1457,16 @@ impl ServeEngine {
                 a.decode_wall += s0.elapsed();
                 let (error, injected) = match stepped {
                     Ok(Ok(dec)) => {
+                        if let Some(ctrl) = ctrl.as_ref() {
+                            let level = ctrl.level();
+                            if level != PressureLevel::Nominal {
+                                stats.degraded_steps += 1;
+                            }
+                            if !ctrl.effort_for(a.priority).is_full() {
+                                stats.degraded_tokens += 1;
+                                a.max_degrade = a.max_degrade.max(level);
+                            }
+                        }
                         a.generated.push(token);
                         if cfg.record_trace {
                             a.trace.push(StepTrace {
@@ -1379,6 +1565,108 @@ impl ServeEngine {
         lock(shared).append(local);
     }
 
+    /// Feed the brownout controller one tick's pressure sample and meter
+    /// the resulting level. The sample sees only *admitted* load — queue
+    /// depth, resident slots, page-pool occupancy, and completion-derived
+    /// rolling miss/TTFT rates — never deferred (`waiting`) work, so
+    /// pressure decays once admissions stop and the ladder steps back
+    /// down, re-admitting what was deferred.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_pressure(
+        ctrl: &mut OverloadController,
+        cfg: &ServeConfig,
+        queue: &BoundedQueue<ServeRequest>,
+        tier: &KvTier,
+        resident: usize,
+        completions: &[Completion],
+        watermark: &mut usize,
+        stats: &mut ShardStats,
+    ) {
+        let slo = ctrl.config().ttft_slo_ticks;
+        let (mut done, mut missed, mut ttft_over) = (0u32, 0u32, 0u32);
+        for c in &completions[*watermark..] {
+            done += 1;
+            if matches!(
+                &c.failure,
+                Some(FailureCause { error: ServeError::DeadlineExceeded { .. }, .. })
+            ) {
+                missed += 1;
+            }
+            if c.ttft_ticks.is_some_and(|t| t > slo) {
+                ttft_over += 1;
+            }
+        }
+        *watermark = completions.len();
+        let alloc = tier.allocator();
+        let pool_frac = match alloc.max_pages() {
+            Some(max) if max > 0 => alloc.pages_in_use() as f64 / max as f64,
+            _ => 0.0,
+        };
+        let sample = PressureSample {
+            queue_frac: queue.len() as f64 / queue.capacity().max(1) as f64,
+            slot_frac: resident as f64 / cfg.max_active_per_shard.max(1) as f64,
+            pool_frac,
+            done,
+            missed,
+            ttft_over,
+        };
+        let level = ctrl.observe(&sample);
+        stats.level_ticks[level.index()] += 1;
+    }
+
+    /// Brownout admission control, applied *after* injected screening so a
+    /// fault plan's rejection schedule plays out identically with the
+    /// controller on. Only Low-priority requests are gated: at `Saturated`
+    /// the request is **deferred** — pushed back with a bounded seeded
+    /// delay, consuming no retry — and at `Critical` it takes today's shed
+    /// path (seeded backoff retries, then a typed admission shed). Returns
+    /// the request when it's clear to admit.
+    #[allow(clippy::too_many_arguments)]
+    fn brownout_gate(
+        ctrl: Option<&OverloadController>,
+        req: ServeRequest,
+        prior_retries: u32,
+        ctrl_rejected: &mut HashMap<u64, u32>,
+        waiting: &mut Vec<Waiting>,
+        completions: &mut Vec<Completion>,
+        stats: &mut ShardStats,
+        shard: usize,
+    ) -> Option<ServeRequest> {
+        let Some(ctrl) = ctrl else { return Some(req) };
+        if req.priority != Priority::Low {
+            return Some(req);
+        }
+        if ctrl.sheds_low_admission() {
+            let consumed = ctrl_rejected.entry(req.id).or_insert(0);
+            *consumed += 1;
+            let attempts = *consumed;
+            if attempts > req.retry.max_retries {
+                stats.failed += 1;
+                stats.overload_sheds += 1;
+                stats.shed_tokens += req.decode_steps as u64;
+                completions.push(Self::shed(
+                    &req,
+                    shard,
+                    ServeError::Admission { attempts },
+                    false,
+                    prior_retries + attempts.saturating_sub(1),
+                ));
+                return None;
+            }
+            stats.retries += 1;
+            let backoff = req.retry.backoff(ctrl.seed() ^ req.id, attempts);
+            waiting.push(Waiting { not_before: stats.ticks + backoff, req });
+            return None;
+        }
+        if ctrl.defers_low_admission() {
+            stats.deferrals += 1;
+            let delay = ctrl.defer_delay(req.id, stats.ticks);
+            waiting.push(Waiting { not_before: stats.ticks + delay, req });
+            return None;
+        }
+        Some(req)
+    }
+
     /// Injected admission screening: consume a planned rejection (retrying
     /// with backoff, or shedding once retries are exhausted). Returns the
     /// request when it's clear to admit. Both the admission loop and the
@@ -1473,6 +1761,7 @@ impl ServeEngine {
                     tpot_wall: None,
                     preemptions: 0,
                     recovered: false,
+                    max_degrade_level: PressureLevel::Nominal,
                 });
             }
         }
@@ -1529,6 +1818,7 @@ impl ServeEngine {
                 extra_cache: CacheStats::default(),
                 preemptions: 0,
                 recovered: false,
+                max_degrade: PressureLevel::Nominal,
             })
         };
 
@@ -1666,6 +1956,7 @@ impl ServeEngine {
                     extra_cache: CacheStats::default(),
                     preemptions: 0,
                     recovered: false,
+                    max_degrade: PressureLevel::Nominal,
                 }))
             }
             Err(e) => {
@@ -1688,6 +1979,7 @@ impl ServeEngine {
                         tpot_wall: None,
                         preemptions: 0,
                         recovered: false,
+                        max_degrade_level: PressureLevel::Nominal,
                     }),
                     decode_steps as u64,
                 ))
@@ -1724,6 +2016,7 @@ impl ServeEngine {
             extra_cache,
             preemptions,
             recovered,
+            max_degrade,
         } = a;
         match session.suspend(tier) {
             Ok(suspended) => Ok(Parked {
@@ -1746,6 +2039,7 @@ impl ServeEngine {
                 extra_cache: extra_cache + cache_stats,
                 preemptions: preemptions + 1,
                 recovered,
+                max_degrade,
             }),
             Err(e) => Err(Box::new(Active {
                 id,
@@ -1767,6 +2061,7 @@ impl ServeEngine {
                 extra_cache,
                 preemptions,
                 recovered,
+                max_degrade,
             })),
         }
     }
@@ -1801,6 +2096,7 @@ impl ServeEngine {
             extra_cache,
             preemptions,
             recovered,
+            max_degrade,
         } = p;
         let (session, swap_transfer) = suspended.resume(model, Self::fresh_cache(cfg, budget));
         Active {
@@ -1823,6 +2119,7 @@ impl ServeEngine {
             extra_cache,
             preemptions,
             recovered,
+            max_degrade,
         }
     }
 
@@ -1850,6 +2147,7 @@ impl ServeEngine {
             tpot_wall: None,
             preemptions: 0,
             recovered: false,
+            max_degrade_level: PressureLevel::Nominal,
         }
     }
 
@@ -1874,6 +2172,7 @@ impl ServeEngine {
             tpot_wall: (tokens > 0).then(|| a.decode_wall / tokens),
             preemptions: a.preemptions,
             recovered: a.recovered,
+            max_degrade_level: a.max_degrade,
         }
     }
 
@@ -1980,6 +2279,7 @@ impl ServeEngine {
                     tpot_wall: None,
                     preemptions: 0,
                     recovered: false,
+                    max_degrade_level: PressureLevel::Nominal,
                 });
             } else {
                 i += 1;
@@ -2033,6 +2333,7 @@ impl ServeEngine {
                     tpot_wall: (tokens > 0).then(|| p.decode_wall / tokens),
                     preemptions: p.preemptions,
                     recovered: p.recovered,
+                    max_degrade_level: p.max_degrade,
                 });
             } else {
                 i += 1;
@@ -2090,6 +2391,7 @@ impl ServeEngine {
                         tpot_wall: None,
                         preemptions: 0,
                         recovered: false,
+                        max_degrade_level: PressureLevel::Nominal,
                     });
                     continue;
                 };
@@ -2176,6 +2478,9 @@ impl ServeEngine {
             ttft_ticks,
             mut decode_wall,
             preemptions,
+            // Replay runs at full effort on the coordinator (no controller
+            // there), so the snapshot's high-water mark is final.
+            max_degrade,
             base_transfer,
             base_cache,
         } = entry;
@@ -2200,6 +2505,7 @@ impl ServeEngine {
                 tpot_wall: (tokens > 0).then(|| decode_wall / tokens),
                 preemptions,
                 recovered: false,
+                max_degrade_level: max_degrade,
             };
         }
         let (mut session, swap_transfer) =
@@ -2256,6 +2562,7 @@ impl ServeEngine {
             tpot_wall: (tokens > 0).then(|| decode_wall / tokens),
             preemptions,
             recovered: true,
+            max_degrade_level: max_degrade,
         }
     }
 
@@ -2893,7 +3200,12 @@ mod tests {
         let cfg =
             ServeConfig { faults: Some(FaultPlan::seeded(5).with_stall(0, 1, 3)), ..base };
         let stalled = ServeEngine::run(&model, &cfg, requests(4)).unwrap();
-        assert!(stalled.total_degraded_steps() > 0, "stall must meter degraded steps");
+        assert!(stalled.total_stalled_steps() > 0, "stall must meter stalled steps");
+        assert_eq!(
+            stalled.total_degraded_steps(),
+            0,
+            "no brownout controller, so no degraded steps"
+        );
         assert_eq!(clean.completions.len(), stalled.completions.len());
         for (a, b) in clean.completions.iter().zip(stalled.completions.iter()) {
             assert!(b.is_success());

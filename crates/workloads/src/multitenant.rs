@@ -144,6 +144,56 @@ pub fn multi_tenant_trace(cfg: &TraceConfig) -> TenantTrace {
     TenantTrace { requests }
 }
 
+/// Generate an overload storm: a three-phase arrival profile that drives a
+/// brownout controller through its whole ladder in one trace. The first
+/// quarter of the requests arrive at the base [`TraceConfig::arrival_rate`]
+/// (warmup — the controller should sit at `Nominal`), the middle half at
+/// `overload`× that rate (the storm — pressure builds, the ladder climbs),
+/// and the last quarter at the base rate again (drain — hysteresis unwinds
+/// and deferred work re-admits). Everything else — workload rotation,
+/// decode churn, the independent priority stream — matches
+/// [`multi_tenant_trace`], and the generator is purely deterministic in
+/// the seed, so storm batteries replay bit-identically.
+pub fn overload_storm_trace(cfg: &TraceConfig, overload: f64) -> TenantTrace {
+    assert!(cfg.sessions > 0, "need at least one session");
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(overload >= 1.0, "an overload factor below 1 is not a storm");
+    assert!(cfg.decode_steps.0 <= cfg.decode_steps.1, "decode range inverted");
+    assert!(cfg.prompt_mix.iter().sum::<f64>() > 0.0, "mixture weights all zero");
+    assert!(cfg.priority_mix.iter().sum::<f64>() > 0.0, "priority weights all zero");
+    let mut rng = Rng64::new(cfg.seed);
+    let mut prio_rng = Rng64::new(cfg.seed ^ 0x5710_11E5);
+    let prio_mix: Vec<f64> = cfg.priority_mix.to_vec();
+    let mix: Vec<f64> = cfg.prompt_mix.to_vec();
+    let warmup_end = cfg.sessions / 4;
+    let storm_end = cfg.sessions - cfg.sessions / 4;
+    let mut tick = 0u64;
+    let mut requests = Vec::with_capacity(cfg.sessions);
+    for id in 0..cfg.sessions as u64 {
+        let rate = if (id as usize) >= warmup_end && (id as usize) < storm_end {
+            cfg.arrival_rate * overload
+        } else {
+            cfg.arrival_rate
+        };
+        let u = rng.uniform();
+        let gap = (-(1.0 - u).ln() / rate).round() as u64;
+        tick += gap;
+        let tier = rng.weighted(&mix);
+        let s = cfg.prompt_lens[tier];
+        let wseed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id);
+        let workload = match id % 3 {
+            0 => needle(s.max(64), 0.25 + 0.5 * rng.uniform(), &cfg.layout, wseed),
+            1 => qa(s.max(64), 2, QuestionPosition::End, &cfg.layout, wseed),
+            _ => aggregation(s.max(64), 4, &cfg.layout, wseed),
+        };
+        let (lo, hi) = cfg.decode_steps;
+        let decode_steps = lo + rng.below(hi - lo + 1);
+        let priority = prio_rng.weighted(&prio_mix) as u8;
+        requests.push(TraceRequest { id, arrival_tick: tick, workload, decode_steps, priority });
+    }
+    TenantTrace { requests }
+}
+
 /// Generate a shared-prefix fleet: `cfg.sessions` requests partitioned into
 /// `groups` prompt groups, every request in a group carrying an **identical**
 /// prompt (the group's canonical workload). This is the traffic shape that
@@ -417,6 +467,42 @@ mod tests {
     #[should_panic(expected = "more prompt groups than sessions")]
     fn oversized_group_count_rejected() {
         let _ = shared_prefix_trace(&TraceConfig { sessions: 2, ..Default::default() }, 3);
+    }
+
+    #[test]
+    fn overload_storm_compresses_the_middle_phase() {
+        let base = TraceConfig { sessions: 200, arrival_rate: 0.25, ..cfg() };
+        let t = overload_storm_trace(&base, 4.0);
+        assert_eq!(t.requests.len(), 200);
+        // Mean inter-arrival gap per phase: the storm's middle half must
+        // arrive markedly denser than the warmup and drain quarters.
+        let gap = |lo: usize, hi: usize| {
+            let span = t.requests[hi - 1].arrival_tick - t.requests[lo].arrival_tick;
+            span as f64 / (hi - 1 - lo) as f64
+        };
+        let (warm, storm, drain) = (gap(0, 50), gap(50, 150), gap(150, 200));
+        assert!(storm * 2.0 < warm, "storm not denser than warmup: {storm} vs {warm}");
+        assert!(storm * 2.0 < drain, "storm not denser than drain: {storm} vs {drain}");
+        // Deterministic in the seed; a different seed moves the arrivals.
+        let again = overload_storm_trace(&base, 4.0);
+        for (a, b) in t.requests.iter().zip(again.requests.iter()) {
+            assert_eq!(a.arrival_tick, b.arrival_tick);
+            assert_eq!(a.workload.tokens, b.workload.tokens);
+            assert_eq!(a.decode_steps, b.decode_steps);
+            assert_eq!(a.priority, b.priority);
+        }
+        let other = overload_storm_trace(&TraceConfig { seed: 0xD1FF, ..base.clone() }, 4.0);
+        assert_ne!(
+            t.requests.iter().map(|r| r.arrival_tick).collect::<Vec<_>>(),
+            other.requests.iter().map(|r| r.arrival_tick).collect::<Vec<_>>(),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a storm")]
+    fn sub_unit_overload_factor_rejected() {
+        let _ = overload_storm_trace(&TraceConfig::default(), 0.5);
     }
 
     #[test]

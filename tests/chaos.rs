@@ -375,7 +375,7 @@ fn chaos_storm_never_aborts_and_replays_identically() {
     assert_eq!(report.completions.len(), STORM_SESSIONS, "requests lost in the storm");
     assert_eq!(report.worker_panics, 0);
     assert!(!report.budget_underflow);
-    assert!(report.total_degraded_steps() > 0, "stalls must be metered as degradation");
+    assert!(report.total_stalled_steps() > 0, "stalls must be metered");
 
     // (b) Every victim fails with exactly its planned, injected cause;
     //     every non-victim finishes its full decode.
@@ -499,7 +499,7 @@ fn preemption_storm_replays_identically() {
     assert_eq!(report.completions.len(), PREEMPT_SESSIONS + 1);
     assert_eq!(report.worker_panics, 0);
     assert!(!report.budget_underflow);
-    assert!(report.total_degraded_steps() > 0, "stalls must be metered");
+    assert!(report.total_stalled_steps() > 0, "stalls must be metered");
     assert!(report.total_preemptions() >= 1, "the storm never exercised preemption");
 
     // Deterministic failure set: exactly the whale, with the planned cause.
